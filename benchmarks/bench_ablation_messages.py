@@ -1,0 +1,67 @@
+"""Ablation: communication-overhead optimisations (§5.2).
+
+The preferred-host (node state) filter exists to cut the number of
+control messages per placement: the placement daemon only queries network
+daemons whose cached node state admits the new task.  This bench replays
+one trace through NEAT with the filter on and off and reports messages
+per placement and the resulting performance — the filter should reduce
+control traffic without hurting (and usually helping) completion times.
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.runner import replay_flow_trace
+from repro.metrics.report import format_table
+from repro.metrics.stats import average_gap
+
+
+def _run():
+    cfg = macro_config(workload="websearch", num_arrivals=800)
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    results = {}
+    for label, placement in (
+        ("with-filter", "neat"),
+        ("no-filter", "neat-nofilter"),
+    ):
+        results[label] = replay_flow_trace(
+            trace,
+            topology,
+            network_policy="fair",
+            placement=placement,
+            seed=cfg.seed,
+        )
+    return results, len(trace)
+
+
+def test_ablation_message_overhead(benchmark):
+    results, num_tasks = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for label, run in results.items():
+        rows.append(
+            [
+                label,
+                f"{run.control_messages / num_tasks:.1f}",
+                f"{average_gap(run.records):.2f}",
+            ]
+        )
+    emit(
+        "Ablation - control messages per placement (NEAT node-state filter)",
+        format_table(["variant", "messages/task", "mean gap"], rows),
+    )
+    with_filter = results["with-filter"]
+    no_filter = results["no-filter"]
+    benchmark.extra_info["messages_per_task_filtered"] = round(
+        with_filter.control_messages / num_tasks, 1
+    )
+    benchmark.extra_info["messages_per_task_unfiltered"] = round(
+        no_filter.control_messages / num_tasks, 1
+    )
+    # The filter must not send more messages than query-everyone, and must
+    # not hurt performance (the paper: it *helps*).
+    assert with_filter.control_messages <= no_filter.control_messages
+    assert average_gap(with_filter.records) <= average_gap(
+        no_filter.records
+    ) * 1.05

@@ -1,0 +1,36 @@
+"""Figure 10: FCT prediction accuracy, short vs long flows.
+
+Paper claims: prediction error ``(FCT_actual - FCT_pred)/FCT_pred`` grows
+with flow size — long flows spend longer in the network and are perturbed
+by more future arrivals — while short flows are predicted within ~5%
+(median).  NEAT's performance is robust to these errors.
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.micro import figure10
+
+
+def _run():
+    cfg = macro_config(workload="hadoop", num_arrivals=1500)
+    return figure10(cfg, network_policy="srpt")
+
+
+def test_figure10_prediction_error(benchmark):
+    short, long = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit(
+        "Figure 10 - FCT prediction error (SRPT, hadoop)",
+        f"short flows (n={short.count}): mean |err| = "
+        f"{short.mean_abs_error:.3f}, median err = {short.median_error:.3f}, "
+        f"p95 |err| = {short.p95_abs_error:.3f}\n"
+        f"long flows  (n={long.count}): mean |err| = "
+        f"{long.mean_abs_error:.3f}, median err = {long.median_error:.3f}, "
+        f"p95 |err| = {long.p95_abs_error:.3f}",
+    )
+    benchmark.extra_info["short_mean_abs_error"] = round(short.mean_abs_error, 3)
+    benchmark.extra_info["long_mean_abs_error"] = round(long.mean_abs_error, 3)
+    # Error grows with flow size; short-flow median error is tiny.
+    assert short.mean_abs_error <= long.mean_abs_error * 1.15
+    assert abs(short.median_error) <= 0.05

@@ -1,0 +1,40 @@
+"""Figure 11: the 10-node single-rack testbed experiment (simulated).
+
+Paper claims: on a small single-rack cluster running all-to-all Hadoop
+traffic at 50% load, NEAT improves over minLoad by up to ~30% under Fair
+(DCTCP) and ~27% under LAS (L2DCT) — far less than at datacenter scale,
+because long flows saturate every host and leave little placement freedom.
+"""
+
+from __future__ import annotations
+
+from common import emit
+
+from repro.experiments.config import testbed_config as make_testbed_config
+from repro.experiments.testbed import figure11
+
+
+def _run():
+    return figure11(make_testbed_config(num_arrivals=800, seed=42))
+
+
+def test_figure11_testbed(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = []
+    for net in ("fair", "las"):
+        improvement = outcome.improvement_percent(net)
+        gaps = outcome.average_gaps(net)
+        lines.append(
+            f"{net.upper():5s} NEAT AFCT improvement over minLoad: "
+            f"{improvement:5.1f}%  (gaps: "
+            + ", ".join(f"{k}={v:.2f}" for k, v in gaps.items())
+            + ")"
+        )
+        benchmark.extra_info[f"{net}_improvement_pct"] = round(improvement, 1)
+    emit("Figure 11 - single-rack testbed (10 nodes, hadoop, 50% load)", "\n".join(lines))
+    # Small-scale: NEAT helps (a little) and never hurts materially.
+    for net in ("fair", "las"):
+        assert outcome.improvement_percent(net) > -5.0
+    assert max(
+        outcome.improvement_percent("fair"), outcome.improvement_percent("las")
+    ) > 0.0

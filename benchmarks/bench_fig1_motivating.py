@@ -1,0 +1,26 @@
+"""Figure 1: the motivating example table (exact reproduction).
+
+Paper values: FCT(R) = 25/9 s (FCFS), 15/9 s (Fair), 5/9 s (SRPT) for
+placement on node 1 / node 3; total-completion-time increases 25/9, 25/13,
+15/9.  The fluid simulator must reproduce every cell exactly.
+"""
+
+from __future__ import annotations
+
+from common import emit
+
+from repro.experiments.motivating import (
+    EXPECTED_FIGURE1,
+    figure1_table,
+    render_figure1,
+)
+
+
+def test_figure1_motivating_example(benchmark):
+    rows = benchmark.pedantic(figure1_table, rounds=1, iterations=1)
+    emit("Figure 1 - motivating example", render_figure1())
+    for row in rows:
+        expected = EXPECTED_FIGURE1[(row.network_policy, row.placement)]
+        assert abs(row.completion_time - expected[0]) < 1e-6
+        assert abs(row.total_increase - expected[1]) < 1e-6
+    benchmark.extra_info["cells_exact"] = len(rows)

@@ -1,0 +1,46 @@
+"""Figure 3: comparative study — minDist vs minLoad under SRPT and Fair.
+
+Paper shape: under SRPT (3a) minDist outperforms minLoad (per-bin FCT
+ratio <= 1, strongest for long flows); under Fair (3b) minLoad wins for
+the longest flows (ratio > 1) while short flows can do better under
+minDist (ratio < 1).  The study uses the data-mining workload on an
+oversubscribed fabric (locality must matter for distance to matter).
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.comparative import figure3
+
+
+def _run():
+    cfg = macro_config(
+        workload="datamining",
+        load=0.8,
+        oversubscription=4.0,
+    )
+    return {net: figure3(net, cfg) for net in ("srpt", "fair")}
+
+
+def test_figure3_mindist_vs_minload(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for net, outcome in outcomes.items():
+        emit(
+            f"Figure 3 - FCT(minDist)/FCT(minLoad) under {net.upper()}",
+            outcome.table(),
+        )
+        benchmark.extra_info[f"overall_ratio_{net}"] = round(
+            outcome.overall_ratio(), 3
+        )
+
+    srpt, fair = outcomes["srpt"], outcomes["fair"]
+    # 3(a): minDist never loses under SRPT, and wins for the longest bin.
+    srpt_ratios = srpt.per_bin_ratios()
+    assert srpt_ratios[-1][1] <= 1.02
+    assert srpt.overall_ratio() <= 1.05
+    # 3(b): under Fair, short flows prefer minDist while the longest bin
+    # tilts toward minLoad (ratio rises with size).
+    fair_ratios = fair.per_bin_ratios()
+    assert fair_ratios[0][1] < 1.0
+    assert fair_ratios[-1][1] > fair_ratios[0][1]

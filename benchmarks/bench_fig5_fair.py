@@ -1,0 +1,48 @@
+"""Figure 5: flow placement under Fair (DCTCP) for Hadoop and web-search.
+
+Paper claim: NEAT outperforms minLoad/minDist by up to 3.7x (Hadoop) and
+3.6x (web-search) in gap-from-optimal when the network shares fairly.
+The shape requirement here: NEAT strictly beats both baselines on both
+workloads, with a material factor (>= 1.3x on the mean gap).
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.flow_macro import run_flow_macro
+
+
+def _run():
+    outcomes = {}
+    for workload in ("hadoop", "websearch"):
+        cfg = macro_config(workload=workload)
+        outcomes[workload] = run_flow_macro(network_policy="fair", config=cfg)
+    return outcomes
+
+
+def test_figure5_flow_placement_under_fair(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for workload, outcome in outcomes.items():
+        emit(
+            f"Figure 5 - gap from optimal under Fair ({workload})",
+            outcome.table(),
+        )
+        gaps = outcome.average_gaps()
+        emit(
+            f"Figure 5 ({workload}) summary",
+            "\n".join(
+                f"{name:8s} mean gap = {gap:.2f}" for name, gap in gaps.items()
+            )
+            + f"\nNEAT improvement: {outcome.improvement_over('minload'):.2f}x"
+            f" vs minLoad, {outcome.improvement_over('mindist'):.2f}x vs minDist",
+        )
+        benchmark.extra_info[f"{workload}_improvement_vs_minload"] = round(
+            outcome.improvement_over("minload"), 2
+        )
+        benchmark.extra_info[f"{workload}_improvement_vs_mindist"] = round(
+            outcome.improvement_over("mindist"), 2
+        )
+        assert gaps["neat"] < gaps["minload"]
+        assert gaps["neat"] < gaps["mindist"]
+        assert outcome.improvement_over("minload") >= 1.3

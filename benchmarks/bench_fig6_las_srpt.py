@@ -1,0 +1,58 @@
+"""Figure 6: flow placement under LAS (L2DCT) and SRPT (PASE), Hadoop.
+
+Paper claims: NEAT improves performance by ~2.7-3.2x over the baselines
+under LAS, but only ~20-30% under the near-optimal SRPT — the room for
+improvement shrinks as the network scheduler approaches optimal.  NEAT
+must nevertheless win (or tie within noise) under both.
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.flow_macro import run_flow_macro
+from repro.metrics.stats import average_gap
+
+
+def _run():
+    cfg = macro_config(workload="hadoop")
+    return {
+        net: run_flow_macro(network_policy=net, config=cfg)
+        for net in ("las", "srpt")
+    }
+
+
+def test_figure6_las_and_srpt(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for net, outcome in outcomes.items():
+        emit(
+            f"Figure 6 - gap from optimal under {net.upper()} (hadoop)",
+            outcome.table(),
+        )
+        gaps = outcome.average_gaps()
+        emit(
+            f"Figure 6 ({net}) summary",
+            "\n".join(
+                f"{name:8s} mean gap = {gap:.2f}" for name, gap in gaps.items()
+            ),
+        )
+        benchmark.extra_info[f"{net}_improvement_vs_minload"] = round(
+            outcome.improvement_over("minload"), 2
+        )
+        assert gaps["neat"] <= gaps["minload"] * 1.02
+        assert gaps["neat"] <= gaps["mindist"] * 1.02
+
+    las, srpt = outcomes["las"], outcomes["srpt"]
+    # Room for improvement shrinks under SRPT: every policy's absolute gap
+    # is smaller than under LAS, and NEAT's absolute win shrinks too.
+    for name in ("neat", "minload", "mindist"):
+        assert average_gap(srpt.results[name].records) <= average_gap(
+            las.results[name].records
+        )
+    las_win = average_gap(las.results["minload"].records) - average_gap(
+        las.results["neat"].records
+    )
+    srpt_win = average_gap(srpt.results["minload"].records) - average_gap(
+        srpt.results["neat"].records
+    )
+    assert srpt_win <= las_win

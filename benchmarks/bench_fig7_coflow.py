@@ -1,0 +1,50 @@
+"""Figure 7: coflow placement under Varys (SEBF) and SCF, Hadoop coflows.
+
+Paper claims: NEAT improves CCT by up to ~25% over the adapted
+minLoad/minDist baselines under both coflow schedulers, and Varys is the
+better underlying scheduler (even minDist+Varys can beat NEAT+SCF).
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.coflow_macro import figure7
+from repro.metrics.stats import afct
+
+
+def _run():
+    cfg = macro_config(
+        workload="hadoop",
+        coflows=True,
+        num_arrivals=300,
+    )
+    return {net: figure7(net, cfg) for net in ("varys", "scf")}
+
+
+def test_figure7_coflow_placement(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for net, outcome in outcomes.items():
+        emit(
+            f"Figure 7 - CCT gap from optimal under {net.upper()}",
+            outcome.table(),
+        )
+        ccts = outcome.average_ccts()
+        emit(
+            f"Figure 7 ({net}) summary",
+            "\n".join(
+                f"{name:8s} mean CCT = {cct:.3f}s" for name, cct in ccts.items()
+            ),
+        )
+        benchmark.extra_info[f"{net}_improvement_vs_minload"] = round(
+            outcome.improvement_over("minload"), 3
+        )
+        # NEAT wins (or ties within noise) on average CCT.
+        assert ccts["neat"] <= ccts["minload"] * 1.03
+        assert ccts["neat"] <= ccts["mindist"] * 1.03
+
+    # Varys is the stronger scheduler: NEAT's CCT under Varys beats NEAT's
+    # CCT under SCF on the same trace.
+    assert afct(outcomes["varys"].results["neat"].records) <= afct(
+        outcomes["scf"].results["neat"].records
+    ) * 1.05

@@ -1,0 +1,33 @@
+"""Figure 8: Fair predictor vs SRPT predictor under an SRPT network.
+
+Paper claim (Proposition 4.1 validated empirically): placing with the
+Fair-sharing FCT model performs the same as placing with the SRPT model
+even when the network actually runs SRPT — so one predictor suffices for
+all flow-level scheduling policies.
+"""
+
+from __future__ import annotations
+
+from common import emit, macro_config
+
+from repro.experiments.micro import figure8
+
+
+def _run():
+    cfg = macro_config(workload="hadoop")
+    return figure8(cfg)
+
+
+def test_figure8_fair_vs_srpt_predictor(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    fair_gap, srpt_gap = comparison.gaps()
+    emit(
+        "Figure 8 - predictor choice under SRPT network",
+        f"NEAT + Fair predictor : mean gap = {fair_gap:.3f}\n"
+        f"NEAT + SRPT predictor : mean gap = {srpt_gap:.3f}\n"
+        f"relative difference   = {comparison.relative_difference():.3f}",
+    )
+    benchmark.extra_info["relative_difference"] = round(
+        comparison.relative_difference(), 3
+    )
+    assert comparison.relative_difference() < 0.25

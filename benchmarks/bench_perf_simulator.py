@@ -1,0 +1,112 @@
+"""Performance benchmarks of the simulator itself (regression tracking).
+
+Unlike the figure benches (single-shot experiment reproductions), these
+use pytest-benchmark's statistical timing on the hot paths: the max-min
+water-fill, each priority allocator, the compressed-state prediction, and
+whole-fabric event throughput.  They are the numbers to watch when
+optimising the substrate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.fabric import NetworkFabric
+from repro.network.flow import Flow
+from repro.network.policies.registry import make_allocator
+from repro.predictor.compressed import CompressedLinkState, exponential_bins
+from repro.predictor.flow_fct import FairPredictor
+from repro.predictor.state import LinkState
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch
+
+GBPS = 1e9
+
+
+def build_flows(num_flows=100, num_links=40, seed=3):
+    rng = random.Random(seed)
+    links = [f"l{i}" for i in range(num_links)]
+    capacities = {l: GBPS for l in links}
+    flows = []
+    for fid in range(num_flows):
+        path = tuple(rng.sample(links, 2))
+        flow = Flow(
+            flow_id=fid, src="x", dst="y",
+            size=rng.uniform(1e6, 1e10), path=path,
+            arrival_time=rng.uniform(0, 10),
+        )
+        flow.advance(rng.uniform(0, flow.size * 0.5))
+        flows.append(flow)
+    return flows, capacities
+
+
+def test_perf_fair_allocator(benchmark):
+    flows, capacities = build_flows()
+    allocator = make_allocator("fair")
+    rates = benchmark(allocator.allocate, flows, capacities)
+    assert len(rates) == len(flows)
+
+
+def test_perf_srpt_allocator(benchmark):
+    flows, capacities = build_flows()
+    allocator = make_allocator("srpt")
+    rates = benchmark(allocator.allocate, flows, capacities)
+    assert len(rates) == len(flows)
+
+
+def test_perf_las_allocator_with_hint(benchmark):
+    flows, capacities = build_flows()
+    allocator = make_allocator("las")
+
+    def allocate_and_hint():
+        rates = allocator.allocate(flows, capacities)
+        allocator.next_change_hint(flows, rates)
+        return rates
+
+    rates = benchmark(allocate_and_hint)
+    assert len(rates) == len(flows)
+
+
+def test_perf_exact_vs_compressed_prediction(benchmark):
+    rng = random.Random(5)
+    sizes = tuple(rng.uniform(1e5, 1e10) for _ in range(500))
+    state = LinkState("l", GBPS, sizes)
+    compressed = CompressedLinkState.from_link_state(
+        state, exponential_bins(1e5, 1e10, 16)
+    )
+    predictor = FairPredictor()
+
+    def both():
+        exact = predictor.fct(5e8, state)       # O(flows)
+        approx = compressed.fair_fct(5e8)       # O(bins)
+        return exact, approx
+
+    exact, approx = benchmark(both)
+    assert approx == pytest.approx(exact, rel=0.5)
+
+
+def test_perf_fabric_event_throughput(benchmark):
+    """Events per second for a loaded 32-host fabric under Fair."""
+
+    def run_sim():
+        engine = Engine()
+        fabric = NetworkFabric(engine, single_switch(32), make_allocator("fair"))
+        rng = random.Random(7)
+        hosts = list(fabric.topology.hosts)
+        t = 0.0
+        for _ in range(200):
+            t += rng.expovariate(50.0)
+            src, dst = rng.sample(hosts, 2)
+            engine.schedule_at(
+                t,
+                lambda s=src, d=dst, z=rng.uniform(1e6, 1e9): fabric.submit(
+                    s, d, z
+                ),
+            )
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark.pedantic(run_sim, rounds=3, iterations=1)
+    assert events >= 400

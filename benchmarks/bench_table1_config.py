@@ -1,0 +1,50 @@
+"""Table 1: default transport parameter settings.
+
+The paper's table lists ns2 knobs for DCTCP, L2DCT, and PASE.  The fluid
+model has no packets or queues, so this benchmark documents the mapping —
+which scheduling discipline each transport contributes — and verifies that
+each transport name resolves to the right allocator and predictor pair.
+"""
+
+from __future__ import annotations
+
+from common import emit
+
+from repro.experiments.config import TABLE1_PARAMETERS
+from repro.metrics.report import format_table
+from repro.network.policies.fair import FairAllocator
+from repro.network.policies.las import LASAllocator
+from repro.network.policies.registry import make_allocator
+from repro.network.policies.srpt import SRPTAllocator
+from repro.predictor.flow_fct import FairPredictor, LASPredictor, SRPTPredictor
+from repro.predictor.registry import make_flow_predictor
+
+EXPECTED = {
+    "dctcp": (FairAllocator, FairPredictor),
+    "l2dct": (LASAllocator, LASPredictor),
+    "pase": (SRPTAllocator, SRPTPredictor),
+}
+
+
+def _resolve():
+    return {
+        name: (make_allocator(name), make_flow_predictor(name))
+        for name in EXPECTED
+    }
+
+
+def test_table1_parameter_mapping(benchmark):
+    resolved = benchmark.pedantic(_resolve, rounds=1, iterations=1)
+    rows = []
+    for transport, params in TABLE1_PARAMETERS.items():
+        for key, value in params.items():
+            rows.append([transport, key, value])
+    emit(
+        "Table 1 - transport parameters and fluid-model mapping",
+        format_table(["scheme", "parameter", "value"], rows),
+    )
+    for name, (alloc_cls, pred_cls) in EXPECTED.items():
+        allocator, predictor = resolved[name]
+        assert isinstance(allocator, alloc_cls)
+        assert isinstance(predictor, pred_cls)
+    benchmark.extra_info["transports"] = list(EXPECTED)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compare task placement policies under different network schedulers.
+
+A miniature of the paper's Figures 5-6: generate one web-search trace,
+replay it under every combination of network scheduling policy
+(Fair / LAS / SRPT, i.e. DCTCP / L2DCT / PASE) and placement policy
+(NEAT / minLoad / minDist), and print gap-from-optimal per flow-size bin.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import MacroConfig, compare_policies
+from repro.metrics import average_gap, gap_by_bin_table
+from repro.units import format_time
+
+
+def main() -> None:
+    config = MacroConfig(
+        pods=2,
+        racks_per_pod=2,
+        hosts_per_rack=10,
+        workload="websearch",
+        load=0.7,
+        num_arrivals=800,
+        seed=7,
+    )
+    topology = config.build_topology()
+    trace = config.build_trace(topology)
+    print(
+        f"Trace: {len(trace)} {config.workload} flows at load {config.load} "
+        f"on {config.num_hosts} hosts\n"
+    )
+
+    for network_policy in ("fair", "las", "srpt"):
+        results = compare_policies(
+            trace,
+            topology,
+            network_policy=network_policy,
+            placements=["neat", "minload", "mindist"],
+            seed=config.seed,
+        )
+        print(f"=== network scheduling: {network_policy.upper()} ===")
+        print(
+            gap_by_bin_table(
+                {name: run.records for name, run in results.items()},
+                num_bins=6,
+            )
+        )
+        gaps = {
+            name: average_gap(run.records) for name, run in results.items()
+        }
+        best_baseline = min(gaps["minload"], gaps["mindist"])
+        factor = best_baseline / gaps["neat"] if gaps["neat"] > 0 else float("inf")
+        print(
+            f"mean gaps: "
+            + ", ".join(f"{k}={v:.2f}" for k, v in gaps.items())
+            + f"  (NEAT {factor:.2f}x better than the best baseline)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package that
+PEP 660 editable installs require, so `pip install -e .` uses this file with
+configuration read from pyproject.toml."""
+from setuptools import setup
+
+setup()

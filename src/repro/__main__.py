@@ -1,0 +1,223 @@
+"""Command-line entry point: reproduce any figure from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig1
+    python -m repro fig5 --workload websearch --arrivals 600
+    python -m repro fig6 --network las
+    python -m repro fig7 --network scf --arrivals 200
+    python -m repro fig11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.experiments.comparative import figure3
+from repro.experiments.coflow_macro import figure7
+from repro.experiments.config import MacroConfig, testbed_config
+from repro.experiments.flow_macro import run_flow_macro
+from repro.experiments.micro import figure8, figure9, figure10
+from repro.experiments.motivating import render_figure1
+from repro.experiments.testbed import figure11
+
+FIGURES = {
+    "fig1": "motivating example table (exact)",
+    "fig3": "minDist vs minLoad comparative study",
+    "fig5": "flow placement under Fair (gap per size bin)",
+    "fig6": "flow placement under LAS or SRPT",
+    "fig7": "coflow placement under Varys or SCF",
+    "fig8": "Fair vs SRPT predictor under SRPT",
+    "fig9": "preferred hosts vs minFCT",
+    "fig10": "FCT prediction error",
+    "fig11": "10-node testbed (NEAT vs minLoad)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce figures from the NEAT paper (CoNEXT 2016).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["list", "all"],
+        help="which figure to reproduce ('list' enumerates, 'all' runs a "
+             "fast one-line-per-figure summary)",
+    )
+    parser.add_argument("--workload", default=None,
+                        help="websearch | datamining | hadoop")
+    parser.add_argument("--network", default=None,
+                        help="network policy override (fair/las/srpt/fcfs, "
+                             "varys/scf for fig7, srpt/fair for fig3)")
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--racks-per-pod", type=int, default=2)
+    parser.add_argument("--hosts-per-rack", type=int, default=10)
+    parser.add_argument("--load", type=float, default=0.7)
+    parser.add_argument("--arrivals", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--oversubscription", type=float, default=1.0)
+    return parser
+
+
+def config_from_args(args: argparse.Namespace, **overrides) -> MacroConfig:
+    base = MacroConfig(
+        pods=args.pods,
+        racks_per_pod=args.racks_per_pod,
+        hosts_per_rack=args.hosts_per_rack,
+        workload=args.workload or overrides.pop("workload", "websearch"),
+        load=args.load,
+        num_arrivals=args.arrivals,
+        seed=args.seed,
+        oversubscription=args.oversubscription,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def run_all_summary(args: argparse.Namespace) -> int:
+    """One line per figure at a reduced scale (a few minutes total)."""
+    from repro.experiments.motivating import EXPECTED_FIGURE1, figure1_table
+
+    cfg = config_from_args(args, workload="hadoop")
+
+    rows = figure1_table()
+    exact = all(
+        abs(r.completion_time - EXPECTED_FIGURE1[(r.network_policy, r.placement)][0])
+        < 1e-6
+        for r in rows
+    )
+    print(f"fig1  motivating example: {'EXACT match' if exact else 'MISMATCH'}")
+
+    c3 = figure3("fair", replace(cfg, workload="datamining",
+                                 oversubscription=max(args.oversubscription, 4.0)))
+    print(f"fig3  minDist/minLoad overall FCT ratio under Fair: "
+          f"{c3.overall_ratio():.2f}")
+
+    for net, label in (("fair", "fig5"), ("las", "fig6a"), ("srpt", "fig6b")):
+        outcome = run_flow_macro(network_policy=net, config=cfg)
+        print(
+            f"{label:5s} {net.upper():4s}: NEAT "
+            f"{outcome.improvement_over('minload'):.2f}x vs minLoad, "
+            f"{outcome.improvement_over('mindist'):.2f}x vs minDist"
+        )
+
+    c7 = figure7("varys", replace(cfg, coflows=True,
+                                  num_arrivals=max(100, args.arrivals // 4)))
+    ccts = c7.average_ccts()
+    print(
+        f"fig7  Varys coflows: mean CCT neat={ccts['neat']:.3f}s "
+        f"minload={ccts['minload']:.3f}s mindist={ccts['mindist']:.3f}s"
+    )
+
+    c8 = figure8(cfg)
+    print(f"fig8  Fair-vs-SRPT predictor relative difference: "
+          f"{c8.relative_difference():.2f}")
+
+    c9 = figure9(cfg, network_policy="fair")
+    print(f"fig9  minFCT degradation without node states (Fair): "
+          f"{c9.minfct_degradation() * 100:.0f}%")
+
+    short, long = figure10(cfg)
+    print(f"fig10 prediction error: short {short.mean_abs_error:.3f}, "
+          f"long {long.mean_abs_error:.3f} (mean |err|)")
+
+    c11 = figure11(testbed_config(num_arrivals=args.arrivals, seed=args.seed))
+    print(
+        f"fig11 testbed: NEAT vs minLoad +{c11.improvement_percent('fair'):.1f}% "
+        f"(Fair), +{c11.improvement_percent('las'):.1f}% (LAS)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.figure == "list":
+        for name in sorted(FIGURES):
+            print(f"{name:6s} {FIGURES[name]}")
+        return 0
+
+    if args.figure == "all":
+        return run_all_summary(args)
+
+    if args.figure == "fig1":
+        print(render_figure1())
+        return 0
+
+    if args.figure == "fig3":
+        cfg = config_from_args(args, workload=args.workload or "datamining")
+        if cfg.oversubscription == 1.0:
+            cfg = replace(cfg, oversubscription=4.0)
+        outcome = figure3(args.network or "fair", cfg)
+        print(outcome.table())
+        print(f"\noverall minDist/minLoad ratio: {outcome.overall_ratio():.2f}")
+        return 0
+
+    if args.figure == "fig5":
+        cfg = config_from_args(args, workload=args.workload or "hadoop")
+        outcome = run_flow_macro(network_policy="fair", config=cfg)
+    elif args.figure == "fig6":
+        cfg = config_from_args(args, workload=args.workload or "hadoop")
+        outcome = run_flow_macro(
+            network_policy=args.network or "las", config=cfg
+        )
+    elif args.figure == "fig7":
+        cfg = config_from_args(args, workload=args.workload or "hadoop")
+        cfg = replace(cfg, coflows=True)
+        result = figure7(args.network or "varys", cfg)
+        print(result.table())
+        ccts = result.average_ccts()
+        print("\nmean CCTs: " + ", ".join(f"{k}={v:.3f}s" for k, v in ccts.items()))
+        return 0
+    elif args.figure == "fig8":
+        cfg = config_from_args(args, workload=args.workload or "hadoop")
+        comparison = figure8(cfg)
+        fair, srpt = comparison.gaps()
+        print(f"NEAT + Fair predictor : mean gap = {fair:.3f}")
+        print(f"NEAT + SRPT predictor : mean gap = {srpt:.3f}")
+        print(f"relative difference   = {comparison.relative_difference():.3f}")
+        return 0
+    elif args.figure == "fig9":
+        cfg = config_from_args(args, workload=args.workload or "hadoop")
+        result = figure9(cfg, network_policy=args.network or "fair")
+        for name, gap in result.average_gaps().items():
+            print(f"{name:8s} mean gap = {gap:.3f}")
+        return 0
+    elif args.figure == "fig10":
+        cfg = config_from_args(args, workload=args.workload or "hadoop")
+        short, long = figure10(cfg, network_policy=args.network or "srpt")
+        for summary in (short, long):
+            print(
+                f"{summary.label:5s} flows (n={summary.count}): "
+                f"mean |err| = {summary.mean_abs_error:.3f}, "
+                f"p95 |err| = {summary.p95_abs_error:.3f}"
+            )
+        return 0
+    elif args.figure == "fig11":
+        cfg = testbed_config(num_arrivals=args.arrivals, seed=args.seed)
+        result = figure11(cfg)
+        for net in ("fair", "las"):
+            print(
+                f"{net.upper():5s} NEAT improvement over minLoad: "
+                f"{result.improvement_percent(net):.1f}%"
+            )
+        return 0
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+
+    # fig5/fig6 shared rendering
+    print(outcome.table())
+    gaps = outcome.average_gaps()
+    print("\nmean gaps: " + ", ".join(f"{k}={v:.2f}" for k, v in gaps.items()))
+    print(
+        f"NEAT improvement: {outcome.improvement_over('minload'):.2f}x vs "
+        f"minLoad, {outcome.improvement_over('mindist'):.2f}x vs minDist"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

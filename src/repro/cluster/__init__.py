@@ -1,0 +1,25 @@
+"""Cluster-side model: node resources, tasks, jobs, and the job scheduler."""
+
+from repro.cluster.jobs import (
+    JobResult,
+    JobSpec,
+    StageSpec,
+    TaskSpec,
+    dag_job,
+    mapreduce_job,
+)
+from repro.cluster.node import Cluster, ClusterNode, Resources
+from repro.cluster.scheduler import JobScheduler
+
+__all__ = [
+    "Resources",
+    "ClusterNode",
+    "Cluster",
+    "TaskSpec",
+    "StageSpec",
+    "JobSpec",
+    "JobResult",
+    "mapreduce_job",
+    "dag_job",
+    "JobScheduler",
+]

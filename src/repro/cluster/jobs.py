@@ -1,0 +1,215 @@
+"""Job models: tasks, MapReduce jobs, and DAG jobs (§5.1.3-5.1.4).
+
+NEAT views a MapReduce job as a concatenation of two (co)flow placements:
+a many-to-many coflow reading input into the Map tasks, and a many-to-one
+(or many-to-many) shuffle coflow into the Reduce task(s).  DAG jobs are a
+sequence of such stages with dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.node import Resources
+from repro.errors import WorkloadError
+from repro.topology.base import NodeId
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A single compute task and the data it must read.
+
+    Attributes:
+        name: task label, e.g. ``"job3/map/2"``.
+        inputs: ``(data_node, size_bits)`` pairs the task reads.
+        demand: CPU/memory needed to be a candidate host.
+        compute_duration: seconds of processing after the stage's data
+            transfer completes (0 = transfer-only, the paper's focus).
+    """
+
+    name: str
+    inputs: Tuple[Tuple[NodeId, float], ...]
+    demand: Resources = Resources(cpu=1, memory=1.0)
+    compute_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise WorkloadError(f"task {self.name!r} has no inputs")
+        if any(size <= 0 for _node, size in self.inputs):
+            raise WorkloadError(f"task {self.name!r} has non-positive input")
+        if self.compute_duration < 0:
+            raise WorkloadError(
+                f"task {self.name!r} has negative compute duration"
+            )
+
+    @property
+    def total_input_bits(self) -> float:
+        return sum(size for _node, size in self.inputs)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One job stage: a set of tasks placed together as a coflow.
+
+    ``many_to_one`` marks aggregation stages (single Reduce task), which
+    NEAT can place optimally rather than with the sequential heuristic.
+
+    ``depends_on`` lists the stage names that must finish before this
+    stage starts.  ``None`` (default) means "the previous stage in the
+    job" — the implicit linear chain of MapReduce; an explicit tuple
+    (possibly empty) turns the job into a general DAG (§5.1.4).
+    """
+
+    name: str
+    tasks: Tuple[TaskSpec, ...]
+    many_to_one: bool = False
+    depends_on: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise WorkloadError(f"stage {self.name!r} has no tasks")
+        if self.many_to_one and len(self.tasks) != 1:
+            raise WorkloadError(
+                f"many-to-one stage {self.name!r} must have exactly one task"
+            )
+
+    @property
+    def max_compute_duration(self) -> float:
+        return max(task.compute_duration for task in self.tasks)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A multi-stage job.
+
+    Stages with ``depends_on=None`` form an implicit linear chain (stage
+    ``i+1`` starts when stage ``i`` finishes — the MapReduce shape);
+    explicit ``depends_on`` tuples describe an arbitrary DAG (§5.1.4),
+    where a stage starts once all of its dependencies have finished and
+    independent stages run concurrently.
+    """
+
+    name: str
+    stages: Tuple[StageSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise WorkloadError(f"job {self.name!r} has no stages")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"job {self.name!r} has duplicate stage names")
+        known = set(names)
+        for stage in self.stages:
+            for dep in stage.depends_on or ():
+                if dep not in known:
+                    raise WorkloadError(
+                        f"stage {stage.name!r} depends on unknown stage "
+                        f"{dep!r}"
+                    )
+                if dep == stage.name:
+                    raise WorkloadError(
+                        f"stage {stage.name!r} depends on itself"
+                    )
+
+    def effective_dependencies(self) -> Dict[str, Tuple[str, ...]]:
+        """Resolve the implicit linear chain into explicit dependencies."""
+        resolved: Dict[str, Tuple[str, ...]] = {}
+        previous: Optional[str] = None
+        for stage in self.stages:
+            if stage.depends_on is not None:
+                resolved[stage.name] = stage.depends_on
+            else:
+                resolved[stage.name] = (previous,) if previous else ()
+            previous = stage.name
+        return resolved
+
+
+def mapreduce_job(
+    name: str,
+    input_blocks: Sequence[Tuple[NodeId, float]],
+    *,
+    num_mappers: int,
+    shuffle_fraction: float = 1.0,
+    num_reducers: int = 1,
+    demand: Resources = Resources(cpu=1, memory=1.0),
+) -> JobSpec:
+    """Build a canonical two-stage MapReduce job.
+
+    Input blocks are assigned to mappers round-robin; each mapper reads its
+    blocks (the many-to-many input coflow).  The shuffle stage moves
+    ``shuffle_fraction`` of the input bytes from the mapper hosts to the
+    reducer(s); since mapper hosts are only known after placement, the
+    shuffle stage's data nodes are filled in by the scheduler at runtime —
+    here we record the *logical* stage with per-mapper output sizes.
+
+    Note: the returned spec uses task placeholders (``"@task:<name>"``) as
+    shuffle data nodes; :class:`~repro.cluster.scheduler.JobScheduler`
+    resolves them to the actual mapper hosts.
+    """
+    if num_mappers < 1 or num_reducers < 1:
+        raise WorkloadError("need at least one mapper and one reducer")
+    if not input_blocks:
+        raise WorkloadError("mapreduce job needs input blocks")
+    if not 0 < shuffle_fraction <= 10:
+        raise WorkloadError("shuffle_fraction must be in (0, 10]")
+
+    per_mapper: List[List[Tuple[NodeId, float]]] = [[] for _ in range(num_mappers)]
+    for index, block in enumerate(input_blocks):
+        per_mapper[index % num_mappers].append(block)
+    mappers = tuple(
+        TaskSpec(
+            name=f"{name}/map/{i}",
+            inputs=tuple(blocks) if blocks else ((input_blocks[0][0], 1.0),),
+            demand=demand,
+        )
+        for i, blocks in enumerate(per_mapper)
+    )
+    map_stage = StageSpec(name=f"{name}/map", tasks=mappers)
+
+    mapper_output = [
+        sum(size for _n, size in blocks) * shuffle_fraction
+        for blocks in per_mapper
+    ]
+    reducers = []
+    for r in range(num_reducers):
+        # Each reducer pulls an equal share of every mapper's output.
+        inputs = tuple(
+            (f"@task:{name}/map/{i}", output / num_reducers)
+            for i, output in enumerate(mapper_output)
+            if output > 0
+        )
+        if not inputs:
+            raise WorkloadError(f"job {name!r} shuffles zero bytes")
+        reducers.append(
+            TaskSpec(name=f"{name}/reduce/{r}", inputs=inputs, demand=demand)
+        )
+    reduce_stage = StageSpec(
+        name=f"{name}/shuffle",
+        tasks=tuple(reducers),
+        many_to_one=(num_reducers == 1),
+    )
+    return JobSpec(name=name, stages=(map_stage, reduce_stage))
+
+
+def dag_job(
+    name: str,
+    stage_specs: Sequence[StageSpec],
+) -> JobSpec:
+    """Build a DAG-style job from explicit stages (a linear chain)."""
+    return JobSpec(name=name, stages=tuple(stage_specs))
+
+
+@dataclass
+class JobResult:
+    """Completion record for a job run by the scheduler."""
+
+    name: str
+    submit_time: float
+    finish_time: float
+    stage_finish_times: Dict[str, float] = field(default_factory=dict)
+    task_hosts: Dict[str, NodeId] = field(default_factory=dict)
+
+    @property
+    def completion_time(self) -> float:
+        return self.finish_time - self.submit_time

@@ -1,0 +1,108 @@
+"""Compute-side node model.
+
+NEAT "only uses node properties (e.g., CPU, memory) to determine whether a
+node is a candidate host" (§1) — placement itself is network-driven.  This
+module provides that candidacy check: per-host CPU/memory capacity,
+tracked allocations, and a cluster-wide view that yields the eligible
+candidate set for a task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import PlacementError
+from repro.topology.base import NodeId, Topology
+
+
+@dataclass(frozen=True)
+class Resources:
+    """A CPU/memory quantity (cores, bytes — units are opaque)."""
+
+    cpu: float = 0.0
+    memory: float = 0.0
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu + other.cpu, self.memory + other.memory)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu - other.cpu, self.memory - other.memory)
+
+    def fits_within(self, capacity: "Resources") -> bool:
+        return self.cpu <= capacity.cpu + 1e-9 and (
+            self.memory <= capacity.memory + 1e-9
+        )
+
+
+class ClusterNode:
+    """A host's compute capacity and current allocations."""
+
+    def __init__(self, node_id: NodeId, capacity: Resources) -> None:
+        self.node_id = node_id
+        self.capacity = capacity
+        self._used = Resources()
+
+    @property
+    def used(self) -> Resources:
+        return self._used
+
+    @property
+    def available(self) -> Resources:
+        return self.capacity - self._used
+
+    def can_fit(self, demand: Resources) -> bool:
+        return demand.fits_within(self.available)
+
+    def allocate(self, demand: Resources) -> None:
+        if not self.can_fit(demand):
+            raise PlacementError(
+                f"node {self.node_id!r} cannot fit demand {demand!r} "
+                f"(available {self.available!r})"
+            )
+        self._used = self._used + demand
+
+    def release(self, demand: Resources) -> None:
+        released = self._used - demand
+        if released.cpu < -1e-9 or released.memory < -1e-9:
+            raise PlacementError(
+                f"node {self.node_id!r} releasing more than allocated"
+            )
+        self._used = Resources(max(released.cpu, 0.0), max(released.memory, 0.0))
+
+
+class Cluster:
+    """All hosts of a topology with their compute capacities."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        default_capacity: Resources = Resources(cpu=16, memory=64.0),
+    ) -> None:
+        self._topology = topology
+        self._nodes: Dict[NodeId, ClusterNode] = {
+            host: ClusterNode(host, default_capacity)
+            for host in topology.hosts
+        }
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def node(self, node_id: NodeId) -> ClusterNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise PlacementError(f"unknown cluster node {node_id!r}") from None
+
+    def hosts(self) -> Tuple[NodeId, ...]:
+        return tuple(self._nodes)
+
+    def candidates(self, demand: Resources) -> Tuple[NodeId, ...]:
+        """Hosts with enough free CPU/memory to run the task (§5.1.1)."""
+        return tuple(
+            node_id
+            for node_id, node in self._nodes.items()
+            if node.can_fit(demand)
+        )

@@ -1,0 +1,231 @@
+"""Job scheduler: drives multi-stage (DAG) jobs through placement and the
+network.
+
+For each stage, every task is *placed* (a destination host chosen by the
+configured placement policy), its input flows are submitted as one coflow,
+and the stage's data transfer finishes when the coflow completes; tasks
+then compute for their ``compute_duration`` (stage barrier) and dependent
+stages start.  Stages with no dependency ordering run concurrently
+(§5.1.4's DAG model).  Shuffle stages reference upstream outputs through
+``"@task:<name>"`` placeholders that resolve to the hosts chosen for those
+tasks.
+
+Tasks of a stage are placed in descending order of input size — NEAT's
+sequential coflow heuristic (§5.1.2) — and multi-input tasks go through
+``place_reducer`` when the policy supports it (NEAT does).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.jobs import JobResult, JobSpec, StageSpec, TaskSpec
+from repro.cluster.node import Cluster
+from repro.coflow.coflow import Coflow, CoflowRecord
+from repro.coflow.tracking import CoflowTracker
+from repro.errors import PlacementError, WorkloadError
+from repro.placement.base import PlacementPolicy, PlacementRequest
+from repro.topology.base import NodeId
+
+TASK_PLACEHOLDER_PREFIX = "@task:"
+
+
+class _RunningJob:
+    """Book-keeping for a job in flight."""
+
+    def __init__(self, job: JobSpec, result: JobResult) -> None:
+        self.job = job
+        self.result = result
+        self.dependencies = job.effective_dependencies()
+        self.stage_by_name = {stage.name: stage for stage in job.stages}
+        self.started: Set[str] = set()
+        self.completed: Set[str] = set()
+
+    def eligible_stages(self) -> List[StageSpec]:
+        """Stages whose dependencies are all complete and not yet started."""
+        out = []
+        for stage in self.job.stages:
+            if stage.name in self.started:
+                continue
+            if all(dep in self.completed for dep in self.dependencies[stage.name]):
+                out.append(stage)
+        return out
+
+    @property
+    def finished(self) -> bool:
+        return len(self.completed) == len(self.job.stages)
+
+
+class JobScheduler:
+    """Places and runs jobs over a cluster + coflow tracker."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tracker: CoflowTracker,
+        policy: PlacementPolicy,
+        *,
+        rng: Optional[random.Random] = None,
+        exclude_data_nodes: bool = False,
+    ) -> None:
+        """Args:
+            cluster: compute capacities (candidate filtering).
+            tracker: coflow tracker bound to the network fabric.
+            policy: placement policy for every task.
+            rng: reserved for policies needing randomness.
+            exclude_data_nodes: when True, a task may not run where its
+                data lives (forces network transfers; used by experiments
+                that want no trivial locality wins).
+        """
+        self._cluster = cluster
+        self._tracker = tracker
+        self._policy = policy
+        self._rng = rng
+        self._exclude_data_nodes = exclude_data_nodes
+        self._results: List[JobResult] = []
+        self._active: Dict[int, _RunningJob] = {}
+        #: coflow id -> (running job, stage) for in-flight transfers.
+        self._transfers: Dict[int, Tuple[_RunningJob, StageSpec]] = {}
+        tracker.add_completion_listener(self._on_coflow_done)
+
+    @property
+    def results(self) -> Sequence[JobResult]:
+        """Completed jobs, in completion order."""
+        return tuple(self._results)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_job(self, job: JobSpec) -> None:
+        """Start the job's dependency-free stages now."""
+        running = _RunningJob(
+            job=job,
+            result=JobResult(
+                name=job.name,
+                submit_time=self._tracker.fabric.engine.now,
+                finish_time=float("nan"),
+            ),
+        )
+        self._active[id(running)] = running
+        self._start_eligible(running)
+
+    # ------------------------------------------------------------------
+    # Stage execution
+    # ------------------------------------------------------------------
+    def _resolve_inputs(
+        self, running: _RunningJob, task: TaskSpec
+    ) -> List[Tuple[NodeId, float]]:
+        resolved = []
+        for node, size in task.inputs:
+            if node.startswith(TASK_PLACEHOLDER_PREFIX):
+                source_task = node[len(TASK_PLACEHOLDER_PREFIX):]
+                try:
+                    node = running.result.task_hosts[source_task]
+                except KeyError:
+                    raise WorkloadError(
+                        f"{task.name!r} references unplaced task "
+                        f"{source_task!r}"
+                    ) from None
+            resolved.append((node, size))
+        return resolved
+
+    def _candidates_for(
+        self, task: TaskSpec, data_nodes: Sequence[NodeId]
+    ) -> Tuple[NodeId, ...]:
+        candidates = self._cluster.candidates(task.demand)
+        if self._exclude_data_nodes:
+            banned = set(data_nodes)
+            filtered = tuple(c for c in candidates if c not in banned)
+            if filtered:
+                candidates = filtered
+        if not candidates:
+            raise PlacementError(
+                f"no candidate host can fit task {task.name!r}"
+            )
+        return candidates
+
+    def _place_task(
+        self,
+        running: _RunningJob,
+        task: TaskSpec,
+        coflow: Coflow,
+    ) -> NodeId:
+        inputs = self._resolve_inputs(running, task)
+        candidates = self._candidates_for(task, [n for n, _s in inputs])
+        if (
+            len(inputs) > 1
+            and hasattr(self._policy, "place_reducer")
+            and getattr(self._policy, "supports_coflow_prediction", True)
+        ):
+            host = self._policy.place_reducer(inputs, candidates)
+        else:
+            # Approximate multi-input tasks by their dominant input.
+            data_node, _ = max(inputs, key=lambda pair: pair[1])
+            request = PlacementRequest(
+                size=sum(size for _n, size in inputs),
+                data_node=data_node,
+                candidates=candidates,
+                tag=task.name,
+            )
+            host = self._policy.place(request)
+            self._policy.notify_placed(request, host)
+        self._cluster.node(host).allocate(task.demand)
+        running.result.task_hosts[task.name] = host
+        for data_node, size in inputs:
+            self._tracker.submit_flow(coflow, data_node, host, size)
+        return host
+
+    def _start_eligible(self, running: _RunningJob) -> None:
+        for stage in running.eligible_stages():
+            self._start_stage(running, stage)
+
+    def _start_stage(self, running: _RunningJob, stage: StageSpec) -> None:
+        running.started.add(stage.name)
+        coflow = self._tracker.new_coflow(tag=stage.name)
+        # Register before sealing: an all-local coflow completes
+        # synchronously inside seal(), and _on_coflow_done needs the map.
+        self._transfers[coflow.coflow_id] = (running, stage)
+        ordered = sorted(
+            stage.tasks, key=lambda t: (-t.total_input_bits, t.name)
+        )
+        for task in ordered:
+            self._place_task(running, task, coflow)
+        self._tracker.seal(coflow)
+
+    # ------------------------------------------------------------------
+    # Stage/job completion
+    # ------------------------------------------------------------------
+    def _on_coflow_done(self, coflow: Coflow, record: CoflowRecord) -> None:
+        entry = self._transfers.pop(coflow.coflow_id, None)
+        if entry is None:
+            return  # not one of ours (foreign coflow on the same tracker)
+        running, stage = entry
+        compute = stage.max_compute_duration
+        engine = self._tracker.fabric.engine
+        if compute > 0:
+            engine.schedule(
+                compute,
+                lambda: self._finish_stage(running, stage),
+                label=f"compute:{stage.name}",
+            )
+        else:
+            self._finish_stage(running, stage)
+
+    def _finish_stage(self, running: _RunningJob, stage: StageSpec) -> None:
+        now = self._tracker.fabric.engine.now
+        running.result.stage_finish_times[stage.name] = now
+        running.completed.add(stage.name)
+        for task in stage.tasks:
+            host = running.result.task_hosts[task.name]
+            self._cluster.node(host).release(task.demand)
+        if running.finished:
+            running.result.finish_time = now
+            self._results.append(running.result)
+            del self._active[id(running)]
+        else:
+            self._start_eligible(running)

@@ -1,0 +1,29 @@
+"""Coflow abstraction, schedulers, and CCT tracking."""
+
+from repro.coflow.coflow import Coflow, CoflowId, CoflowRecord
+from repro.coflow.policies import (
+    CoflowFCFSAllocator,
+    CoflowFairAllocator,
+    CoflowLASAllocator,
+    SCFAllocator,
+    VarysAllocator,
+    available_coflow_policies,
+    make_coflow_allocator,
+    register_coflow_policy,
+)
+from repro.coflow.tracking import CoflowTracker
+
+__all__ = [
+    "Coflow",
+    "CoflowId",
+    "CoflowRecord",
+    "CoflowTracker",
+    "VarysAllocator",
+    "SCFAllocator",
+    "CoflowFCFSAllocator",
+    "CoflowLASAllocator",
+    "CoflowFairAllocator",
+    "make_coflow_allocator",
+    "register_coflow_policy",
+    "available_coflow_policies",
+]

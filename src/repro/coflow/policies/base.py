@@ -1,0 +1,141 @@
+"""Coflow scheduling machinery shared by the concrete policies.
+
+All priority-based coflow schedulers here follow the Varys structure:
+
+1. order coflows by a policy-specific key (SEBF, total size, arrival, ...);
+2. allocate each coflow in order with **MADD** (minimum allocation for
+   desired duration [Varys, SIGCOMM'14]): every constituent flow gets rate
+   ``remaining_f / Gamma`` where ``Gamma`` is the coflow's bottleneck
+   completion time on the *residual* capacities, so all flows would finish
+   together without wasting bandwidth;
+3. **backfill** leftover capacity max-min fairly across all unfinished
+   flows (work conservation).
+
+Flows not attached to any coflow are treated as singleton coflows, so mixed
+flow/coflow traffic is handled uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.coflow.coflow import Coflow
+from repro.network.flow import Flow, FlowId
+from repro.network.policies.base import RATE_EPSILON, RateAllocator, water_fill
+from repro.topology.base import LinkId
+
+
+def collect_coflows(flows: Sequence[Flow]) -> List[Tuple[Optional[Coflow], List[Flow]]]:
+    """Group active flows by owning coflow, preserving first-seen order.
+
+    Returns a list of ``(coflow_or_None, member_flows)``; bare flows appear
+    as their own singleton group with ``None``.
+    """
+    groups: Dict[int, Tuple[Optional[Coflow], List[Flow]]] = {}
+    order: List[int] = []
+    for flow in flows:
+        if flow.coflow is None:
+            key = -1 - flow.flow_id  # unique singleton key
+            groups[key] = (None, [flow])
+            order.append(key)
+        else:
+            key = flow.coflow.coflow_id
+            if key not in groups:
+                groups[key] = (flow.coflow, [])
+                order.append(key)
+            groups[key][1].append(flow)
+    return [groups[key] for key in order]
+
+
+def bottleneck_duration(
+    members: Sequence[Flow],
+    capacities: Mapping[LinkId, float],
+) -> float:
+    """Gamma: the coflow's completion time if it alone used ``capacities``.
+
+    ``inf`` when some member's path has a saturated link (the coflow is
+    blocked at this priority level and must rely on backfill).
+    """
+    demand: Dict[LinkId, float] = {}
+    for flow in members:
+        for link_id in flow.path:
+            demand[link_id] = demand.get(link_id, 0.0) + flow.remaining
+    gamma = 0.0
+    for link_id, bits in demand.items():
+        capacity = capacities.get(link_id, 0.0)
+        if capacity <= RATE_EPSILON:
+            return float("inf")
+        gamma = max(gamma, bits / capacity)
+    return gamma
+
+
+def madd_rates(
+    members: Sequence[Flow],
+    gamma: float,
+) -> Dict[FlowId, float]:
+    """MADD: rates so every member finishes exactly at ``gamma`` seconds."""
+    if gamma <= 0:
+        return {flow.flow_id: 0.0 for flow in members}
+    return {flow.flow_id: flow.remaining / gamma for flow in members}
+
+
+class CoflowAllocator(RateAllocator):
+    """Priority-ordered coflow scheduler with MADD allocation + backfill.
+
+    Subclasses define :meth:`priority_key`; smaller keys are served first.
+    """
+
+    name = "coflow-abstract"
+
+    @abstractmethod
+    def priority_key(
+        self,
+        coflow: Optional[Coflow],
+        members: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Tuple:
+        """Sort key for a coflow group (smaller = higher priority)."""
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        groups = collect_coflows(flows)
+        ordered = sorted(
+            groups,
+            key=lambda pair: (
+                self.priority_key(pair[0], pair[1], capacities),
+                # deterministic tie-break by smallest member flow id
+                min(f.flow_id for f in pair[1]),
+            ),
+        )
+        residual: Dict[LinkId, float] = dict(capacities)
+        rates: Dict[FlowId, float] = {flow.flow_id: 0.0 for flow in flows}
+        for _coflow, members in ordered:
+            gamma = bottleneck_duration(members, residual)
+            if gamma == float("inf"):
+                continue  # blocked; members only get backfill
+            for flow_id, rate in madd_rates(members, gamma).items():
+                rates[flow_id] = rate
+            for flow in members:
+                for link_id in flow.path:
+                    residual[link_id] = max(
+                        0.0, residual[link_id] - rates[flow.flow_id]
+                    )
+        self._backfill(flows, residual, rates)
+        return rates
+
+    @staticmethod
+    def _backfill(
+        flows: Sequence[Flow],
+        residual: Dict[LinkId, float],
+        rates: Dict[FlowId, float],
+    ) -> None:
+        """Distribute leftover capacity max-min fairly on top of MADD."""
+        extra: Dict[FlowId, float] = {}
+        water_fill(flows, residual, extra)
+        for flow_id, rate in extra.items():
+            if rate > RATE_EPSILON:
+                rates[flow_id] = rates.get(flow_id, 0.0) + rate

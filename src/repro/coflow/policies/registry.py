@@ -1,0 +1,51 @@
+"""Name-based registry of coflow scheduling policies."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.coflow.policies.simple import (
+    CoflowFCFSAllocator,
+    CoflowFairAllocator,
+    CoflowLASAllocator,
+    SCFAllocator,
+)
+from repro.coflow.policies.varys import VarysAllocator
+from repro.network.policies.base import RateAllocator
+
+_FACTORIES: Dict[str, Callable[[], RateAllocator]] = {
+    "varys": VarysAllocator,
+    "sebf": VarysAllocator,
+    "scf": SCFAllocator,
+    "tcf": SCFAllocator,
+    "coflow-fcfs": CoflowFCFSAllocator,
+    "baraat": CoflowFCFSAllocator,
+    "coflow-las": CoflowLASAllocator,
+    "aalo": CoflowLASAllocator,
+    "coflow-fair": CoflowFairAllocator,
+}
+
+
+def register_coflow_policy(
+    name: str, factory: Callable[[], RateAllocator]
+) -> None:
+    """Register a custom coflow scheduling policy under ``name``."""
+    _FACTORIES[name.lower()] = factory
+
+
+def make_coflow_allocator(name: str) -> RateAllocator:
+    """Instantiate the coflow allocator registered under ``name``."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ConfigError(
+            f"unknown coflow scheduling policy {name!r}; known: {known}"
+        ) from None
+    return factory()
+
+
+def available_coflow_policies() -> tuple:
+    """All registered coflow policy names, sorted."""
+    return tuple(sorted(_FACTORIES))

@@ -1,0 +1,163 @@
+"""The remaining coflow scheduling policies evaluated or analysed in §4.2.
+
+* :class:`SCFAllocator` — smallest (total remaining size) coflow first, the
+  TCF/SCF heuristic of §4.2.3 and Figure 7(b).
+* :class:`CoflowFCFSAllocator` — arrival order (Baraat-style FIFO).
+* :class:`CoflowLASAllocator` — least attained total service (Aalo-style).
+* :class:`CoflowFairAllocator` — max-min fair sharing *between* coflows
+  with MADD-proportional splitting *within* each coflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.policies.base import (
+    CoflowAllocator,
+    collect_coflows,
+)
+from repro.network.flow import Flow, FlowId
+from repro.network.policies.base import RATE_EPSILON, RateAllocator
+from repro.topology.base import LinkId
+
+
+class SCFAllocator(CoflowAllocator):
+    """Smallest-coflow-first: order by total remaining bytes (TCF in §4.2.3)."""
+
+    name = "scf"
+
+    def priority_key(
+        self,
+        coflow: Optional[Coflow],
+        members: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Tuple:
+        remaining = sum(f.remaining for f in members)
+        arrival = (
+            coflow.arrival_time if coflow is not None
+            else min(f.arrival_time for f in members)
+        )
+        return (remaining, arrival)
+
+
+class CoflowFCFSAllocator(CoflowAllocator):
+    """Serve whole coflows in arrival order (Baraat-style FIFO)."""
+
+    name = "coflow-fcfs"
+
+    def priority_key(
+        self,
+        coflow: Optional[Coflow],
+        members: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Tuple:
+        arrival = (
+            coflow.arrival_time if coflow is not None
+            else min(f.arrival_time for f in members)
+        )
+        return (arrival,)
+
+
+class CoflowLASAllocator(CoflowAllocator):
+    """Least-attained-service at coflow granularity (Aalo-style).
+
+    The priority key is the coflow's total attained bytes.  Unlike the
+    flow-level LAS allocator we do not schedule attained-service crossing
+    events; the approximation error is small because coflow experiments
+    have frequent arrival/completion events that force re-allocation.
+    """
+
+    name = "coflow-las"
+
+    def priority_key(
+        self,
+        coflow: Optional[Coflow],
+        members: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Tuple:
+        attained = sum(f.attained for f in members)
+        arrival = (
+            coflow.arrival_time if coflow is not None
+            else min(f.arrival_time for f in members)
+        )
+        return (attained, arrival)
+
+
+class CoflowFairAllocator(RateAllocator):
+    """Max-min fair sharing between coflows (§4.2.2's Fair model).
+
+    Each coflow is one entity; its progress rate ``R_c`` (total bits/sec
+    over all members) is split across members proportionally to their
+    remaining sizes (assumption (ii) of §4.2: all flows of a coflow finish
+    together).  Link ``l`` then sees load ``R_c * w_{c,l}`` where ``w_{c,l}``
+    is the fraction of the coflow's remaining bytes crossing ``l``.
+    Progressive filling raises every unfrozen coflow's ``R_c`` uniformly
+    until a link saturates.
+    """
+
+    name = "coflow-fair"
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        groups = collect_coflows(flows)
+        rates: Dict[FlowId, float] = {flow.flow_id: 0.0 for flow in flows}
+
+        # Per-group link weights w_{c,l} = rem_{c,l} / rem_c.
+        weights: List[Dict[LinkId, float]] = []
+        active: Dict[int, Sequence[Flow]] = {}
+        for index, (_coflow, members) in enumerate(groups):
+            total = sum(f.remaining for f in members)
+            w: Dict[LinkId, float] = {}
+            if total > 0:
+                for flow in members:
+                    frac = flow.remaining / total
+                    for link_id in flow.path:
+                        w[link_id] = w.get(link_id, 0.0) + frac
+            weights.append(w)
+            if w:
+                active[index] = members
+
+        residual: Dict[LinkId, float] = dict(capacities)
+        progress: Dict[int, float] = {}  # frozen R_c values
+        while active:
+            # Find the link that saturates first as all R_c rise uniformly.
+            load: Dict[LinkId, float] = {}
+            for index in active:
+                for link_id, w in weights[index].items():
+                    load[link_id] = load.get(link_id, 0.0) + w
+            bottleneck: Optional[LinkId] = None
+            fill = float("inf")
+            for link_id, total_w in load.items():
+                if total_w <= RATE_EPSILON:
+                    continue
+                level = residual.get(link_id, 0.0) / total_w
+                if level < fill:
+                    fill = level
+                    bottleneck = link_id
+            if bottleneck is None:
+                break
+            fill = max(fill, 0.0)
+            frozen = [
+                index for index in active if bottleneck in weights[index]
+            ]
+            for index in frozen:
+                progress[index] = fill
+                for link_id, w in weights[index].items():
+                    residual[link_id] = max(
+                        0.0, residual.get(link_id, 0.0) - fill * w
+                    )
+                del active[index]
+
+        for index, r_c in progress.items():
+            _coflow, members = groups[index]
+            total = sum(f.remaining for f in members)
+            if total <= 0:
+                continue
+            for flow in members:
+                rates[flow.flow_id] = r_c * flow.remaining / total
+        CoflowAllocator._backfill(flows, residual, rates)
+        return rates

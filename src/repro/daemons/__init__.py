@@ -1,0 +1,22 @@
+"""NEAT's distributed control plane (Figure 4): bus, daemons, messages."""
+
+from repro.daemons.bus import MessageBus
+from repro.daemons.messages import (
+    CoflowPredictionRequest,
+    FlowPredictionRequest,
+    NodeStateUpdate,
+    PredictionReply,
+)
+from repro.daemons.network_daemon import NetworkDaemon
+from repro.daemons.placement_daemon import PlacementDecision, TaskPlacementDaemon
+
+__all__ = [
+    "MessageBus",
+    "NetworkDaemon",
+    "TaskPlacementDaemon",
+    "PlacementDecision",
+    "FlowPredictionRequest",
+    "CoflowPredictionRequest",
+    "PredictionReply",
+    "NodeStateUpdate",
+]

@@ -1,0 +1,81 @@
+"""Simulated control-plane message bus.
+
+Carries request/reply pairs between the task placement daemon and the
+per-node network daemons.  Calls are executed synchronously (placement
+decisions in the paper's simulator are instantaneous too), but the bus
+accounts for every message and for the control latency a real deployment
+would pay, so the communication-overhead optimisations of §5.2 (preferred
+hosts, node-state caching) are measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.errors import DaemonError
+from repro.sim.engine import Engine
+from repro.topology.base import NodeId
+
+Handler = Callable[[Any], Any]
+
+
+class MessageBus:
+    """Registry of daemon endpoints with message/latency accounting."""
+
+    def __init__(self, engine: Engine, *, rtt: float = 0.0) -> None:
+        """Args:
+            engine: the simulation engine (used only for timestamps).
+            rtt: control-plane round-trip time charged per call when
+                estimating placement latency.
+        """
+        self._engine = engine
+        self._rtt = rtt
+        self._endpoints: Dict[NodeId, Handler] = {}
+        self._messages_sent = 0
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register(self, host: NodeId, handler: Handler) -> None:
+        """Attach a daemon's request handler at ``host``."""
+        if host in self._endpoints:
+            raise DaemonError(f"endpoint already registered for {host!r}")
+        self._endpoints[host] = handler
+
+    def call(self, host: NodeId, payload: Any) -> Any:
+        """Send ``payload`` to the daemon at ``host`` and return its reply.
+
+        Counts one request + one reply message.
+        """
+        handler = self._endpoints.get(host)
+        if handler is None:
+            raise DaemonError(f"no daemon registered at {host!r}")
+        self._messages_sent += 2
+        self._calls += 1
+        return handler(payload)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        """Total control messages (requests + replies) so far."""
+        return self._messages_sent
+
+    @property
+    def calls(self) -> int:
+        """Total request/reply round trips so far."""
+        return self._calls
+
+    @property
+    def estimated_control_latency(self) -> float:
+        """Seconds of control latency a real deployment would have paid,
+        assuming calls to different daemons for one decision go out in
+        parallel (one RTT per placement round)."""
+        return self._calls * self._rtt
+
+    def reset_counters(self) -> None:
+        """Zero the accounting counters (e.g. between benchmark phases)."""
+        self._messages_sent = 0
+        self._calls = 0

@@ -1,0 +1,190 @@
+"""NEAT's per-node network daemon (§3, §5.2).
+
+Runs on every host.  Maintains the state of the flows starting/ending at
+its host (exactly, or histogram-compressed per §5.2) and answers
+prediction requests from the task placement daemon:
+
+* the predicted FCT of a hypothetical new flow on the host's edge link,
+  under the configured predictor (scheduling policy model);
+* the predicted CCT contribution for a hypothetical coflow;
+* the node state — the smallest residual size among flows scheduled on the
+  node, used by the placement daemon's preferred-host filter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.daemons.messages import (
+    CoflowPredictionRequest,
+    FlowPredictionRequest,
+    PredictionReply,
+)
+from repro.errors import DaemonError
+from repro.network.fabric import NetworkFabric
+from repro.network.flow import Flow
+from repro.predictor.coflow_cct import CoflowCCTPredictor
+from repro.predictor.compressed import CompressedLinkState
+from repro.predictor.flow_fct import FlowFCTPredictor
+from repro.predictor.fabric_state import coflow_link_state
+from repro.predictor.state import link_state_from_flows
+from repro.topology.base import Link, NodeId
+
+
+class NetworkDaemon:
+    """Per-host flow-state keeper and completion-time oracle."""
+
+    def __init__(
+        self,
+        host: NodeId,
+        fabric: NetworkFabric,
+        flow_predictor: FlowFCTPredictor,
+        *,
+        coflow_predictor: Optional[CoflowCCTPredictor] = None,
+        bin_boundaries: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Args:
+            host: the node this daemon runs on.
+            fabric: network (the daemon only reads its own host's flows).
+            flow_predictor: FCT model matching the network policy (or the
+                Fair model, per Proposition 4.1).
+            coflow_predictor: CCT model for coflow placement requests.
+            bin_boundaries: when given, predictions use the compressed
+                (histogram) state of §5.2 instead of exact per-flow state.
+        """
+        self._host = host
+        self._fabric = fabric
+        self._flow_predictor = flow_predictor
+        self._coflow_predictor = coflow_predictor
+        topo = fabric.topology
+        self._uplink: Link = topo.host_uplink(host)
+        self._downlink: Link = topo.host_downlink(host)
+
+        self._compressed_up: Optional[CompressedLinkState] = None
+        self._compressed_down: Optional[CompressedLinkState] = None
+        if bin_boundaries is not None:
+            self._compressed_up = CompressedLinkState(
+                self._uplink.link_id, self._uplink.capacity, bin_boundaries
+            )
+            self._compressed_down = CompressedLinkState(
+                self._downlink.link_id, self._downlink.capacity, bin_boundaries
+            )
+            fabric.add_arrival_listener(self._on_flow_arrival)
+            fabric.add_completion_listener(
+                lambda flow, record: self._on_flow_done(flow)
+            )
+
+    # ------------------------------------------------------------------
+    # Request handling (bus endpoint)
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> NodeId:
+        return self._host
+
+    def handle(self, payload) -> PredictionReply:
+        """Dispatch a control-plane request (the bus handler)."""
+        if isinstance(payload, FlowPredictionRequest):
+            return self.predict_flow(payload.size, payload.direction)
+        if isinstance(payload, CoflowPredictionRequest):
+            return self.predict_coflow(
+                payload.total_size, payload.size_on_link, payload.direction
+            )
+        raise DaemonError(f"unknown request type {type(payload).__name__}")
+
+    # ------------------------------------------------------------------
+    # Predictions
+    # ------------------------------------------------------------------
+    def node_state(self) -> float:
+        """Smallest residual flow size on this node (inf when idle)."""
+        flows = self._fabric.flows_at_host(self._host)
+        if not flows:
+            return float("inf")
+        return min(f.remaining for f in flows)
+
+    def coflow_node_state(self) -> float:
+        """Node state at coflow granularity: the smallest residual *total*
+        size among coflows touching this node (bare flows count as
+        singleton coflows).  Used by the preferred-host filter when the
+        scheduling unit is the coflow."""
+        flows = self._fabric.flows_at_host(self._host)
+        if not flows:
+            return float("inf")
+        totals = {}
+        for flow in flows:
+            if flow.coflow is None:
+                totals[("flow", flow.flow_id)] = flow.remaining
+            else:
+                totals[("coflow", flow.coflow.coflow_id)] = (
+                    flow.coflow.remaining_total
+                )
+        return min(totals.values())
+
+    def predict_flow(self, size: float, direction: str = "in") -> PredictionReply:
+        """Predicted FCT of a new flow on this node's edge link."""
+        link = self._downlink if direction == "in" else self._uplink
+        compressed = (
+            self._compressed_down if direction == "in" else self._compressed_up
+        )
+        if compressed is not None:
+            predicted = compressed.fair_fct(size)
+        else:
+            state = link_state_from_flows(
+                link.link_id,
+                link.capacity,
+                (
+                    f.remaining
+                    for f in self._fabric.flows_on_link(link.link_id)
+                ),
+            )
+            predicted = self._flow_predictor.fct(size, state)
+        return PredictionReply(
+            host=self._host,
+            predicted_time=predicted,
+            node_state=self.node_state(),
+        )
+
+    def predict_coflow(
+        self, total_size: float, size_on_link: float, direction: str = "in"
+    ) -> PredictionReply:
+        """Predicted CCT contribution of this node's edge link."""
+        if self._coflow_predictor is None:
+            raise DaemonError(
+                f"daemon at {self._host!r} has no coflow predictor"
+            )
+        link = self._downlink if direction == "in" else self._uplink
+        state = coflow_link_state(self._fabric, link.link_id)
+        # Score with objective (2): the coflow's own CCT on this link plus
+        # the CCT increase it inflicts on existing coflows (§4.2).  For
+        # priority schedulers (TCF/SEBF) the bare CCT of a high-priority
+        # coflow is insensitive to link load; the Delta term restores the
+        # externality, per Proposition 4.2.
+        predicted = self._coflow_predictor.link_objective(
+            total_size, size_on_link, state
+        )
+        return PredictionReply(
+            host=self._host,
+            predicted_time=predicted,
+            node_state=self.coflow_node_state(),
+        )
+
+    # ------------------------------------------------------------------
+    # Compressed-state maintenance (§5.2)
+    # ------------------------------------------------------------------
+    def _touches_us(self, flow: Flow) -> bool:
+        return flow.src == self._host or flow.dst == self._host
+
+    def _on_flow_arrival(self, flow: Flow) -> None:
+        if not self._touches_us(flow):
+            return
+        if flow.src == self._host and self._compressed_up is not None:
+            self._compressed_up.add_flow(flow.size)
+        if flow.dst == self._host and self._compressed_down is not None:
+            self._compressed_down.add_flow(flow.size)
+
+    def _on_flow_done(self, flow: Flow) -> None:
+        if not self._touches_us(flow) or flow.is_local:
+            return
+        if flow.src == self._host and self._compressed_up is not None:
+            self._compressed_up.remove_flow(flow.size)
+        if flow.dst == self._host and self._compressed_down is not None:
+            self._compressed_down.remove_flow(flow.size)

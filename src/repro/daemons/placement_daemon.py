@@ -1,0 +1,312 @@
+"""NEAT's global task placement daemon (§3, §5, Algorithm 1).
+
+Places each task in two steps:
+
+1. **Preferred hosts** — using *cached* node states (smallest residual flow
+   size per node), keep only candidates that are idle or whose flows are
+   all no smaller than the new task's flow; fall back to every candidate
+   when the filter empties (Algorithm 1 lines 10-12).  An optional
+   locality filter additionally restricts to hosts near the input data
+   (§5.2 "Reduced Communication Overhead").
+2. **Best host** — query the network daemons of the surviving candidates
+   for the predicted completion time on their edge link and pick the
+   minimum (the single-switch abstraction: only edge links bottleneck).
+
+Every reply refreshes the node-state cache; placements update it
+optimistically so back-to-back decisions see their own effects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.daemons.bus import MessageBus
+from repro.daemons.messages import (
+    CoflowPredictionRequest,
+    FlowPredictionRequest,
+    NodeStateUpdate,
+    PredictionReply,
+)
+from repro.errors import PlacementError
+from repro.placement.base import PlacementRequest, pick_min
+from repro.topology.base import NodeId, Topology
+
+
+@dataclass
+class PlacementDecision:
+    """Outcome of one placement, with the evidence used to make it."""
+
+    host: NodeId
+    predicted_time: float
+    preferred_hosts: Tuple[NodeId, ...]
+    queried_hosts: Tuple[NodeId, ...]
+    used_fallback: bool
+
+
+class TaskPlacementDaemon:
+    """The global controller of Figure 4."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        bus: MessageBus,
+        *,
+        rng: Optional[random.Random] = None,
+        use_node_state: bool = True,
+        locality_hops: Optional[int] = None,
+        include_source_link: bool = False,
+    ) -> None:
+        """Args:
+            topology: for locality distances.
+            bus: control-plane transport to the network daemons.
+            rng: tie-break randomness (host-id order if omitted).
+            use_node_state: disable to get the minFCT strawman of Fig. 9.
+            locality_hops: when set, only consider candidates within this
+                hop distance of the input data if any exist (§5.2).
+            include_source_link: also query the data node's daemon for its
+                uplink and fold it into the score.  Off by default — the
+                paper's daemons predict on the candidate's edge link only,
+                and the single-link serial model overestimates badly on a
+                shared source uplink (flows there are usually bottlenecked
+                at their own destinations and the newcomer backfills).
+        """
+        self._topology = topology
+        self._bus = bus
+        self._rng = rng
+        self._use_node_state = use_node_state
+        self._locality_hops = locality_hops
+        self._include_source_link = include_source_link
+        self._node_state_cache: Dict[NodeId, float] = {}
+        self._decisions: List[PlacementDecision] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def decisions(self) -> Sequence[PlacementDecision]:
+        return tuple(self._decisions)
+
+    def cached_node_state(self, host: NodeId) -> float:
+        """Last known node state (inf when never reported = assumed idle)."""
+        return self._node_state_cache.get(host, float("inf"))
+
+    # ------------------------------------------------------------------
+    # Candidate filtering (Algorithm 1, lines 3-12)
+    # ------------------------------------------------------------------
+    def _locality_filter(
+        self, data_node: NodeId, candidates: Sequence[NodeId]
+    ) -> List[NodeId]:
+        if self._locality_hops is None:
+            return list(candidates)
+        near = [
+            host
+            for host in candidates
+            if self._topology.hop_distance(data_node, host)
+            <= self._locality_hops
+        ]
+        return near if near else list(candidates)
+
+    def _preferred_hosts(
+        self, size: float, candidates: Sequence[NodeId]
+    ) -> Tuple[List[NodeId], bool]:
+        """Apply the node-state filter; returns (hosts, used_fallback)."""
+        if not self._use_node_state:
+            return list(candidates), False
+        preferred = [
+            host
+            for host in candidates
+            if self.cached_node_state(host) >= size
+        ]
+        if preferred:
+            return preferred, False
+        return list(candidates), True
+
+    # ------------------------------------------------------------------
+    # Flow placement (Algorithm 1)
+    # ------------------------------------------------------------------
+    def place_flow(self, request: PlacementRequest) -> NodeId:
+        """Choose the host minimising the predicted FCT of the task's flow."""
+        candidates = self._locality_filter(request.data_node, request.candidates)
+        preferred, fallback = self._preferred_hosts(request.size, candidates)
+
+        source_time = 0.0
+        if self._include_source_link and any(
+            host != request.data_node for host in preferred
+        ):
+            reply = self._bus.call(
+                request.data_node,
+                FlowPredictionRequest(size=request.size, direction="out"),
+            )
+            self._remember(reply)
+            source_time = reply.predicted_time
+
+        scores: List[float] = []
+        queried: List[NodeId] = []
+        for host in preferred:
+            if host == request.data_node:
+                scores.append(0.0)  # full locality: no transfer at all
+                continue
+            reply = self._bus.call(
+                host, FlowPredictionRequest(size=request.size, direction="in")
+            )
+            self._remember(reply)
+            queried.append(host)
+            scores.append(max(reply.predicted_time, source_time))
+
+        host = pick_min(preferred, scores, self._rng)
+        predicted = min(scores)
+        self._note_placed(host, request.size)
+        self._decisions.append(
+            PlacementDecision(
+                host=host,
+                predicted_time=predicted,
+                preferred_hosts=tuple(preferred),
+                queried_hosts=tuple(queried),
+                used_fallback=fallback,
+            )
+        )
+        return host
+
+    # ------------------------------------------------------------------
+    # Coflow placement (§5.1.2)
+    # ------------------------------------------------------------------
+    def place_coflow_flow(
+        self,
+        flow_size: float,
+        coflow_total: float,
+        data_node: NodeId,
+        candidates: Sequence[NodeId],
+    ) -> NodeId:
+        """Place one constituent flow of a coflow (sequential heuristic).
+
+        Like :meth:`place_flow` but scored with the *CCT* predictor: the
+        candidate link's completion time for a coflow of ``coflow_total``
+        bytes placing ``flow_size`` of them on that link.  This is the
+        paper's "prediction models corresponding to each evaluated coflow
+        scheduling scheme" (§6.1).
+        """
+        if not candidates:
+            raise PlacementError("place_coflow_flow needs candidates")
+        filtered = self._locality_filter(data_node, candidates)
+        # Node state is at coflow granularity here: a host is preferred
+        # when every coflow it carries is at least as large as this one.
+        preferred, fallback = self._preferred_hosts(coflow_total, filtered)
+        scores: List[float] = []
+        queried: List[NodeId] = []
+        for host in preferred:
+            if host == data_node:
+                scores.append(0.0)
+                continue
+            reply = self._bus.call(
+                host,
+                CoflowPredictionRequest(
+                    total_size=coflow_total,
+                    size_on_link=flow_size,
+                    direction="in",
+                ),
+            )
+            self._remember(reply)
+            queried.append(host)
+            scores.append(reply.predicted_time)
+        host = pick_min(preferred, scores, self._rng)
+        self._note_placed(host, coflow_total)
+        self._decisions.append(
+            PlacementDecision(
+                host=host,
+                predicted_time=min(scores),
+                preferred_hosts=tuple(preferred),
+                queried_hosts=tuple(queried),
+                used_fallback=fallback,
+            )
+        )
+        return host
+
+    def place_reducer(
+        self,
+        sources: Sequence[Tuple[NodeId, float]],
+        candidates: Sequence[NodeId],
+    ) -> NodeId:
+        """Choose one destination for a many-to-one coflow (shuffle).
+
+        The candidate's downlink would carry every byte not already local
+        to it; each source uplink carries its own share.  The predicted CCT
+        is the bottleneck over those links; we pick the candidate with the
+        smallest value.
+        """
+        if not sources:
+            raise PlacementError("place_reducer needs at least one source")
+        if not candidates:
+            raise PlacementError("place_reducer needs at least one candidate")
+        total = sum(size for _node, size in sources)
+
+        # Source uplink contributions are candidate-independent except for
+        # the bytes that become local; query once per distinct source.
+        uplink_times: Dict[NodeId, float] = {}
+        for node, size in sources:
+            if node not in uplink_times:
+                reply = self._bus.call(
+                    node,
+                    CoflowPredictionRequest(
+                        total_size=total,
+                        size_on_link=sum(
+                            s for n, s in sources if n == node
+                        ),
+                        direction="out",
+                    ),
+                )
+                self._remember(reply)
+                uplink_times[node] = reply.predicted_time
+
+        scores: List[float] = []
+        for host in candidates:
+            incoming = sum(size for node, size in sources if node != host)
+            if incoming <= 0:
+                scores.append(0.0)
+                continue
+            reply = self._bus.call(
+                host,
+                CoflowPredictionRequest(
+                    total_size=total, size_on_link=incoming, direction="in"
+                ),
+            )
+            self._remember(reply)
+            bottleneck = max(
+                (
+                    t
+                    for node, t in uplink_times.items()
+                    if node != host
+                ),
+                default=0.0,
+            )
+            scores.append(max(reply.predicted_time, bottleneck))
+        host = pick_min(list(candidates), scores, self._rng)
+        self._note_placed(host, total)
+        return host
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def _remember(self, reply: PredictionReply) -> None:
+        self._node_state_cache[reply.host] = reply.node_state
+
+    def _note_placed(self, host: NodeId, size: float) -> None:
+        """Optimistic cache update: the node now carries a flow of ``size``."""
+        current = self._node_state_cache.get(host, float("inf"))
+        self._node_state_cache[host] = min(current, size)
+
+    def note_task_finished(self, host: NodeId) -> None:
+        """Invalidate the cached state when a task on ``host`` completes
+        (the next reply from the daemon refreshes it)."""
+        self._node_state_cache.pop(host, None)
+
+    def handle_node_state_update(self, update: "NodeStateUpdate") -> None:
+        """Accept a push-style node-state refresh from a network daemon.
+
+        The pull path (prediction replies) keeps the cache fresh for hosts
+        the daemon talks to; daemons may additionally push updates when
+        their state changes materially (e.g. the last flow finished),
+        which this endpoint applies.
+        """
+        self._node_state_cache[update.host] = update.node_state

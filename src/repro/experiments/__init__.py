@@ -1,0 +1,94 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+One module per figure:
+
+* :mod:`repro.experiments.motivating`   — Figure 1 (exact).
+* :mod:`repro.experiments.comparative`  — Figure 3 (minDist vs minLoad).
+* :mod:`repro.experiments.config`       — Table 1 + shared MacroConfig.
+* :mod:`repro.experiments.flow_macro`   — Figures 5-6.
+* :mod:`repro.experiments.coflow_macro` — Figure 7.
+* :mod:`repro.experiments.micro`        — Figures 8-10.
+* :mod:`repro.experiments.testbed`      — Figure 11.
+"""
+
+from repro.experiments.comparative import ComparativeOutcome, figure3
+from repro.experiments.coflow_macro import CoflowOutcome, figure7
+from repro.experiments.config import (
+    TABLE1_PARAMETERS,
+    MacroConfig,
+    build_testbed_topology,
+    full_scale_config,
+    testbed_config,
+)
+from repro.experiments.flow_macro import (
+    MacroOutcome,
+    figure5,
+    figure6,
+    run_flow_macro,
+)
+from repro.experiments.micro import (
+    PredictorComparison,
+    PredictionErrorSummary,
+    PreferredHostsOutcome,
+    figure8,
+    figure9,
+    figure10,
+    prediction_errors,
+)
+from repro.experiments.motivating import (
+    EXPECTED_FIGURE1,
+    Figure1Row,
+    example_topology,
+    figure1_table,
+    render_figure1,
+)
+from repro.experiments.repetitions import (
+    Aggregate,
+    RepeatedMacro,
+    aggregate,
+    repeat_flow_macro,
+)
+from repro.experiments.runner import (
+    RunResult,
+    compare_policies,
+    replay_coflow_trace,
+    replay_flow_trace,
+)
+from repro.experiments.testbed import TestbedOutcome, figure11
+
+__all__ = [
+    "RunResult",
+    "replay_flow_trace",
+    "replay_coflow_trace",
+    "compare_policies",
+    "Aggregate",
+    "RepeatedMacro",
+    "aggregate",
+    "repeat_flow_macro",
+    "MacroConfig",
+    "full_scale_config",
+    "testbed_config",
+    "build_testbed_topology",
+    "TABLE1_PARAMETERS",
+    "figure1_table",
+    "render_figure1",
+    "EXPECTED_FIGURE1",
+    "Figure1Row",
+    "example_topology",
+    "figure3",
+    "ComparativeOutcome",
+    "figure5",
+    "figure6",
+    "run_flow_macro",
+    "MacroOutcome",
+    "figure7",
+    "CoflowOutcome",
+    "figure8",
+    "figure9",
+    "figure10",
+    "prediction_errors",
+    "PredictorComparison",
+    "PreferredHostsOutcome",
+    "PredictionErrorSummary",
+    "TestbedOutcome",
+]

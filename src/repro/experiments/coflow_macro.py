@@ -1,0 +1,75 @@
+"""Figure 7: coflow placement under Varys and SCF.
+
+NEAT places each coflow's flows sequentially (largest first, §5.1.2)
+through its CCT-aware predictor; the baselines are the paper's coflow
+adaptations — minLoad places each flow (largest first) on the
+least-loaded node, minDist keeps the coflow rack-local near its data.
+Claim: NEAT improves CCT by up to ~25% under both coflow schedulers, and
+Varys (SEBF) outperforms SCF as the underlying scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.config import MacroConfig
+from repro.experiments.runner import RunResult, compare_policies
+from repro.metrics.report import gap_by_bin_table
+from repro.metrics.stats import afct, average_gap
+
+DEFAULT_PLACEMENTS: Tuple[str, ...] = ("neat", "minload", "mindist")
+
+
+@dataclass
+class CoflowOutcome:
+    """Figure 7 results for one coflow scheduling policy."""
+
+    network_policy: str
+    results: Dict[str, RunResult]
+
+    def average_gaps(self) -> Dict[str, float]:
+        return {
+            name: average_gap(r.records) for name, r in self.results.items()
+        }
+
+    def average_ccts(self) -> Dict[str, float]:
+        return {name: afct(r.records) for name, r in self.results.items()}
+
+    def improvement_over(self, baseline: str) -> float:
+        """CCT(baseline) / CCT(NEAT) as an improvement factor."""
+        ccts = self.average_ccts()
+        if ccts["neat"] <= 0:
+            return float("inf")
+        return ccts[baseline] / ccts["neat"]
+
+    def table(self, *, num_bins: int = 6) -> str:
+        return gap_by_bin_table(
+            {name: r.records for name, r in self.results.items()},
+            num_bins=num_bins,
+        )
+
+
+def figure7(
+    network_policy: str = "varys",
+    config: MacroConfig = None,
+    placements: Sequence[str] = DEFAULT_PLACEMENTS,
+) -> CoflowOutcome:
+    """Run Figure 7(a) (``"varys"``) or 7(b) (``"scf"``) on Hadoop coflows."""
+    cfg = config if config is not None else MacroConfig(
+        workload="hadoop", coflows=True, num_arrivals=300
+    )
+    if not cfg.coflows:
+        cfg = replace(cfg, coflows=True)
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    results = compare_policies(
+        trace,
+        topology,
+        network_policy=network_policy,
+        placements=list(placements),
+        coflows=True,
+        seed=cfg.seed,
+        max_candidates=cfg.max_candidates,
+    )
+    return CoflowOutcome(network_policy=network_policy, results=results)

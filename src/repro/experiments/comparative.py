@@ -1,0 +1,88 @@
+"""Figure 3: the comparative study motivating NEAT (§2.2).
+
+minDist and minLoad swap winners depending on the network scheduling
+policy: under SRPT, minDist (which minimises total network load = size x
+hops) wins; under Fair, minLoad wins for long flows (it keeps long flows
+away from nodes busy with other long flows) while short flows may suffer.
+
+The experiment replays one data-mining trace under both placements and
+both network policies and reports the per-size-bin ratio
+``FCT(minDist) / FCT(minLoad)`` — y < 1 means minDist wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.experiments.config import MacroConfig
+from repro.experiments.runner import RunResult, compare_policies
+from repro.metrics.report import ratio_by_bin_table
+from repro.metrics.stats import afct, summarize_by_size
+
+
+@dataclass
+class ComparativeOutcome:
+    """Fig. 3 results for one network policy."""
+
+    network_policy: str
+    mindist: RunResult
+    minload: RunResult
+
+    def overall_ratio(self) -> float:
+        """mean-FCT(minDist) / mean-FCT(minLoad); <1 means minDist wins."""
+        return afct(self.mindist.records) / afct(self.minload.records)
+
+    def per_bin_ratios(self, *, num_bins: int = 6) -> List[Tuple[str, float]]:
+        pooled = list(self.mindist.records) + list(self.minload.records)
+        common = summarize_by_size(pooled, num_bins=num_bins)
+        bounds = [s.lower for s in common] + [common[-1].upper]
+        dist_bins = {
+            s.lower: s for s in summarize_by_size(self.mindist.records, bounds)
+        }
+        load_bins = {
+            s.lower: s for s in summarize_by_size(self.minload.records, bounds)
+        }
+        ratios: List[Tuple[str, float]] = []
+        for summary in common:
+            a = dist_bins.get(summary.lower)
+            b = load_bins.get(summary.lower)
+            if a is None or b is None or b.mean_fct <= 0:
+                continue
+            ratios.append((summary.label, a.mean_fct / b.mean_fct))
+        return ratios
+
+    def table(self) -> str:
+        return ratio_by_bin_table(
+            self.mindist.records,
+            self.minload.records,
+            labels=("minDist", "minLoad"),
+        )
+
+
+def figure3(
+    network_policy: str,
+    config: MacroConfig = None,
+) -> ComparativeOutcome:
+    """Run Figure 3(a) (``network_policy="srpt"``) or 3(b) (``"fair"``).
+
+    The paper uses the data-mining workload of [16] on the 160-host Clos.
+    """
+    cfg = config if config is not None else MacroConfig(workload="datamining")
+    if cfg.workload != "datamining":
+        cfg = replace(cfg, workload="datamining")
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    results = compare_policies(
+        trace,
+        topology,
+        network_policy=network_policy,
+        placements=["mindist", "minload"],
+        seed=cfg.seed,
+        max_candidates=cfg.max_candidates,
+    )
+    return ComparativeOutcome(
+        network_policy=network_policy,
+        mindist=results["mindist"],
+        minload=results["minload"],
+    )

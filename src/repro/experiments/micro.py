@@ -1,0 +1,182 @@
+"""Microbenchmarks of §6.3: Figures 8, 9, and 10.
+
+* Figure 8 — placing with the Fair predictor vs the SRPT predictor when
+  the network actually runs SRPT: Proposition 4.1 says the two should rank
+  candidates identically, so performance should match.
+* Figure 9 — the value of preferred hosts: minFCT (prediction without the
+  node-state filter) degrades performance, even below minDist.
+* Figure 10 — prediction accuracy: ``(actual - predicted)/predicted`` per
+  flow, binned into short vs long flows; error grows with flow size
+  because long flows see more future arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import MacroConfig
+from repro.experiments.runner import RunResult, compare_policies, replay_flow_trace
+from repro.metrics.stats import average_gap, mean, percentile
+
+
+# ----------------------------------------------------------------------
+# Figure 8: Fair predictor vs SRPT predictor under an SRPT network
+# ----------------------------------------------------------------------
+@dataclass
+class PredictorComparison:
+    fair_predictor: RunResult
+    srpt_predictor: RunResult
+
+    def gaps(self) -> Tuple[float, float]:
+        return (
+            average_gap(self.fair_predictor.records),
+            average_gap(self.srpt_predictor.records),
+        )
+
+    def relative_difference(self) -> float:
+        """|gap_fair - gap_srpt| / max(...) — should be small (Prop 4.1)."""
+        fair, srpt = self.gaps()
+        denom = max(fair, srpt, 1e-12)
+        return abs(fair - srpt) / denom
+
+
+def figure8(config: MacroConfig = None) -> PredictorComparison:
+    """NEAT under SRPT scheduling, predicting with Fair vs SRPT models."""
+    cfg = config if config is not None else MacroConfig(workload="hadoop")
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    runs = {}
+    for predictor in ("fair", "srpt"):
+        runs[predictor] = replay_flow_trace(
+            trace,
+            topology,
+            network_policy="srpt",
+            placement="neat",
+            predictor=predictor,
+            seed=cfg.seed,
+            max_candidates=cfg.max_candidates,
+        )
+    return PredictorComparison(
+        fair_predictor=runs["fair"], srpt_predictor=runs["srpt"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: benefits of preferred-hosts (node state) placement
+# ----------------------------------------------------------------------
+@dataclass
+class PreferredHostsOutcome:
+    results: Dict[str, RunResult]
+
+    def average_gaps(self) -> Dict[str, float]:
+        return {
+            name: average_gap(r.records) for name, r in self.results.items()
+        }
+
+    def minfct_degradation(self) -> float:
+        """gap(minFCT)/gap(NEAT) - 1: how much dropping node state hurts."""
+        gaps = self.average_gaps()
+        if gaps["neat"] <= 0:
+            return float("inf")
+        return gaps["minfct"] / gaps["neat"] - 1.0
+
+
+def figure9(
+    config: MacroConfig = None,
+    *,
+    network_policy: str = "srpt",
+) -> PreferredHostsOutcome:
+    """NEAT vs minFCT vs minDist under SRPT (the paper's §6.3 setup)."""
+    cfg = config if config is not None else MacroConfig(workload="hadoop")
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    results = compare_policies(
+        trace,
+        topology,
+        network_policy=network_policy,
+        placements=["neat", "minfct", "mindist"],
+        seed=cfg.seed,
+        max_candidates=cfg.max_candidates,
+    )
+    return PreferredHostsOutcome(results=results)
+
+
+# ----------------------------------------------------------------------
+# Figure 10: FCT prediction accuracy
+# ----------------------------------------------------------------------
+@dataclass
+class PredictionErrorSummary:
+    """Relative prediction error statistics for one size class."""
+
+    label: str
+    count: int
+    mean_abs_error: float
+    median_error: float
+    p95_abs_error: float
+
+
+def prediction_errors(
+    run: RunResult,
+) -> List[Tuple[float, float]]:
+    """Per-flow ``(size, (actual - predicted)/predicted)`` pairs.
+
+    Skips flows with non-positive predictions (fully local placements).
+    """
+    by_tag = {r.tag: r for r in run.records}
+    pairs: List[Tuple[float, float]] = []
+    for tag, predicted in run.predictions.items():
+        record = by_tag.get(tag)
+        if record is None or predicted <= 0:
+            continue
+        pairs.append((record.size, (record.fct - predicted) / predicted))
+    return pairs
+
+
+def figure10(
+    config: MacroConfig = None,
+    *,
+    network_policy: str = "srpt",
+    split_size: float = None,
+) -> Tuple[PredictionErrorSummary, PredictionErrorSummary]:
+    """Prediction error for short flows vs long flows.
+
+    Returns ``(short_summary, long_summary)``; the split defaults to the
+    trace's median flow size.
+    """
+    cfg = config if config is not None else MacroConfig(workload="hadoop")
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    run = replay_flow_trace(
+        trace,
+        topology,
+        network_policy=network_policy,
+        placement="neat",
+        seed=cfg.seed,
+        max_candidates=cfg.max_candidates,
+    )
+    pairs = prediction_errors(run)
+    if not pairs:
+        raise ValueError("no prediction samples collected")
+    if split_size is None:
+        sizes = sorted(size for size, _err in pairs)
+        split_size = sizes[len(sizes) // 2]
+
+    def summarize(label: str, members: Sequence[Tuple[float, float]]):
+        errors = [err for _size, err in members]
+        abs_errors = [abs(err) for err in errors]
+        if not errors:
+            return PredictionErrorSummary(label, 0, 0.0, 0.0, 0.0)
+        return PredictionErrorSummary(
+            label=label,
+            count=len(errors),
+            mean_abs_error=mean(abs_errors),
+            median_error=percentile(errors, 50),
+            p95_abs_error=percentile(abs_errors, 95),
+        )
+
+    short = summarize(
+        "short", [(s, e) for s, e in pairs if s <= split_size]
+    )
+    long = summarize("long", [(s, e) for s, e in pairs if s > split_size])
+    return short, long

@@ -1,0 +1,135 @@
+"""Figure 1: the motivating example, reproduced by simulation.
+
+Three nodes hang off one switch.  At time zero, one 4 Gb flow runs on path
+2->3 and two 10 Gb flows run on path 2->1 (all 1 Gbps receiver links; node
+2's uplink is not the bottleneck in the example).  A new task R must read
+5 Gb from node 2 and can run on node 1 or node 3.  The paper's table gives,
+for each network scheduling policy, R's completion time at each placement
+and the resulting increase in *total* completion time over all flows.
+
+:func:`figure1_table` recomputes every cell with the fluid simulator; the
+expected values (exact) are in :data:`EXPECTED_FIGURE1`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.sim.engine import Engine
+from repro.topology.base import TopoNode, Topology
+from repro.units import gbps
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """One cell pair of the Figure 1 table."""
+
+    network_policy: str
+    placement: str
+    completion_time: float
+    total_increase: float
+
+
+#: The exact values printed in Figure 1 of the paper.
+EXPECTED_FIGURE1: Dict[Tuple[str, str], Tuple[float, float]] = {
+    ("fcfs", "node1"): (25.0, 25.0),
+    ("fcfs", "node3"): (9.0, 9.0),
+    ("fair", "node1"): (15.0, 25.0),
+    ("fair", "node3"): (9.0, 13.0),
+    ("srpt", "node1"): (5.0, 15.0),
+    ("srpt", "node3"): (9.0, 9.0),
+}
+
+
+def example_topology() -> Topology:
+    """The 3-node scenario; node 2's uplink is fat so that, as in the
+    paper's accounting, only the receiver links contend."""
+    topo = Topology("figure1")
+    topo.add_node(TopoNode("switch", "switch"))
+    for host in ("node1", "node2", "node3"):
+        topo.add_node(TopoNode(host, "host", rack=0))
+    topo.add_duplex_link("node1", "switch", gbps(1), is_edge=True)
+    topo.add_duplex_link("node3", "switch", gbps(1), is_edge=True)
+    topo.add_link("node2", "switch", gbps(100), is_edge=True)
+    topo.add_link("switch", "node2", gbps(1), is_edge=True)
+    return topo
+
+
+def _run_scenario(policy: str, placement: str) -> Tuple[float, float]:
+    """Returns (R's FCT, increase in total completion time) for one cell."""
+
+    def run(with_r: bool) -> Tuple[float, List[float]]:
+        engine = Engine()
+        fabric = NetworkFabric(
+            engine, example_topology(), make_allocator(policy)
+        )
+        existing = [
+            fabric.submit("node2", "node3", 4e9),
+            fabric.submit("node2", "node1", 10e9),
+            fabric.submit("node2", "node1", 10e9),
+        ]
+        r_fct = 0.0
+        if with_r:
+            # R arrives just after the existing flows started.
+            engine.run(until=1e-9)
+            r = fabric.submit("node2", placement, 5e9)
+            engine.run()
+            r_fct = r.fct()
+        else:
+            engine.run()
+        return r_fct, [f.fct() for f in existing]
+
+    _, baseline = run(with_r=False)
+    r_fct, with_r_fcts = run(with_r=True)
+    increase = r_fct + sum(b - a for a, b in zip(baseline, with_r_fcts))
+    return r_fct, increase
+
+
+def figure1_table() -> List[Figure1Row]:
+    """Recompute all six cells of Figure 1."""
+    rows: List[Figure1Row] = []
+    for policy in ("fcfs", "fair", "srpt"):
+        for placement in ("node1", "node3"):
+            fct, increase = _run_scenario(policy, placement)
+            rows.append(
+                Figure1Row(
+                    network_policy=policy,
+                    placement=placement,
+                    completion_time=fct,
+                    total_increase=increase,
+                )
+            )
+    return rows
+
+
+def render_figure1() -> str:
+    """The Figure 1 table as text, paper value alongside the measured one."""
+    from repro.metrics.report import format_table
+
+    rows = []
+    for row in figure1_table():
+        expected = EXPECTED_FIGURE1[(row.network_policy, row.placement)]
+        rows.append(
+            [
+                row.network_policy.upper(),
+                row.placement,
+                f"{row.completion_time:.1f}",
+                f"{expected[0]:.1f}",
+                f"{row.total_increase:.1f}",
+                f"{expected[1]:.1f}",
+            ]
+        )
+    return format_table(
+        [
+            "network policy",
+            "placement of R",
+            "FCT(R) measured",
+            "FCT(R) paper",
+            "total increase measured",
+            "total increase paper",
+        ],
+        rows,
+    )

@@ -1,0 +1,98 @@
+"""Multi-seed repetition helpers: mean and spread across trace seeds.
+
+One trace is one sample from the workload distribution; claims like
+"NEAT is 2x better" deserve error bars.  :func:`repeat_flow_macro` reruns
+a macro experiment over several seeds and aggregates the headline metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+from repro.experiments.config import MacroConfig
+from repro.experiments.flow_macro import MacroOutcome, run_flow_macro
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and sample standard deviation over repetitions."""
+
+    mean: float
+    stdev: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.stdev:.3f} (n={self.count})"
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Mean ± sample stdev of a list of per-seed values."""
+    if not values:
+        raise ConfigError("cannot aggregate zero repetitions")
+    mean = sum(values) / len(values)
+    if len(values) == 1:
+        return Aggregate(mean=mean, stdev=0.0, count=1)
+    var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return Aggregate(mean=mean, stdev=math.sqrt(var), count=len(values))
+
+
+@dataclass
+class RepeatedMacro:
+    """Aggregated outcome of repeated macro runs."""
+
+    network_policy: str
+    per_seed: List[MacroOutcome]
+
+    def gap_aggregates(self) -> Dict[str, Aggregate]:
+        """Per placement policy: mean ± stdev of the mean gap."""
+        names = self.per_seed[0].average_gaps().keys()
+        return {
+            name: aggregate(
+                [outcome.average_gaps()[name] for outcome in self.per_seed]
+            )
+            for name in names
+        }
+
+    def improvement_aggregate(self, baseline: str) -> Aggregate:
+        """NEAT's improvement factor over ``baseline``, across seeds."""
+        return aggregate(
+            [outcome.improvement_over(baseline) for outcome in self.per_seed]
+        )
+
+    def neat_always_wins(self, *, tolerance: float = 1.0) -> bool:
+        """True if NEAT's mean gap beats every baseline in every seed
+        (up to a multiplicative tolerance)."""
+        for outcome in self.per_seed:
+            gaps = outcome.average_gaps()
+            for name, gap in gaps.items():
+                if name != "neat" and gaps["neat"] > gap * tolerance:
+                    return False
+        return True
+
+
+def repeat_flow_macro(
+    *,
+    network_policy: str,
+    config: MacroConfig,
+    seeds: Sequence[int],
+    placements: Sequence[str] = ("neat", "minload", "mindist"),
+    predictor: str = "fair",
+) -> RepeatedMacro:
+    """Run one macro experiment once per seed and aggregate."""
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    outcomes = []
+    for seed in seeds:
+        cfg = replace(config, seed=seed)
+        outcomes.append(
+            run_flow_macro(
+                network_policy=network_policy,
+                config=cfg,
+                placements=placements,
+                predictor=predictor,
+            )
+        )
+    return RepeatedMacro(network_policy=network_policy, per_seed=outcomes)

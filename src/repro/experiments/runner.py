@@ -1,0 +1,254 @@
+"""Experiment runner: replay a trace through one placement/network combo.
+
+Every macro experiment in the paper is "generate one trace, replay it under
+each (placement policy, network policy) pair, compare completion times".
+:func:`replay_flow_trace` and :func:`replay_coflow_trace` are those replay
+loops; :func:`compare_policies` sweeps a set of placement policies over a
+shared trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.coflow.tracking import CoflowTracker
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.errors import ConfigError
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.placement.base import PlacementRequest
+from repro.placement.coflow_placement import (
+    RackLocalCoflowPlacer,
+    place_coflow_sequential,
+)
+from repro.placement.registry import make_placement_policy
+from repro.sim.engine import Engine
+from repro.topology.base import NodeId, Topology
+from repro.workloads.noise import SizeEstimator
+from repro.workloads.traces import CoflowArrival, TaskArrival, Trace
+
+
+@dataclass
+class RunResult:
+    """Everything a replay produces."""
+
+    placement: str
+    network_policy: str
+    records: Tuple
+    #: tag -> predicted completion time at placement (NEAT/minFCT only).
+    predictions: Dict[str, float] = field(default_factory=dict)
+    #: control-plane messages sent (NEAT only; 0 for baselines).
+    control_messages: int = 0
+    events_processed: int = 0
+    sim_duration: float = 0.0
+
+
+def _candidate_pool(
+    hosts: Sequence[NodeId],
+    data_node: NodeId,
+    *,
+    exclude_data_node: bool,
+    max_candidates: Optional[int],
+    rng: random.Random,
+) -> Tuple[NodeId, ...]:
+    pool = [h for h in hosts if not (exclude_data_node and h == data_node)]
+    if max_candidates is not None and len(pool) > max_candidates:
+        pool = rng.sample(pool, max_candidates)
+        pool.sort()
+    return tuple(pool)
+
+
+def replay_flow_trace(
+    trace: Trace,
+    topology: Topology,
+    *,
+    network_policy: str,
+    placement: str,
+    predictor: str = "fair",
+    seed: int = 1,
+    exclude_data_node: bool = True,
+    max_candidates: Optional[int] = None,
+    horizon: Optional[float] = None,
+    size_estimator: Optional[SizeEstimator] = None,
+) -> RunResult:
+    """Replay a flow trace: place every task, run the network to empty.
+
+    Args:
+        trace: arrivals produced by :func:`~repro.workloads.generate_flow_trace`.
+        topology: the fabric to simulate on (reused read-only across runs).
+        network_policy: flow scheduling policy name (fair/fcfs/las/srpt or
+            dctcp/l2dct/pase).
+        placement: placement policy name (neat/minfct/minload/mindist/random).
+        predictor: FCT predictor for NEAT/minFCT (Proposition 4.1 says
+            "fair" is the right default regardless of ``network_policy``).
+        seed: randomness for candidate sampling and tie-breaks (shared by
+            every policy so comparisons stay paired).
+        exclude_data_node: disallow running the task where its data lives
+            (keeps every task a real network transfer, as in the paper's
+            placement experiments).
+        max_candidates: subsample this many candidate hosts per task
+            (models slot availability; also bounds daemon queries).
+        horizon: stop the simulation at this time instead of draining.
+        size_estimator: when given, the *placement* layer sees
+            ``estimator.estimate(size)`` while the network transfers the
+            true size — the §7 flow-size-uncertainty model.
+    """
+    engine = Engine()
+    fabric = NetworkFabric(engine, topology, make_allocator(network_policy))
+    place_rng = random.Random(seed)
+    pool_rng = random.Random(seed + 7)
+    policy = make_placement_policy(
+        placement, fabric, rng=place_rng, predictor=predictor
+    )
+    hosts = topology.hosts
+    predictions: Dict[str, float] = {}
+
+    def make_arrival_callback(arrival: TaskArrival):
+        def on_arrival() -> None:
+            candidates = _candidate_pool(
+                hosts,
+                arrival.data_node,
+                exclude_data_node=exclude_data_node,
+                max_candidates=max_candidates,
+                rng=pool_rng,
+            )
+            seen_size = (
+                size_estimator.estimate(arrival.size)
+                if size_estimator is not None
+                else arrival.size
+            )
+            request = PlacementRequest(
+                size=seen_size,
+                data_node=arrival.data_node,
+                candidates=candidates,
+                tag=arrival.tag,
+            )
+            host = policy.place(request)
+            policy.notify_placed(request, host)
+            fabric.submit(arrival.data_node, host, arrival.size, tag=arrival.tag)
+            daemon = getattr(policy, "daemon", None)
+            if daemon is not None and daemon.decisions:
+                predictions[arrival.tag] = daemon.decisions[-1].predicted_time
+        return on_arrival
+
+    for arrival in trace.arrivals:
+        if not isinstance(arrival, TaskArrival):
+            raise ConfigError("replay_flow_trace needs a flow trace")
+        engine.schedule_at(arrival.time, make_arrival_callback(arrival))
+    engine.run(until=horizon)
+
+    bus = getattr(policy, "bus", None)
+    return RunResult(
+        placement=placement,
+        network_policy=network_policy,
+        records=fabric.records,
+        predictions=predictions,
+        control_messages=bus.messages_sent if bus is not None else 0,
+        events_processed=engine.events_processed,
+        sim_duration=engine.now,
+    )
+
+
+def replay_coflow_trace(
+    trace: Trace,
+    topology: Topology,
+    *,
+    network_policy: str,
+    placement: str,
+    predictor: str = "fair",
+    coflow_predictor: Optional[str] = None,
+    seed: int = 1,
+    exclude_data_node: bool = True,
+    max_candidates: Optional[int] = None,
+    horizon: Optional[float] = None,
+) -> RunResult:
+    """Replay a coflow trace under a coflow scheduling policy.
+
+    Placement follows §5.1.2: each coflow's flows are placed sequentially
+    in descending size order through the configured placement policy.
+    """
+    engine = Engine()
+    fabric = NetworkFabric(
+        engine, topology, make_coflow_allocator(network_policy)
+    )
+    tracker = CoflowTracker(fabric)
+    place_rng = random.Random(seed)
+    pool_rng = random.Random(seed + 7)
+    if coflow_predictor is None:
+        coflow_predictor = network_policy
+    policy = make_placement_policy(
+        placement,
+        fabric,
+        rng=place_rng,
+        predictor=predictor,
+        coflow_predictor=coflow_predictor if placement == "neat" else None,
+    )
+    # The paper's minDist coflow adaptation keeps a coflow's flows in one
+    # rack near the input data (Fig. 7 description).
+    rack_local = (
+        RackLocalCoflowPlacer(policy) if placement == "mindist" else None
+    )
+    hosts = topology.hosts
+
+    def make_arrival_callback(arrival: CoflowArrival):
+        def on_arrival() -> None:
+            sources = {node for node, _size in arrival.transfers}
+            pool = [
+                h for h in hosts if not (exclude_data_node and h in sources)
+            ]
+            if max_candidates is not None and len(pool) > max_candidates:
+                pool = sorted(pool_rng.sample(pool, max_candidates))
+            if rack_local is not None:
+                rack_local.place_coflow(
+                    tracker, arrival.transfers, pool, tag=arrival.tag
+                )
+            else:
+                place_coflow_sequential(
+                    policy,
+                    tracker,
+                    arrival.transfers,
+                    pool,
+                    tag=arrival.tag,
+                )
+        return on_arrival
+
+    for arrival in trace.arrivals:
+        if not isinstance(arrival, CoflowArrival):
+            raise ConfigError("replay_coflow_trace needs a coflow trace")
+        engine.schedule_at(arrival.time, make_arrival_callback(arrival))
+    engine.run(until=horizon)
+
+    bus = getattr(policy, "bus", None)
+    return RunResult(
+        placement=placement,
+        network_policy=network_policy,
+        records=tracker.records,
+        control_messages=bus.messages_sent if bus is not None else 0,
+        events_processed=engine.events_processed,
+        sim_duration=engine.now,
+    )
+
+
+def compare_policies(
+    trace: Trace,
+    topology: Topology,
+    *,
+    network_policy: str,
+    placements: Sequence[str],
+    coflows: bool = False,
+    **kwargs,
+) -> Dict[str, RunResult]:
+    """Replay one trace under several placement policies (paired design)."""
+    replay = replay_coflow_trace if coflows else replay_flow_trace
+    results: Dict[str, RunResult] = {}
+    for placement in placements:
+        results[placement] = replay(
+            trace,
+            topology,
+            network_policy=network_policy,
+            placement=placement,
+            **kwargs,
+        )
+    return results

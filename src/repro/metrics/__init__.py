@@ -1,0 +1,30 @@
+"""Metrics: FCT/CCT statistics, size-binned summaries, report tables."""
+
+from repro.metrics.report import format_table, gap_by_bin_table, ratio_by_bin_table
+from repro.metrics.timeline import TimelineSample, TimelineSampler
+from repro.metrics.stats import (
+    BinSummary,
+    afct,
+    average_gap,
+    average_slowdown,
+    log_bins,
+    mean,
+    percentile,
+    summarize_by_size,
+)
+
+__all__ = [
+    "mean",
+    "percentile",
+    "afct",
+    "average_gap",
+    "average_slowdown",
+    "BinSummary",
+    "log_bins",
+    "summarize_by_size",
+    "format_table",
+    "gap_by_bin_table",
+    "ratio_by_bin_table",
+    "TimelineSampler",
+    "TimelineSample",
+]

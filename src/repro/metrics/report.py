@@ -1,0 +1,104 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the same rows the paper's figures plot: one row per
+flow-size bin, one column per policy, using gap-from-optimal (or the ratio
+between two policies, for the comparative figures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.metrics.stats import BinSummary, summarize_by_size
+from repro.units import format_bits
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Render an aligned monospace table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def gap_by_bin_table(
+    per_policy_records: Mapping[str, Sequence],
+    boundaries: Optional[Sequence[float]] = None,
+    *,
+    num_bins: int = 8,
+    metric: str = "mean_gap",
+) -> str:
+    """Table of per-bin gap-from-optimal, one column per policy.
+
+    All policies are binned on the union of observed sizes so rows align.
+    """
+    all_records = [r for recs in per_policy_records.values() for r in recs]
+    if not all_records:
+        return "(no records)"
+    if boundaries is None:
+        # Derive common boundaries from pooled data.
+        pooled = summarize_by_size(all_records, num_bins=num_bins)
+        boundaries = [s.lower for s in pooled] + [pooled[-1].upper]
+    per_policy_bins: Dict[str, Dict[float, BinSummary]] = {}
+    for name, records in per_policy_records.items():
+        summaries = summarize_by_size(records, boundaries)
+        per_policy_bins[name] = {s.lower: s for s in summaries}
+    headers = ["size bin", "count"] + list(per_policy_records)
+    rows: List[List[str]] = []
+    for lower, upper in zip(boundaries, boundaries[1:]):
+        cells = []
+        count = 0
+        for name in per_policy_records:
+            summary = per_policy_bins[name].get(lower)
+            if summary is None:
+                cells.append("-")
+            else:
+                cells.append(f"{getattr(summary, metric):.2f}")
+                count = max(count, summary.count)
+        if all(c == "-" for c in cells):
+            continue
+        label_hi = "inf" if upper == float("inf") else format_bits(upper)
+        rows.append(
+            [f"[{format_bits(lower)}, {label_hi})", str(count)] + cells
+        )
+    return format_table(headers, rows)
+
+
+def ratio_by_bin_table(
+    numerator: Sequence,
+    denominator: Sequence,
+    *,
+    labels: Sequence[str] = ("a", "b"),
+    num_bins: int = 8,
+) -> str:
+    """Per-bin ratio of mean FCT between two record sets (Figure 3 style)."""
+    pooled = list(numerator) + list(denominator)
+    if not pooled:
+        return "(no records)"
+    common = summarize_by_size(pooled, num_bins=num_bins)
+    boundaries = [s.lower for s in common] + [common[-1].upper]
+    num_bins_map = {s.lower: s for s in summarize_by_size(numerator, boundaries)}
+    den_bins_map = {s.lower: s for s in summarize_by_size(denominator, boundaries)}
+    headers = ["size bin", f"{labels[0]}/{labels[1]} mean-FCT ratio"]
+    rows = []
+    for lower, upper in zip(boundaries, boundaries[1:]):
+        a = num_bins_map.get(lower)
+        b = den_bins_map.get(lower)
+        if a is None or b is None or b.mean_fct <= 0:
+            continue
+        label_hi = "inf" if upper == float("inf") else format_bits(upper)
+        rows.append(
+            [
+                f"[{format_bits(lower)}, {label_hi})",
+                f"{a.mean_fct / b.mean_fct:.2f}",
+            ]
+        )
+    return format_table(headers, rows)

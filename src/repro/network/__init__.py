@@ -1,0 +1,29 @@
+"""Flow-level network simulation: flows, scheduling policies, and fabric."""
+
+from repro.network.fabric import NetworkFabric
+from repro.network.flow import Flow, FlowId, FlowRecord
+from repro.network.policies import (
+    FairAllocator,
+    FCFSAllocator,
+    LASAllocator,
+    RateAllocator,
+    SRPTAllocator,
+    available_policies,
+    make_allocator,
+    register_policy,
+)
+
+__all__ = [
+    "NetworkFabric",
+    "Flow",
+    "FlowId",
+    "FlowRecord",
+    "RateAllocator",
+    "FairAllocator",
+    "FCFSAllocator",
+    "LASAllocator",
+    "SRPTAllocator",
+    "make_allocator",
+    "register_policy",
+    "available_policies",
+]

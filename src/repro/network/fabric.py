@@ -1,0 +1,285 @@
+"""The flow-level network fabric.
+
+:class:`NetworkFabric` couples the rate allocator (scheduling policy) to the
+discrete-event engine.  Rates are recomputed whenever the set of flows
+changes (arrival or completion) and whenever the allocator reports an
+internal change point (LAS attained-service crossings); between recomputes
+every flow progresses linearly at its assigned rate, so completions are
+exact in the fluid model.
+
+This module is the stand-in for the paper's ns2 substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import FlowError
+from repro.network.flow import Flow, FlowId, FlowRecord
+from repro.network.policies.base import RATE_EPSILON, RateAllocator
+from repro.sim.engine import Engine
+from repro.sim.events import RECOMPUTE_PRIORITY, Event
+from repro.topology.base import LinkId, NodeId, Topology
+from repro.topology.routing import Router
+
+CompletionListener = Callable[[Flow, FlowRecord], None]
+
+
+class NetworkFabric:
+    """Fluid-model network simulator with a pluggable scheduling policy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        allocator: RateAllocator,
+        *,
+        router: Optional[Router] = None,
+    ) -> None:
+        self._engine = engine
+        self._topology = topology
+        self._allocator = allocator
+        self._router = router or Router(topology)
+        self._capacities: Dict[LinkId, float] = {
+            link.link_id: link.capacity for link in topology.links()
+        }
+        self._active: Dict[FlowId, Flow] = {}
+        # Secondary indexes so per-link / per-host queries (placement
+        # policies, daemons) stay O(local flows) instead of O(all flows).
+        self._by_link: Dict[LinkId, Dict[FlowId, Flow]] = {}
+        self._by_host: Dict[NodeId, Dict[FlowId, Flow]] = {}
+        self._rates: Dict[FlowId, float] = {}
+        self._last_sync = engine.now
+        self._pending_event: Optional[Event] = None
+        self._records: List[FlowRecord] = []
+        self._listeners: List[CompletionListener] = []
+        self._arrival_listeners: List[Callable[[Flow], None]] = []
+        self._next_flow_id = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def router(self) -> Router:
+        return self._router
+
+    @property
+    def allocator(self) -> RateAllocator:
+        return self._allocator
+
+    @property
+    def records(self) -> Sequence[FlowRecord]:
+        """Completion records, in completion order."""
+        return tuple(self._records)
+
+    def active_flows(self) -> List[Flow]:
+        """Currently active flows (progress synced to *now*)."""
+        self._sync_progress()
+        return list(self._active.values())
+
+    def flows_on_link(self, link_id: LinkId) -> List[Flow]:
+        """Active flows whose path crosses ``link_id`` (progress synced)."""
+        self._sync_progress()
+        return list(self._by_link.get(link_id, {}).values())
+
+    def flows_at_host(self, host: NodeId) -> List[Flow]:
+        """Active flows sourced at or destined to ``host``."""
+        self._sync_progress()
+        return list(self._by_host.get(host, {}).values())
+
+    def current_rate(self, flow: Flow) -> float:
+        """The flow's instantaneous allocated rate (bits/sec)."""
+        return self._rates.get(flow.flow_id, 0.0)
+
+    def link_queued_bits(self, link_id: LinkId) -> float:
+        """Total remaining bits of flows crossing ``link_id``."""
+        self._sync_progress()
+        return sum(f.remaining for f in self._by_link.get(link_id, {}).values())
+
+    def link_rate_utilization(self, link_id: LinkId) -> float:
+        """Fraction of the link's capacity currently allocated."""
+        capacity = self._capacities[link_id]
+        used = sum(
+            self._rates.get(flow_id, 0.0)
+            for flow_id in self._by_link.get(link_id, {})
+        )
+        return used / capacity if capacity > 0 else 0.0
+
+    def optimal_fct(self, src: NodeId, dst: NodeId, size: float) -> float:
+        """Empty-network transfer time: size over the path's bottleneck.
+
+        Host-local transfers are free (zero network time), which is exactly
+        how data locality pays off in the model.
+        """
+        path = self._router.path(src, dst)
+        if not path.links:
+            return 0.0
+        bottleneck = min(self._capacities[link] for link in path.links)
+        return size / bottleneck
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Register a callback fired at each flow completion."""
+        self._listeners.append(listener)
+
+    def add_arrival_listener(self, listener: Callable[[Flow], None]) -> None:
+        """Register a callback fired when a (non-local) flow enters the
+        network — used by network daemons maintaining incremental state."""
+        self._arrival_listeners.append(listener)
+
+    def submit(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        size: float,
+        *,
+        tag: str = "",
+        coflow=None,
+    ) -> Flow:
+        """Inject a new flow into the network at the current time."""
+        path = self._router.path(src, dst)
+        flow = Flow(
+            flow_id=self._next_flow_id,
+            src=src,
+            dst=dst,
+            size=size,
+            path=path.links,
+            arrival_time=self._engine.now,
+            coflow=coflow,
+            tag=tag,
+        )
+        self._next_flow_id += 1
+        if coflow is not None:
+            coflow.attach_flow(flow)
+        if flow.is_local:
+            # Data is already on the destination host: finishes instantly.
+            flow.advance(flow.remaining)
+            self._finish_flow(flow)
+            return flow
+        self._sync_progress()
+        self._active[flow.flow_id] = flow
+        for link_id in flow.path:
+            self._by_link.setdefault(link_id, {})[flow.flow_id] = flow
+        self._by_host.setdefault(flow.src, {})[flow.flow_id] = flow
+        self._by_host.setdefault(flow.dst, {})[flow.flow_id] = flow
+        for listener in self._arrival_listeners:
+            listener(flow)
+        self._reallocate()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort an active flow without completing it.
+
+        Models task preemption / failure: the flow's traffic vanishes and
+        remaining bandwidth is re-shared immediately.  No completion
+        record is appended and listeners do not fire.  Flows belonging to
+        a coflow cannot be cancelled (the coflow's CCT would be
+        undefined); fail the whole coflow at the application layer
+        instead.
+        """
+        if flow.coflow is not None:
+            raise FlowError(
+                f"flow {flow.flow_id} belongs to coflow "
+                f"{flow.coflow.coflow_id}; cancel at coflow granularity"
+            )
+        if flow.flow_id not in self._active:
+            raise FlowError(f"flow {flow.flow_id} is not active")
+        self._sync_progress()
+        del self._active[flow.flow_id]
+        self._rates.pop(flow.flow_id, None)
+        for link_id in flow.path:
+            self._by_link[link_id].pop(flow.flow_id, None)
+        self._by_host[flow.src].pop(flow.flow_id, None)
+        self._by_host[flow.dst].pop(flow.flow_id, None)
+        self._reallocate()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sync_progress(self) -> None:
+        """Apply linear progress since the last rate computation."""
+        now = self._engine.now
+        dt = now - self._last_sync
+        if dt > 0:
+            for flow_id, flow in self._active.items():
+                rate = self._rates.get(flow_id, 0.0)
+                if rate > RATE_EPSILON:
+                    flow.advance(rate * dt)
+        self._last_sync = now
+
+    def _finish_flow(self, flow: Flow) -> None:
+        flow.completion_time = self._engine.now
+        record = FlowRecord(
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            size=flow.size,
+            arrival_time=flow.arrival_time,
+            completion_time=flow.completion_time,
+            optimal_fct=self.optimal_fct(flow.src, flow.dst, flow.size),
+            tag=flow.tag,
+            coflow_id=flow.coflow.coflow_id if flow.coflow is not None else None,
+        )
+        self._records.append(record)
+        if flow.coflow is not None:
+            flow.coflow.note_flow_finished(flow, self._engine.now)
+        for listener in self._listeners:
+            listener(flow, record)
+
+    def _collect_finished(self) -> None:
+        finished = [f for f in self._active.values() if f.finished]
+        for flow in finished:
+            del self._active[flow.flow_id]
+            self._rates.pop(flow.flow_id, None)
+            for link_id in flow.path:
+                self._by_link[link_id].pop(flow.flow_id, None)
+            self._by_host[flow.src].pop(flow.flow_id, None)
+            self._by_host[flow.dst].pop(flow.flow_id, None)
+            self._finish_flow(flow)
+
+    def _reallocate(self) -> None:
+        """Recompute rates and schedule the next fabric event."""
+        self._collect_finished()
+        flows = list(self._active.values())
+        if self._pending_event is not None:
+            self._engine.cancel(self._pending_event)
+            self._pending_event = None
+        if not flows:
+            self._rates = {}
+            return
+        self._rates = self._allocator.allocate(flows, self._capacities)
+
+        next_dt = float("inf")
+        for flow in flows:
+            rate = self._rates.get(flow.flow_id, 0.0)
+            if rate > RATE_EPSILON:
+                next_dt = min(next_dt, flow.remaining / rate)
+        hint = self._allocator.next_change_hint(flows, self._rates)
+        if hint is not None and hint > 0:
+            next_dt = min(next_dt, hint)
+        if next_dt == float("inf"):
+            raise FlowError(
+                "no flow is making progress; allocator "
+                f"{self._allocator.name!r} is not work-conserving"
+            )
+        self._pending_event = self._engine.schedule(
+            max(next_dt, 0.0),
+            self._on_step,
+            priority=RECOMPUTE_PRIORITY,
+            label="fabric-step",
+        )
+
+    def _on_step(self) -> None:
+        self._pending_event = None
+        self._sync_progress()
+        self._reallocate()

@@ -1,0 +1,158 @@
+"""Rate-allocator interface and shared water-filling machinery.
+
+A :class:`RateAllocator` captures a network scheduling policy in the fluid
+model: given the set of active flows and per-link capacities, it assigns
+each flow an instantaneous rate.  The fabric re-invokes the allocator at
+every arrival/completion (and at allocator-requested change points, e.g.
+LAS attained-service crossings), so rates are piecewise constant.
+
+All allocators here are work-conserving: no link is left idle while a flow
+crossing it still has demand, matching the paper's §4.1 assumption.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.network.flow import Flow, FlowId
+from repro.topology.base import LinkId
+
+#: Rates below this (bits/sec) are treated as zero to avoid float dust.
+RATE_EPSILON = 1e-9
+
+
+class RateAllocator(ABC):
+    """A network scheduling policy, expressed as instantaneous rates."""
+
+    #: Short policy name, e.g. ``"fair"``; used by registries and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        """Return a rate (bits/sec) for every flow in ``flows``.
+
+        Flows with an empty path (host-local transfers) should not be passed
+        in; the fabric completes them immediately.
+        """
+
+    def next_change_hint(
+        self,
+        flows: Sequence[Flow],
+        rates: Mapping[FlowId, float],
+    ) -> Optional[float]:
+        """Seconds until the allocation would change *absent any arrival or
+        completion*, or ``None`` if it would not.
+
+        Most policies' priority order is stable between events; LAS
+        overrides this to report attained-service crossings.
+        """
+        return None
+
+
+def water_fill(
+    flows: Sequence[Flow],
+    residual: Dict[LinkId, float],
+    rates: Dict[FlowId, float],
+) -> None:
+    """Max-min fair (progressive-filling) allocation of ``flows`` onto
+    ``residual`` capacities.
+
+    Mutates ``residual`` (consumed capacity is subtracted) and ``rates``
+    (one entry per flow).  Flows crossing a saturated link get rate 0.
+
+    This single routine implements Fair sharing directly and serves as the
+    per-priority-group allocator for FCFS/LAS/SRPT (the paper's rule that
+    equal-priority flows share fairly).
+    """
+    # Flows with no usable link (shouldn't happen for routed flows) get 0.
+    active: Dict[FlowId, Flow] = {}
+    for flow in flows:
+        rates[flow.flow_id] = 0.0
+        if flow.path:
+            active[flow.flow_id] = flow
+
+    # Membership: link -> count of unfrozen flows crossing it.
+    members: Dict[LinkId, int] = {}
+    for flow in active.values():
+        for link_id in flow.path:
+            members[link_id] = members.get(link_id, 0) + 1
+
+    while active:
+        # The next bottleneck is the link with the smallest equal share.
+        bottleneck: Optional[LinkId] = None
+        bottleneck_share = float("inf")
+        for link_id, count in members.items():
+            if count <= 0:
+                continue
+            share = residual.get(link_id, 0.0) / count
+            if share < bottleneck_share - RATE_EPSILON or (
+                bottleneck is None and share < bottleneck_share
+            ):
+                bottleneck_share = share
+                bottleneck = link_id
+        if bottleneck is None:
+            break
+        bottleneck_share = max(bottleneck_share, 0.0)
+
+        # Freeze every unfrozen flow crossing the bottleneck at that share.
+        frozen: List[Flow] = [
+            flow for flow in active.values() if bottleneck in flow.path
+        ]
+        for flow in frozen:
+            rates[flow.flow_id] = bottleneck_share
+            del active[flow.flow_id]
+            for link_id in flow.path:
+                members[link_id] -= 1
+                residual[link_id] = max(
+                    0.0, residual.get(link_id, 0.0) - bottleneck_share
+                )
+        members.pop(bottleneck, None)
+
+
+def greedy_priority_fill(
+    groups: Iterable[Sequence[Flow]],
+    capacities: Mapping[LinkId, float],
+) -> Dict[FlowId, float]:
+    """Strict-priority allocation: water-fill each group in order on the
+    residual capacity left by higher-priority groups.
+
+    ``groups`` must be ordered highest priority first.  Equal-priority flows
+    (same group) share fairly; lower groups are preempted on contended links
+    but still backfill idle capacity elsewhere (work conservation).
+    """
+    residual: Dict[LinkId, float] = dict(capacities)
+    rates: Dict[FlowId, float] = {}
+    for group in groups:
+        water_fill(group, residual, rates)
+    return rates
+
+
+def group_by_key(
+    flows: Sequence[Flow],
+    key_values: Mapping[FlowId, float],
+    *,
+    tolerance: float = 0.0,
+) -> List[List[Flow]]:
+    """Sort flows by a priority key (ascending) and merge ties into groups.
+
+    Two adjacent flows belong to the same group when their keys differ by at
+    most ``tolerance`` (absolute).  Deterministic: ties inside a group keep
+    flow-id order.
+    """
+    ordered = sorted(flows, key=lambda f: (key_values[f.flow_id], f.flow_id))
+    groups: List[List[Flow]] = []
+    for flow in ordered:
+        if (
+            groups
+            and key_values[flow.flow_id] - key_values[groups[-1][-1].flow_id]
+            <= tolerance
+        ):
+            groups[-1].append(flow)
+        else:
+            groups.append([flow])
+    return groups

@@ -1,0 +1,30 @@
+"""Fair sharing (the policy DCTCP approximates).
+
+Every active flow gets its max-min fair share of the network: progressive
+filling over all links.  This is the paper's model of the default transport
+in commercial datacenters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.network.flow import Flow, FlowId
+from repro.network.policies.base import RateAllocator, water_fill
+from repro.topology.base import LinkId
+
+
+class FairAllocator(RateAllocator):
+    """Max-min fair sharing across all flows (DCTCP / Fair)."""
+
+    name = "fair"
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        residual: Dict[LinkId, float] = dict(capacities)
+        rates: Dict[FlowId, float] = {}
+        water_fill(flows, residual, rates)
+        return rates

@@ -1,0 +1,33 @@
+"""First-come-first-serve flow scheduling.
+
+Flows are served strictly in arrival order: on every link, the earliest-
+arrived flow crossing it transmits at full residual rate; later flows wait
+(but backfill links the earlier flows do not use — work conservation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.network.flow import Flow, FlowId
+from repro.network.policies.base import (
+    RateAllocator,
+    greedy_priority_fill,
+    group_by_key,
+)
+from repro.topology.base import LinkId
+
+
+class FCFSAllocator(RateAllocator):
+    """Strict arrival-order priority (FCFS)."""
+
+    name = "fcfs"
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        keys = {flow.flow_id: flow.arrival_time for flow in flows}
+        groups = group_by_key(flows, keys)
+        return greedy_priority_fill(groups, capacities)

@@ -1,0 +1,46 @@
+"""Shortest remaining processing time (the policy PASE approximates).
+
+Flows with smaller remaining size strictly preempt larger ones; equal
+remaining sizes are tie-broken by arrival time (the paper's FCFS tie rule)
+and, if they also arrived together, share fairly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.network.flow import Flow, FlowId
+from repro.network.policies.base import RateAllocator, greedy_priority_fill
+from repro.topology.base import LinkId
+
+#: Two remaining sizes within this many bits count as a tie.
+SIZE_TIE_TOLERANCE = 1.0
+
+
+class SRPTAllocator(RateAllocator):
+    """Strict smallest-remaining-first priority (SRPT / PASE)."""
+
+    name = "srpt"
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        # Order by (remaining, arrival, id); merge exact remaining+arrival
+        # ties into fair-shared groups.
+        ordered = sorted(
+            flows, key=lambda f: (f.remaining, f.arrival_time, f.flow_id)
+        )
+        groups: List[List[Flow]] = []
+        for flow in ordered:
+            if groups:
+                prev = groups[-1][-1]
+                if (
+                    abs(flow.remaining - prev.remaining) <= SIZE_TIE_TOLERANCE
+                    and flow.arrival_time == prev.arrival_time
+                ):
+                    groups[-1].append(flow)
+                    continue
+            groups.append([flow])
+        return greedy_priority_fill(groups, capacities)

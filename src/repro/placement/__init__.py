@@ -1,0 +1,37 @@
+"""Task placement policies: NEAT (Algorithm 1) and the paper's baselines."""
+
+from repro.placement.base import PlacementPolicy, PlacementRequest, pick_min
+from repro.placement.baselines import (
+    MinDistPolicy,
+    MinFCTPolicy,
+    MinLoadPolicy,
+    RandomPolicy,
+    host_queued_bits,
+)
+from repro.placement.coflow_placement import (
+    RackLocalCoflowPlacer,
+    place_coflow_joint,
+    place_coflow_sequential,
+)
+from repro.placement.neat import NEATPolicy, build_neat
+from repro.placement.pathaware import LinkStateProvider, PathAwareNEATPolicy
+from repro.placement.registry import make_placement_policy
+
+__all__ = [
+    "PlacementPolicy",
+    "PlacementRequest",
+    "pick_min",
+    "MinLoadPolicy",
+    "MinDistPolicy",
+    "MinFCTPolicy",
+    "RandomPolicy",
+    "host_queued_bits",
+    "NEATPolicy",
+    "build_neat",
+    "PathAwareNEATPolicy",
+    "LinkStateProvider",
+    "place_coflow_sequential",
+    "place_coflow_joint",
+    "RackLocalCoflowPlacer",
+    "make_placement_policy",
+]

@@ -1,0 +1,81 @@
+"""Placement policy interface.
+
+A placement policy answers one question: *given a task that must read its
+input data from a fixed source, which candidate host should run it?*
+Choosing the host fixes the destination of the task's network flow(s),
+which is how task placement and network scheduling interact (§3).
+
+Policies receive a :class:`PlacementRequest` and return a host id.  The
+baselines (minLoad/minDist/random) read the fabric directly — they model
+the omniscient simulator versions the paper compares against; NEAT goes
+through its distributed daemons (:mod:`repro.daemons`).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.topology.base import NodeId
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One task placement decision.
+
+    Attributes:
+        size: bits the task must read over the network (its flow size).
+        data_node: host holding the input data (the flow's source).
+        candidates: hosts eligible by CPU/memory (§5.1.1 step 0).  The
+            data node itself may be included — placing there yields full
+            data locality (a zero-cost local read).
+        tag: free-form label propagated to the submitted flow.
+    """
+
+    size: float
+    data_node: NodeId
+    candidates: Tuple[NodeId, ...]
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise PlacementError(f"task size must be positive, got {self.size!r}")
+        if not self.candidates:
+            raise PlacementError("placement request needs at least one candidate")
+
+
+class PlacementPolicy(ABC):
+    """Strategy object choosing a host for each task."""
+
+    #: Registry/report name, e.g. ``"neat"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(self, request: PlacementRequest) -> NodeId:
+        """Return the chosen host (must be one of ``request.candidates``)."""
+
+    def notify_placed(self, request: PlacementRequest, host: NodeId) -> None:
+        """Hook invoked after the task's flow has been submitted."""
+
+
+def pick_min(
+    candidates: Sequence[NodeId],
+    scores: Sequence[float],
+    rng: Optional[random.Random] = None,
+) -> NodeId:
+    """Return the candidate with the smallest score.
+
+    Ties are broken uniformly at random when ``rng`` is given (so that
+    load-oblivious policies like minDist do not pile onto the
+    lexicographically first host), otherwise by host id for determinism.
+    """
+    if len(candidates) != len(scores) or not candidates:
+        raise PlacementError("candidates and scores must align and be non-empty")
+    best = min(scores)
+    tied = [c for c, s in zip(candidates, scores) if s <= best]
+    if rng is not None and len(tied) > 1:
+        return tied[rng.randrange(len(tied))]
+    return min(tied)

@@ -1,0 +1,105 @@
+"""Path-aware NEAT (§7 "Generalization of Network Topologies").
+
+The shipped NEAT predicts on edge links only (the single-switch
+abstraction).  The paper sketches the generalization: PASE-style per-link
+arbitrators maintain flow state for *every* link, and placement scores a
+candidate by the completion time over the whole routed path.  This module
+implements that design — the per-link state is read through a
+:class:`LinkStateProvider` (the arbitrator role), and the score is
+objective (2) taken over all path links — so the benefit of path-wide
+state on oversubscribed fabrics can be quantified (see
+``benchmarks/bench_ablation_pathaware.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.fabric import NetworkFabric
+from repro.placement.base import PlacementPolicy, PlacementRequest, pick_min
+from repro.predictor.flow_fct import FlowFCTPredictor
+from repro.predictor.state import LinkState, link_state_from_flows
+from repro.topology.base import LinkId, NodeId
+
+
+class LinkStateProvider:
+    """The per-link arbitrator: answers "what flows cross link l?".
+
+    This implementation reads the fabric's link index directly, which is
+    exactly the information a PASE-style distributed arbitrator for that
+    link would hold locally.
+    """
+
+    def __init__(self, fabric: NetworkFabric) -> None:
+        self._fabric = fabric
+
+    def link_state(self, link_id: LinkId) -> LinkState:
+        link = self._fabric.topology.link(link_id)
+        return link_state_from_flows(
+            link_id,
+            link.capacity,
+            (f.remaining for f in self._fabric.flows_on_link(link_id)),
+        )
+
+
+class PathAwareNEATPolicy(PlacementPolicy):
+    """NEAT scored over every link of the routed path.
+
+    Keeps Algorithm 1's structure — node-state preferred-host filter, then
+    minimum predicted completion — but the prediction is
+    ``objective (2)`` over the full source->candidate path instead of the
+    candidate's edge link alone, so core/aggregation contention is seen.
+    """
+
+    name = "neat-path"
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        predictor: FlowFCTPredictor,
+        rng: Optional[random.Random] = None,
+        *,
+        use_node_state: bool = True,
+    ) -> None:
+        self._fabric = fabric
+        self._predictor = predictor
+        self._rng = rng
+        self._use_node_state = use_node_state
+        self._arbitrators = LinkStateProvider(fabric)
+
+    # ------------------------------------------------------------------
+    # Node state (same quantity the daemons report)
+    # ------------------------------------------------------------------
+    def _node_state(self, host: NodeId) -> float:
+        flows = self._fabric.flows_at_host(host)
+        if not flows:
+            return float("inf")
+        return min(f.remaining for f in flows)
+
+    def _preferred(self, request: PlacementRequest):
+        if not self._use_node_state:
+            return list(request.candidates)
+        preferred = [
+            host
+            for host in request.candidates
+            if self._node_state(host) >= request.size
+        ]
+        return preferred if preferred else list(request.candidates)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _score(self, request: PlacementRequest, host: NodeId) -> float:
+        if host == request.data_node:
+            return 0.0
+        path = self._fabric.router.path(request.data_node, host)
+        states = [
+            self._arbitrators.link_state(link_id) for link_id in path.links
+        ]
+        return self._predictor.objective(request.size, states)
+
+    def place(self, request: PlacementRequest) -> NodeId:
+        preferred = self._preferred(request)
+        scores = [self._score(request, host) for host in preferred]
+        return pick_min(preferred, scores, self._rng)

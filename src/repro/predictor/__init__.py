@@ -1,0 +1,80 @@
+"""NEAT's task performance predictor (SS4): the paper's core contribution.
+
+Predicts the completion time of a task's data transfer (FCT for flows,
+CCT for coflows) on a candidate link/path under a given network scheduling
+policy and the current network state, plus the increase it inflicts on
+existing traffic (objectives (1) and (2)) and histogram-compressed
+approximations of both (SS5.2).
+"""
+
+from repro.predictor.coflow_cct import (
+    CoflowCCTPredictor,
+    CoflowFCFSPredictor,
+    CoflowFairPredictor,
+    CoflowLASPredictor,
+    PermutationPredictor,
+    TCFPredictor,
+)
+from repro.predictor.compressed import CompressedLinkState, exponential_bins
+from repro.predictor.fabric_state import coflow_link_state, flow_link_state
+from repro.predictor.flow_fct import (
+    FCFSPredictor,
+    FairPredictor,
+    FlowFCTPredictor,
+    LASPredictor,
+    SRPTPredictor,
+)
+from repro.predictor.objectives import (
+    CrossFlowView,
+    build_link_states,
+    objective_one,
+    objective_two,
+    objective_two_upper,
+)
+from repro.predictor.registry import (
+    available_coflow_predictors,
+    available_flow_predictors,
+    make_coflow_predictor,
+    make_flow_predictor,
+    register_coflow_predictor,
+    register_flow_predictor,
+)
+from repro.predictor.state import (
+    CoflowLinkState,
+    CoflowOnLink,
+    LinkState,
+    link_state_from_flows,
+)
+
+__all__ = [
+    "FlowFCTPredictor",
+    "FCFSPredictor",
+    "FairPredictor",
+    "LASPredictor",
+    "SRPTPredictor",
+    "CoflowCCTPredictor",
+    "CoflowFCFSPredictor",
+    "CoflowFairPredictor",
+    "CoflowLASPredictor",
+    "PermutationPredictor",
+    "TCFPredictor",
+    "LinkState",
+    "flow_link_state",
+    "coflow_link_state",
+    "CoflowLinkState",
+    "CoflowOnLink",
+    "link_state_from_flows",
+    "CompressedLinkState",
+    "exponential_bins",
+    "CrossFlowView",
+    "build_link_states",
+    "objective_one",
+    "objective_two",
+    "objective_two_upper",
+    "make_flow_predictor",
+    "make_coflow_predictor",
+    "register_flow_predictor",
+    "register_coflow_predictor",
+    "available_flow_predictors",
+    "available_coflow_predictors",
+]

@@ -1,0 +1,226 @@
+"""Compressed flow state (§5.2) and its approximate predictions.
+
+Keeping per-flow state at the network daemon grows linearly with load;
+NEAT instead quantises flow sizes into a fixed number of bins per link and
+keeps only summary statistics per bin:
+
+* flow scheduling — per bin ``n``: bounds ``[s^(1), s^(2))``, total bits
+  ``b_{l,n}``, flow count ``c_{l,n}``  (equation (18));
+* coflow scheduling — additionally total on-link load ``d_{l,n}`` and
+  total normalised load ``e_{l,n} = Σ s_{c,l}/s_c``  (equations (19)-(21)).
+
+Bin boundaries are a design parameter; for heavy-tailed datacenter traffic
+the paper recommends exponentially growing bins, which
+:func:`exponential_bins` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import PredictionError
+from repro.predictor.state import CoflowLinkState, LinkState
+from repro.topology.base import LinkId
+
+
+def exponential_bins(
+    min_size: float, max_size: float, count: int
+) -> Tuple[float, ...]:
+    """Geometrically spaced bin boundaries covering [min_size, max_size].
+
+    Returns ``count + 1`` ascending boundaries; the first is 0 so no flow
+    underflows, and the last is +inf so none overflows.
+    """
+    if count < 1:
+        raise PredictionError(f"need at least one bin, got {count}")
+    if not 0 < min_size < max_size:
+        raise PredictionError(
+            f"need 0 < min_size < max_size, got {min_size!r}, {max_size!r}"
+        )
+    if count == 1:
+        return (0.0, float("inf"))
+    ratio = (max_size / min_size) ** (1.0 / (count - 1))
+    inner = [min_size * ratio ** i for i in range(count - 1)]
+    return (0.0, *inner, float("inf"))
+
+
+@dataclass
+class _Bin:
+    """Summary statistics for one flow-size bin on one link."""
+
+    lower: float
+    upper: float
+    count: int = 0          # c_{l,n}
+    total_bits: float = 0.0  # b_{l,n}
+    link_load: float = 0.0   # d_{l,n} (coflows only)
+    normalized_load: float = 0.0  # e_{l,n} (coflows only)
+
+
+class CompressedLinkState:
+    """Histogram-compressed view of one link's flows (or coflows).
+
+    The size of this structure is O(number of bins), independent of the
+    number of flows — the paper's scalability argument.  Flows are added
+    and removed incrementally as they start/finish; the approximate
+    predictions mirror the exact formulas of §4 with per-bin sums.
+    """
+
+    def __init__(
+        self,
+        link_id: LinkId,
+        capacity: float,
+        boundaries: Sequence[float],
+    ) -> None:
+        if capacity <= 0:
+            raise PredictionError("capacity must be positive")
+        if len(boundaries) < 2 or any(
+            nxt <= cur for cur, nxt in zip(boundaries, boundaries[1:])
+        ):
+            raise PredictionError("bin boundaries must be strictly ascending")
+        self.link_id = link_id
+        self.capacity = float(capacity)
+        self._bounds = tuple(float(b) for b in boundaries)
+        self._bins = [
+            _Bin(lower=lo, upper=hi)
+            for lo, hi in zip(self._bounds, self._bounds[1:])
+        ]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @property
+    def num_bins(self) -> int:
+        return len(self._bins)
+
+    def bin_index(self, size: float) -> int:
+        """Index of the bin containing ``size`` (m_l(s) in the paper)."""
+        if size < 0:
+            raise PredictionError(f"size must be >= 0, got {size!r}")
+        lo, hi = 0, len(self._bins) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if size < self._bins[mid].upper:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def add_flow(self, size: float) -> None:
+        """Account for a new flow of (residual) ``size`` bits."""
+        b = self._bins[self.bin_index(size)]
+        b.count += 1
+        b.total_bits += size
+
+    def remove_flow(self, size: float) -> None:
+        """Remove a flow previously added with the same ``size``."""
+        b = self._bins[self.bin_index(size)]
+        # Tolerance is relative: at multi-gigabit magnitudes one float ulp
+        # of the running sum exceeds any fixed absolute epsilon.
+        slack = 1e-6 + b.total_bits * 1e-9
+        if b.count < 1 or b.total_bits < size - slack:
+            raise PredictionError(
+                f"removing unknown flow of size {size!r} from "
+                f"link {self.link_id!r}"
+            )
+        b.count -= 1
+        b.total_bits = max(0.0, b.total_bits - size)
+
+    def add_coflow(self, total_size: float, size_on_link: float) -> None:
+        """Account for a coflow with the given total / on-link loads."""
+        if not 0 < size_on_link <= total_size + 1e-6:
+            raise PredictionError("on-link size must be in (0, total]")
+        b = self._bins[self.bin_index(total_size)]
+        b.count += 1
+        b.total_bits += total_size
+        b.link_load += size_on_link
+        b.normalized_load += size_on_link / total_size
+
+    def remove_coflow(self, total_size: float, size_on_link: float) -> None:
+        """Remove a coflow previously added with identical loads."""
+        b = self._bins[self.bin_index(total_size)]
+        if b.count < 1:
+            raise PredictionError(
+                f"removing unknown coflow from link {self.link_id!r}"
+            )
+        b.count -= 1
+        b.total_bits = max(0.0, b.total_bits - total_size)
+        b.link_load = max(0.0, b.link_load - size_on_link)
+        b.normalized_load = max(
+            0.0, b.normalized_load - size_on_link / total_size
+        )
+
+    # ------------------------------------------------------------------
+    # Approximate predictions
+    # ------------------------------------------------------------------
+    def fair_fct(self, new_size: float) -> float:
+        """Equation (18): approximate fair-sharing FCT.
+
+        Bins at or below the new flow's bin contribute their full bits
+        (those flows are assumed to finish within f0's lifetime); higher
+        bins contribute ``new_size`` per flow.
+        """
+        p = self.bin_index(new_size)
+        load = new_size
+        for n, b in enumerate(self._bins):
+            if n <= p:
+                load += b.total_bits
+            else:
+                load += new_size * b.count
+        return load / self.capacity
+
+    def fair_cct(self, new_total: float, new_on_link: float) -> float:
+        """Equation (19): approximate fair-sharing CCT."""
+        q = self.bin_index(new_total)
+        load = new_on_link
+        for n, b in enumerate(self._bins):
+            if n <= q:
+                load += b.link_load
+            else:
+                load += new_total * b.normalized_load
+        return load / self.capacity
+
+    def fair_cct_delta_sum(self, new_total: float, new_on_link: float) -> float:
+        """Equation (20): approximate Σ ΔCCT under fair sharing."""
+        q = self.bin_index(new_total)
+        acc = 0.0
+        for n, b in enumerate(self._bins):
+            if n <= q:
+                acc += b.total_bits
+            else:
+                acc += new_total * b.count
+        return (new_on_link / (self.capacity * new_total)) * acc
+
+    def tcf_objective(self, new_total: float, new_on_link: float) -> float:
+        """Equation (21): approximate objective (2) under TCF scheduling."""
+        q = self.bin_index(new_total)
+        acc = new_on_link
+        for n, b in enumerate(self._bins):
+            if n <= q:
+                acc += b.link_load
+            else:
+                acc += new_on_link * b.count
+        return acc / self.capacity
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_link_state(
+        cls, state: LinkState, boundaries: Sequence[float]
+    ) -> "CompressedLinkState":
+        """Compress an exact flow-level :class:`LinkState`."""
+        compressed = cls(state.link_id, state.capacity, boundaries)
+        for size in state.flow_sizes:
+            compressed.add_flow(size)
+        return compressed
+
+    @classmethod
+    def from_coflow_state(
+        cls, state: CoflowLinkState, boundaries: Sequence[float]
+    ) -> "CompressedLinkState":
+        """Compress an exact coflow-level :class:`CoflowLinkState`."""
+        compressed = cls(state.link_id, state.capacity, boundaries)
+        for c in state.coflows:
+            compressed.add_coflow(c.total_size, c.size_on_link)
+        return compressed

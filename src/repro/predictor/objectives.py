@@ -1,0 +1,134 @@
+"""The paper's placement objectives (equations (1) and (2) of §4).
+
+Objective (1) is the true increase in the sum of flow completion times due
+to placing the new flow; computing it needs every cross-flow's full path.
+Objective (2) is NEAT's per-link approximation: the bottleneck over the new
+flow's links of ``FCT(f0,l) + Σ_f ΔFCT(f,l)``, which the network daemons can
+evaluate from edge-link state alone.
+
+This module implements both so the approximation quality (and the
+invariance Propositions 4.1/4.2) can be measured directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import PredictionError
+from repro.predictor.flow_fct import FlowFCTPredictor
+from repro.predictor.state import LinkState
+from repro.topology.base import LinkId
+
+
+@dataclass(frozen=True)
+class CrossFlowView:
+    """An existing flow as seen by the objective computation.
+
+    Attributes:
+        size: residual size in bits.
+        links: the links the flow traverses.
+    """
+
+    size: float
+    links: Tuple[LinkId, ...]
+
+
+def objective_one(
+    predictor: FlowFCTPredictor,
+    new_size: float,
+    new_links: Sequence[LinkId],
+    flows: Sequence[CrossFlowView],
+    link_states: Mapping[LinkId, LinkState],
+) -> float:
+    """Equation (1): exact increase in the sum FCT over all active flows.
+
+    Args:
+        predictor: policy model for FCT / ΔFCT.
+        new_size: size of the new flow f0 (bits).
+        new_links: the candidate path p_{f0}.
+        flows: every active flow (non-cross-flows are skipped internally).
+        link_states: per-link state *including* every active flow.
+    """
+    for link_id in new_links:
+        if link_id not in link_states:
+            raise PredictionError(f"missing link state for {link_id!r}")
+
+    new_link_set = set(new_links)
+
+    # Term 1: the new flow's own bottleneck FCT.
+    total = max(
+        (predictor.fct(new_size, link_states[link_id]) for link_id in new_links),
+        default=0.0,
+    )
+
+    # Term 2: per cross-flow increase of its bottleneck completion time.
+    for flow in flows:
+        if not new_link_set.intersection(flow.links):
+            continue  # not a cross-flow
+        before = 0.0
+        after = 0.0
+        for link_id in flow.links:
+            state = link_states.get(link_id)
+            if state is None:
+                raise PredictionError(f"missing link state for {link_id!r}")
+            own_view = state.without_one(flow.size)
+            fct_before = predictor.fct(flow.size, own_view)
+            fct_after = fct_before
+            if link_id in new_link_set:
+                fct_after += predictor.delta(new_size, flow.size, state)
+            before = max(before, fct_before)
+            after = max(after, fct_after)
+        total += after - before
+    return total
+
+
+def objective_two(
+    predictor: FlowFCTPredictor,
+    new_size: float,
+    new_links: Sequence[LinkId],
+    link_states: Mapping[LinkId, LinkState],
+) -> float:
+    """Equation (2), bottleneck form: max_l (FCT(f0,l) + Σ ΔFCT(f,l)).
+
+    This is what NEAT minimises; under Propositions 4.1/4.2 it ranks
+    candidate placements identically to the fair-sharing FCT.
+    """
+    states = [link_states[link_id] for link_id in new_links]
+    return predictor.objective(new_size, states)
+
+
+def objective_two_upper(
+    predictor: FlowFCTPredictor,
+    new_size: float,
+    new_links: Sequence[LinkId],
+    link_states: Mapping[LinkId, LinkState],
+) -> float:
+    """The left-hand side of (2): max_l FCT + max_l ΣΔ (an upper bound on
+    the bottleneck form, shown for completeness)."""
+    if not new_links:
+        return 0.0
+    states = [link_states[link_id] for link_id in new_links]
+    return max(predictor.fct(new_size, s) for s in states) + max(
+        predictor.delta_sum(new_size, s) for s in states
+    )
+
+
+def build_link_states(
+    flows: Sequence[CrossFlowView],
+    capacities: Mapping[LinkId, float],
+) -> Dict[LinkId, LinkState]:
+    """Assemble per-link :class:`LinkState` from a set of flow views."""
+    sizes: Dict[LinkId, list] = {link_id: [] for link_id in capacities}
+    for flow in flows:
+        for link_id in flow.links:
+            if link_id in sizes:
+                sizes[link_id].append(flow.size)
+    return {
+        link_id: LinkState(
+            link_id=link_id,
+            capacity=capacity,
+            flow_sizes=tuple(sizes[link_id]),
+        )
+        for link_id, capacity in capacities.items()
+    }

@@ -1,0 +1,90 @@
+"""Name-based registries for FCT and CCT predictors."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.predictor.coflow_cct import (
+    CoflowCCTPredictor,
+    CoflowFCFSPredictor,
+    CoflowFairPredictor,
+    CoflowLASPredictor,
+    TCFPredictor,
+)
+from repro.predictor.flow_fct import (
+    FCFSPredictor,
+    FairPredictor,
+    FlowFCTPredictor,
+    LASPredictor,
+    SRPTPredictor,
+)
+
+_FLOW_FACTORIES: Dict[str, Callable[[], FlowFCTPredictor]] = {
+    "fcfs": FCFSPredictor,
+    "fair": FairPredictor,
+    "las": LASPredictor,
+    "srpt": SRPTPredictor,
+    # transports -> the policies they approximate
+    "dctcp": FairPredictor,
+    "l2dct": LASPredictor,
+    "pase": SRPTPredictor,
+}
+
+_COFLOW_FACTORIES: Dict[str, Callable[[], CoflowCCTPredictor]] = {
+    "coflow-fcfs": CoflowFCFSPredictor,
+    "baraat": CoflowFCFSPredictor,
+    "coflow-fair": CoflowFairPredictor,
+    "coflow-las": CoflowLASPredictor,
+    "aalo": CoflowLASPredictor,
+    "tcf": TCFPredictor,
+    # Varys (SEBF) and SCF both schedule small-total-size coflows first;
+    # the paper predicts their CCT with the TCF model (SS6.1).
+    "varys": TCFPredictor,
+    "sebf": TCFPredictor,
+    "scf": TCFPredictor,
+}
+
+
+def make_flow_predictor(name: str) -> FlowFCTPredictor:
+    """Instantiate the FCT predictor registered under ``name``."""
+    try:
+        return _FLOW_FACTORIES[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_FLOW_FACTORIES))
+        raise ConfigError(
+            f"unknown FCT predictor {name!r}; known: {known}"
+        ) from None
+
+
+def make_coflow_predictor(name: str) -> CoflowCCTPredictor:
+    """Instantiate the CCT predictor registered under ``name``."""
+    try:
+        return _COFLOW_FACTORIES[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_COFLOW_FACTORIES))
+        raise ConfigError(
+            f"unknown CCT predictor {name!r}; known: {known}"
+        ) from None
+
+
+def register_flow_predictor(
+    name: str, factory: Callable[[], FlowFCTPredictor]
+) -> None:
+    """Register a custom FCT predictor (the 'pluggable' hook of SS4)."""
+    _FLOW_FACTORIES[name.lower()] = factory
+
+
+def register_coflow_predictor(
+    name: str, factory: Callable[[], CoflowCCTPredictor]
+) -> None:
+    """Register a custom CCT predictor."""
+    _COFLOW_FACTORIES[name.lower()] = factory
+
+
+def available_flow_predictors() -> tuple:
+    return tuple(sorted(_FLOW_FACTORIES))
+
+
+def available_coflow_predictors() -> tuple:
+    return tuple(sorted(_COFLOW_FACTORIES))

@@ -1,0 +1,22 @@
+"""Discrete-event simulation core.
+
+This package substitutes for the paper's ns2 substrate: a deterministic
+event engine (:class:`~repro.sim.engine.Engine`) on which the flow-level
+network fabric, control-plane daemons, and workload generators run.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.sim.events import DEFAULT_PRIORITY, RECOMPUTE_PRIORITY, Event, EventQueue
+from repro.sim.randomness import RandomStreams, hash_seed
+
+__all__ = [
+    "SimClock",
+    "Engine",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "hash_seed",
+    "DEFAULT_PRIORITY",
+    "RECOMPUTE_PRIORITY",
+]

@@ -1,0 +1,42 @@
+"""Simulation clock.
+
+A tiny wrapper around a float so that every subsystem shares one
+monotonically non-decreasing notion of "now".  The engine is the only
+component allowed to advance the clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonically non-decreasing simulation time source."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            SimulationError: if ``when`` precedes the current time (beyond a
+                tiny floating-point tolerance).
+        """
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"time went backwards: now={self._now!r}, requested={when!r}"
+            )
+        self._now = max(self._now, float(when))
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now!r})"

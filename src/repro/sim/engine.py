@@ -1,0 +1,146 @@
+"""The discrete-event simulation engine.
+
+The engine owns the clock and the event queue, and runs events in
+deterministic timestamp order.  Subsystems (the network fabric, daemons,
+workload generators) schedule callbacks through :meth:`Engine.schedule` /
+:meth:`Engine.schedule_at`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventCallback, EventQueue
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    Example:
+        >>> engine = Engine()
+        >>> fired = []
+        >>> _ = engine.schedule_at(2.0, lambda: fired.append(engine.now))
+        >>> _ = engine.schedule_at(1.0, lambda: fired.append(engine.now))
+        >>> engine.run()
+        >>> fired
+        [1.0, 2.0]
+    """
+
+    def __init__(self, *, start_time: float = 0.0, max_events: int = 50_000_000) -> None:
+        self._clock = SimClock(start_time)
+        self._queue = EventQueue()
+        self._max_events = max_events
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: EventCallback,
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self._queue.push(
+            self.now + delay, callback, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: EventCallback,
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.now!r}, when={when!r}"
+            )
+        return self._queue.push(
+            max(when, self.now), callback, priority=priority, label=label
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if already cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest event.
+
+        Returns:
+            ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._clock.advance_to(event.time)
+        self._events_processed += 1
+        if self._events_processed > self._max_events:
+            raise SimulationError(
+                f"exceeded max_events={self._max_events}; "
+                "likely a runaway event loop"
+            )
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue empties or the horizon is reached.
+
+        Args:
+            until: if given, stop once the next event would fire after this
+                time, and advance the clock exactly to ``until``.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None:
+                self._clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self.now!r}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

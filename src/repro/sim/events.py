@@ -1,0 +1,111 @@
+"""Event primitives for the discrete-event engine.
+
+Events are callbacks scheduled at an absolute simulation time.  The queue is
+a binary heap keyed on ``(time, priority, sequence)``; the sequence number
+makes ordering deterministic for simultaneous events, which in turn makes
+whole simulations reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+#: Default scheduling priority.  Lower runs first among simultaneous events.
+DEFAULT_PRIORITY = 100
+
+#: Priority used for rate-recomputation events so that, at a tied timestamp,
+#: arrivals/completions (DEFAULT_PRIORITY) are applied before rates are
+#: recomputed.
+RECOMPUTE_PRIORITY = 200
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time at which to fire.
+        priority: tie-break among simultaneous events (lower fires first).
+        seq: insertion order, the final deterministic tie-break.
+        callback: zero-argument callable invoked when the event fires.
+        label: human-readable tag for tracing/debugging.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: EventCallback,
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        event = Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are discarded lazily here.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Account for an externally cancelled event (keeps ``len`` honest)."""
+        self._live = max(0, self._live - 1)

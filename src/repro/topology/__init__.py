@@ -1,0 +1,19 @@
+"""Datacenter topologies: graph model, routing, and concrete fabrics."""
+
+from repro.topology.base import Link, LinkId, NodeId, Path, TopoNode, Topology
+from repro.topology.fabrics import fat_tree, single_rack, single_switch, three_tier_clos
+from repro.topology.routing import Router
+
+__all__ = [
+    "Topology",
+    "TopoNode",
+    "Link",
+    "Path",
+    "NodeId",
+    "LinkId",
+    "Router",
+    "single_switch",
+    "single_rack",
+    "three_tier_clos",
+    "fat_tree",
+]

@@ -1,0 +1,241 @@
+"""Topology model: hosts, switches, directed links, and paths.
+
+The network is a directed graph.  Hosts run tasks; switches only forward.
+Each physical cable is modelled as two directed :class:`Link` objects (one
+per direction) because flow scheduling contends per direction.
+
+The NEAT paper abstracts the network as a single switch and treats only
+*edge links* (host uplink/downlink) as bottlenecks; this module supports
+both that abstraction and full multi-tier fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+NodeId = str
+LinkId = str
+
+
+@dataclass(frozen=True)
+class TopoNode:
+    """A vertex in the topology graph.
+
+    Attributes:
+        node_id: unique identifier, e.g. ``"h013"`` or ``"tor3"``.
+        kind: ``"host"``, ``"tor"``, ``"agg"``, ``"core"``, or ``"switch"``.
+        rack: rack index for hosts and ToR switches (``None`` otherwise).
+        pod: pod index for multi-tier fabrics (``None`` otherwise).
+    """
+
+    node_id: NodeId
+    kind: str
+    rack: Optional[int] = None
+    pod: Optional[int] = None
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind == "host"
+
+
+@dataclass
+class Link:
+    """A directed link with fixed capacity.
+
+    Attributes:
+        link_id: unique identifier, e.g. ``"h013->tor3"``.
+        src: source node id.
+        dst: destination node id.
+        capacity: bits per second.
+        is_edge: True for host<->ToR links (the links NEAT predicts on).
+        propagation_delay: one-way propagation latency in seconds.
+    """
+
+    link_id: LinkId
+    src: NodeId
+    dst: NodeId
+    capacity: float
+    is_edge: bool = False
+    propagation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise TopologyError(
+                f"link {self.link_id!r} must have positive capacity, "
+                f"got {self.capacity!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered sequence of links from a source host to a destination host."""
+
+    src: NodeId
+    dst: NodeId
+    links: Tuple[LinkId, ...]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed (0 for a host talking to itself)."""
+        return len(self.links)
+
+
+class Topology:
+    """A directed network graph with host/switch metadata.
+
+    Subclasses (Clos, single-switch, rack) populate nodes and links in their
+    constructors; routing lives in :mod:`repro.topology.routing`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[NodeId, TopoNode] = {}
+        self._links: Dict[LinkId, Link] = {}
+        self._adjacency: Dict[NodeId, List[LinkId]] = {}
+        self._hosts: List[NodeId] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: TopoNode) -> None:
+        if node.node_id in self._nodes:
+            raise TopologyError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = []
+        if node.is_host:
+            self._hosts.append(node.node_id)
+
+    def add_link(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: float,
+        *,
+        is_edge: bool = False,
+        propagation_delay: float = 0.0,
+    ) -> Link:
+        """Add one directed link and register it in the adjacency index."""
+        for endpoint in (src, dst):
+            if endpoint not in self._nodes:
+                raise TopologyError(f"unknown node {endpoint!r}")
+        link_id = f"{src}->{dst}"
+        if link_id in self._links:
+            raise TopologyError(f"duplicate link {link_id!r}")
+        link = Link(
+            link_id=link_id,
+            src=src,
+            dst=dst,
+            capacity=capacity,
+            is_edge=is_edge,
+            propagation_delay=propagation_delay,
+        )
+        self._links[link_id] = link
+        self._adjacency[src].append(link_id)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: NodeId,
+        b: NodeId,
+        capacity: float,
+        *,
+        is_edge: bool = False,
+        propagation_delay: float = 0.0,
+    ) -> Tuple[Link, Link]:
+        """Add both directions of a cable with identical properties."""
+        forward = self.add_link(
+            a, b, capacity, is_edge=is_edge, propagation_delay=propagation_delay
+        )
+        backward = self.add_link(
+            b, a, capacity, is_edge=is_edge, propagation_delay=propagation_delay
+        )
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def hosts(self) -> Sequence[NodeId]:
+        """All host node ids, in creation order."""
+        return tuple(self._hosts)
+
+    def node(self, node_id: NodeId) -> TopoNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def link(self, link_id: LinkId) -> Link:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise TopologyError(f"unknown link {link_id!r}") from None
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    def nodes(self) -> Iterable[TopoNode]:
+        return self._nodes.values()
+
+    def out_links(self, node_id: NodeId) -> Sequence[LinkId]:
+        try:
+            return tuple(self._adjacency[node_id])
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def host_uplink(self, host: NodeId) -> Link:
+        """The edge link leaving a host (host -> ToR)."""
+        node = self.node(host)
+        if not node.is_host:
+            raise TopologyError(f"{host!r} is not a host")
+        for link_id in self._adjacency[host]:
+            link = self._links[link_id]
+            if link.is_edge:
+                return link
+        raise TopologyError(f"host {host!r} has no edge uplink")
+
+    def host_downlink(self, host: NodeId) -> Link:
+        """The edge link entering a host (ToR -> host)."""
+        node = self.node(host)
+        if not node.is_host:
+            raise TopologyError(f"{host!r} is not a host")
+        for link in self._links.values():
+            if link.dst == host and link.is_edge:
+                return link
+        raise TopologyError(f"host {host!r} has no edge downlink")
+
+    def edge_links(self) -> List[Link]:
+        """All edge (host<->ToR) links."""
+        return [link for link in self._links.values() if link.is_edge]
+
+    # ------------------------------------------------------------------
+    # Distance
+    # ------------------------------------------------------------------
+    def same_rack(self, a: NodeId, b: NodeId) -> bool:
+        na, nb = self.node(a), self.node(b)
+        return na.rack is not None and na.rack == nb.rack
+
+    def hop_distance(self, a: NodeId, b: NodeId) -> int:
+        """Locality distance used by the minDist placement policy.
+
+        0 = same host, 2 = same rack, 4 = same pod, 6 = cross pod.  This is
+        the hop count of the shortest path in a three-tier fabric; for flat
+        topologies (single switch / single rack) only 0 and 2 occur.
+        """
+        if a == b:
+            return 0
+        na, nb = self.node(a), self.node(b)
+        if na.rack is not None and na.rack == nb.rack:
+            return 2
+        if na.pod is not None and na.pod == nb.pod:
+            return 4
+        return 6
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, hosts={len(self._hosts)}, "
+            f"nodes={len(self._nodes)}, links={len(self._links)})"
+        )

@@ -1,0 +1,187 @@
+"""Concrete topologies used in the paper's evaluation.
+
+* :func:`single_switch` — the abstraction NEAT reasons over (§3): every host
+  hangs off one big switch, only edge links can be bottlenecks.
+* :func:`three_tier_clos` — the 160-host multi-rooted folded Clos of §6.1
+  (1 Gbps edge, 10 Gbps aggregation/core, ~300 us host-to-host RTT via core).
+* :func:`single_rack` — the 10-node testbed of §6.4 (1 Gbps, one switch).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import TopoNode, Topology
+from repro.units import gbps, microseconds
+
+#: Default per-link propagation delay yielding ~300us host-to-host RTT via
+#: the core of a 3-tier fabric (6 links each way -> 12 * 25us = 300us).
+DEFAULT_LINK_DELAY = microseconds(25)
+
+
+def single_switch(
+    num_hosts: int,
+    *,
+    edge_capacity: float = gbps(1),
+    link_delay: float = microseconds(75),
+    name: str = "single-switch",
+) -> Topology:
+    """Build a star topology: ``num_hosts`` hosts around one switch.
+
+    All hosts are placed in rack 0 so locality-based policies see them as
+    equidistant, matching the paper's single-switch abstraction.
+    """
+    if num_hosts < 1:
+        raise TopologyError(f"need at least one host, got {num_hosts}")
+    topo = Topology(name)
+    topo.add_node(TopoNode("sw0", "switch"))
+    for i in range(num_hosts):
+        host = f"h{i:03d}"
+        topo.add_node(TopoNode(host, "host", rack=0, pod=0))
+        topo.add_duplex_link(
+            host, "sw0", edge_capacity, is_edge=True, propagation_delay=link_delay
+        )
+    return topo
+
+
+def single_rack(
+    num_hosts: int = 10,
+    *,
+    edge_capacity: float = gbps(1),
+    link_delay: float = microseconds(25),
+    name: str = "single-rack",
+) -> Topology:
+    """The 10-machine testbed of §6.4: one ToR, 1 Gbps host links."""
+    if num_hosts < 2:
+        raise TopologyError(f"a rack needs at least two hosts, got {num_hosts}")
+    topo = Topology(name)
+    topo.add_node(TopoNode("tor0", "tor", rack=0, pod=0))
+    for i in range(num_hosts):
+        host = f"h{i:03d}"
+        topo.add_node(TopoNode(host, "host", rack=0, pod=0))
+        topo.add_duplex_link(
+            host, "tor0", edge_capacity, is_edge=True, propagation_delay=link_delay
+        )
+    return topo
+
+
+def fat_tree(
+    k: int = 4,
+    *,
+    edge_capacity: float = gbps(1),
+    fabric_capacity: float = gbps(1),
+    link_delay: float = DEFAULT_LINK_DELAY,
+    name: str = "",
+) -> Topology:
+    """Build a canonical k-ary fat-tree [Al-Fares et al., SIGCOMM'08].
+
+    ``k`` pods, each with k/2 edge and k/2 aggregation switches; (k/2)^2
+    core switches; (k/2)^2 * k hosts.  With equal capacities everywhere
+    (the classic construction) the fabric is rearrangeably non-blocking.
+    The paper cites this family ([38]) as the shape of its evaluation
+    topology; :func:`three_tier_clos` is the parameterised variant used by
+    the experiments, this builder is the textbook instance.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat-tree arity k must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology(name or f"fat-tree-k{k}")
+    for c in range(half * half):
+        topo.add_node(TopoNode(f"core{c}", "core"))
+    host_index = 0
+    rack_index = 0
+    for p in range(k):
+        for a in range(half):
+            agg = f"agg{p}_{a}"
+            topo.add_node(TopoNode(agg, "agg", pod=p))
+            # Aggregation switch a connects to cores [a*half, (a+1)*half).
+            for c in range(a * half, (a + 1) * half):
+                topo.add_duplex_link(
+                    agg, f"core{c}", fabric_capacity,
+                    propagation_delay=link_delay,
+                )
+        for e in range(half):
+            tor = f"tor{rack_index}"
+            topo.add_node(TopoNode(tor, "tor", rack=rack_index, pod=p))
+            for a in range(half):
+                topo.add_duplex_link(
+                    tor, f"agg{p}_{a}", fabric_capacity,
+                    propagation_delay=link_delay,
+                )
+            for _ in range(half):
+                host = f"h{host_index:03d}"
+                topo.add_node(
+                    TopoNode(host, "host", rack=rack_index, pod=p)
+                )
+                topo.add_duplex_link(
+                    host, tor, edge_capacity, is_edge=True,
+                    propagation_delay=link_delay,
+                )
+                host_index += 1
+            rack_index += 1
+    return topo
+
+
+def three_tier_clos(
+    *,
+    pods: int = 4,
+    racks_per_pod: int = 4,
+    hosts_per_rack: int = 10,
+    aggs_per_pod: int = 2,
+    cores: int = 4,
+    edge_capacity: float = gbps(1),
+    fabric_capacity: float = gbps(10),
+    oversubscription: float = 1.0,
+    link_delay: float = DEFAULT_LINK_DELAY,
+    name: str = "clos-3tier",
+) -> Topology:
+    """Build the folded-Clos fabric of §6.1.
+
+    Defaults give 4 * 4 * 10 = 160 hosts, 1 Gbps edge and 10 Gbps fabric
+    links, matching the paper's simulation setup.  Every ToR connects to all
+    aggregation switches in its pod; every aggregation switch connects to
+    all cores (multi-rooted).
+
+    The fabric is rearrangeably non-blocking for these defaults (each ToR
+    has 10 Gbps of host capacity below and 2*10 Gbps upward), consistent
+    with NEAT's assumption that only edge links bottleneck.  Pass
+    ``oversubscription > 1`` to divide all fabric (non-edge) capacities by
+    that factor — this is what makes locality matter, and is how the
+    comparative study (Figure 3) exposes minDist's advantage under SRPT.
+    """
+    if min(pods, racks_per_pod, hosts_per_rack, aggs_per_pod, cores) < 1:
+        raise TopologyError("all Clos dimensions must be >= 1")
+    if oversubscription < 1.0:
+        raise TopologyError(
+            f"oversubscription must be >= 1, got {oversubscription!r}"
+        )
+    fabric_capacity = fabric_capacity / oversubscription
+    topo = Topology(name)
+    for c in range(cores):
+        topo.add_node(TopoNode(f"core{c}", "core"))
+    host_index = 0
+    rack_index = 0
+    for p in range(pods):
+        for a in range(aggs_per_pod):
+            agg = f"agg{p}_{a}"
+            topo.add_node(TopoNode(agg, "agg", pod=p))
+            for c in range(cores):
+                topo.add_duplex_link(
+                    agg, f"core{c}", fabric_capacity, propagation_delay=link_delay
+                )
+        for r in range(racks_per_pod):
+            tor = f"tor{rack_index}"
+            topo.add_node(TopoNode(tor, "tor", rack=rack_index, pod=p))
+            for a in range(aggs_per_pod):
+                topo.add_duplex_link(
+                    tor, f"agg{p}_{a}", fabric_capacity, propagation_delay=link_delay
+                )
+            for _ in range(hosts_per_rack):
+                host = f"h{host_index:03d}"
+                topo.add_node(TopoNode(host, "host", rack=rack_index, pod=p))
+                topo.add_duplex_link(
+                    host, tor, edge_capacity, is_edge=True,
+                    propagation_delay=link_delay,
+                )
+                host_index += 1
+            rack_index += 1
+    return topo

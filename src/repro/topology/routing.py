@@ -1,0 +1,100 @@
+"""Shortest-path routing with deterministic ECMP.
+
+The macro experiments use a folded Clos where many equal-cost paths exist
+between hosts in different racks.  We precompute hop-count shortest paths
+with BFS and, when several equal-cost next hops exist, pick one by hashing
+the (src, dst) pair — the standard static-ECMP model, deterministic across
+runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError
+from repro.sim.randomness import hash_seed
+from repro.topology.base import LinkId, NodeId, Path, Topology
+
+
+class Router:
+    """Computes and caches host-to-host paths over a topology."""
+
+    def __init__(self, topology: Topology, *, ecmp_seed: int = 0) -> None:
+        self._topology = topology
+        self._ecmp_seed = ecmp_seed
+        self._path_cache: Dict[Tuple[NodeId, NodeId], Path] = {}
+        # hop-distance table per destination, built lazily
+        self._dist_cache: Dict[NodeId, Dict[NodeId, int]] = {}
+
+    def path(self, src: NodeId, dst: NodeId) -> Path:
+        """Return the (cached) routed path from ``src`` to ``dst``.
+
+        A host sending to itself gets a zero-link path: the data never
+        leaves the machine, so no network resources are consumed (this is
+        how data locality manifests — a local read has zero FCT).
+        """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            path = Path(src=src, dst=dst, links=())
+        else:
+            path = self._compute_path(src, dst)
+        self._path_cache[key] = path
+        return path
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _distances_to(self, dst: NodeId) -> Dict[NodeId, int]:
+        """BFS distance (in links) from every node to ``dst``."""
+        cached = self._dist_cache.get(dst)
+        if cached is not None:
+            return cached
+        topo = self._topology
+        # Reverse BFS: walk incoming links.  Build a reverse adjacency once.
+        reverse: Dict[NodeId, List[NodeId]] = {}
+        for link in topo.links():
+            reverse.setdefault(link.dst, []).append(link.src)
+        dist: Dict[NodeId, int] = {dst: 0}
+        queue = deque([dst])
+        while queue:
+            node = queue.popleft()
+            for prev in reverse.get(node, ()):
+                if prev not in dist:
+                    dist[prev] = dist[node] + 1
+                    queue.append(prev)
+        self._dist_cache[dst] = dist
+        return dist
+
+    def _compute_path(self, src: NodeId, dst: NodeId) -> Path:
+        topo = self._topology
+        dist = self._distances_to(dst)
+        if src not in dist:
+            raise RoutingError(f"no route from {src!r} to {dst!r}")
+        links: List[LinkId] = []
+        node = src
+        # ECMP hash is fixed per (src, dst) pair so a flow uses one path.
+        choice_hash = hash_seed(self._ecmp_seed, f"{src}|{dst}")
+        depth = 0
+        while node != dst:
+            candidates = [
+                link_id
+                for link_id in topo.out_links(node)
+                if topo.link(link_id).dst in dist
+                and dist[topo.link(link_id).dst] == dist[node] - 1
+            ]
+            if not candidates:
+                raise RoutingError(
+                    f"routing dead-end at {node!r} towards {dst!r}"
+                )
+            candidates.sort()
+            pick = candidates[(choice_hash >> (depth * 4)) % len(candidates)]
+            links.append(pick)
+            node = topo.link(pick).dst
+            depth += 1
+            if depth > 64:
+                raise RoutingError(f"path from {src!r} to {dst!r} too long")
+        return Path(src=src, dst=dst, links=tuple(links))

@@ -1,0 +1,103 @@
+"""Unit helpers and constants.
+
+The simulator's canonical units are:
+
+* **time** — seconds (float)
+* **data** — bits (float; fractional bits are fine in the fluid model)
+* **rate** — bits per second (float)
+
+Helpers below convert human-friendly quantities into canonical units, and
+format canonical values back for reports.  Keeping every conversion in one
+module avoids the classic megabyte-vs-mebibyte drift between subsystems.
+"""
+
+from __future__ import annotations
+
+# Data sizes (decimal, as used in networking).
+KILOBIT = 1e3
+MEGABIT = 1e6
+GIGABIT = 1e9
+
+BYTE = 8.0
+KILOBYTE = 8e3
+MEGABYTE = 8e6
+GIGABYTE = 8e9
+
+# Rates.
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+# Times.
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def bits(value: float) -> float:
+    """Identity helper for readability at call sites."""
+    return float(value)
+
+
+def kilobytes(value: float) -> float:
+    """Convert kilobytes to bits."""
+    return float(value) * KILOBYTE
+
+
+def megabytes(value: float) -> float:
+    """Convert megabytes to bits."""
+    return float(value) * MEGABYTE
+
+
+def gigabytes(value: float) -> float:
+    """Convert gigabytes to bits."""
+    return float(value) * GIGABYTE
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits-per-second to bits-per-second."""
+    return float(value) * GBPS
+
+
+def mbps(value: float) -> float:
+    """Convert megabits-per-second to bits-per-second."""
+    return float(value) * MBPS
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * MICROSECOND
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * MILLISECOND
+
+
+def format_bits(value: float) -> str:
+    """Render a bit count with an adaptive unit, e.g. ``'12.5 MB'``.
+
+    Sizes are shown in (decimal) bytes because datacenter traces quote flow
+    sizes in bytes.
+    """
+    nbytes = value / BYTE
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if nbytes >= scale:
+            return f"{nbytes / scale:.1f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def format_time(value: float) -> str:
+    """Render seconds with an adaptive unit, e.g. ``'312 us'``."""
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.0f} us"
+
+
+def format_rate(value: float) -> str:
+    """Render bits/second with an adaptive unit, e.g. ``'1.0 Gbps'``."""
+    for unit, scale in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value:.0f} bps"

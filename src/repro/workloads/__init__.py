@@ -1,0 +1,41 @@
+"""Workloads: empirical size distributions, Poisson traces, replay inputs."""
+
+from repro.workloads.distributions import (
+    DATA_MINING_CDF,
+    HADOOP_CDF,
+    WEB_SEARCH_CDF,
+    EmpiricalDistribution,
+    make_distribution,
+)
+from repro.workloads.noise import (
+    ExactSizes,
+    LogNormalNoise,
+    QuantizedHistory,
+    SizeEstimator,
+)
+from repro.workloads.traces import (
+    CoflowArrival,
+    TaskArrival,
+    Trace,
+    generate_coflow_trace,
+    generate_flow_trace,
+    poisson_rate_for_load,
+)
+
+__all__ = [
+    "EmpiricalDistribution",
+    "SizeEstimator",
+    "ExactSizes",
+    "LogNormalNoise",
+    "QuantizedHistory",
+    "make_distribution",
+    "WEB_SEARCH_CDF",
+    "DATA_MINING_CDF",
+    "HADOOP_CDF",
+    "TaskArrival",
+    "CoflowArrival",
+    "Trace",
+    "generate_flow_trace",
+    "generate_coflow_trace",
+    "poisson_rate_for_load",
+]

@@ -1,0 +1,165 @@
+"""Empirical flow-size distributions from production datacenters (§6.1).
+
+The paper evaluates with the Hadoop/MapReduce workload [1] and the
+web-search / data-mining workloads [16].  We encode each as an empirical
+CDF over flow sizes and sample by inverting it with log-linear
+interpolation (flow sizes span many orders of magnitude, so interpolating
+in log-size space preserves the heavy tail between knots).
+
+A ``scale`` factor shrinks absolute sizes while preserving the shape —
+useful because simulating an 80 GB flow at 1 Gbps costs 640 simulated
+seconds; the paper's *relative* results depend on the shape only.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.units import GIGABYTE, KILOBYTE, MEGABYTE
+
+CdfPoint = Tuple[float, float]  # (size_bits, cumulative_probability)
+
+
+class EmpiricalDistribution:
+    """Inverse-CDF sampler over a piecewise log-linear empirical CDF."""
+
+    def __init__(self, name: str, points: Sequence[CdfPoint], *, scale: float = 1.0) -> None:
+        """Args:
+            name: workload name for reports.
+            points: ascending ``(size_bits, cdf)`` knots; the last cdf
+                must be 1.0 and sizes must be positive and increasing.
+            scale: multiplies every sampled size.
+        """
+        if len(points) < 1:
+            raise WorkloadError("empirical CDF needs at least one point")
+        sizes = [p[0] for p in points]
+        probs = [p[1] for p in points]
+        if any(s <= 0 for s in sizes):
+            raise WorkloadError("flow sizes must be positive")
+        if any(nxt <= cur for cur, nxt in zip(sizes, sizes[1:])):
+            raise WorkloadError("flow sizes must be strictly increasing")
+        if any(nxt < cur for cur, nxt in zip(probs, probs[1:])):
+            raise WorkloadError("CDF must be non-decreasing")
+        if not 0 < probs[0] <= 1 or abs(probs[-1] - 1.0) > 1e-9:
+            raise WorkloadError("CDF must end at probability 1.0")
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale!r}")
+        self.name = name
+        self._sizes = list(sizes)
+        self._probs = list(probs)
+        self._scale = float(scale)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def quantile(self, u: float) -> float:
+        """Size at cumulative probability ``u`` (0 <= u <= 1), in bits."""
+        if not 0 <= u <= 1:
+            raise WorkloadError(f"quantile argument must be in [0,1], got {u!r}")
+        probs, sizes = self._probs, self._sizes
+        if u <= probs[0]:
+            return sizes[0] * self._scale
+        for i in range(1, len(probs)):
+            if u <= probs[i]:
+                p0, p1 = probs[i - 1], probs[i]
+                s0, s1 = sizes[i - 1], sizes[i]
+                if p1 <= p0:
+                    return s1 * self._scale
+                frac = (u - p0) / (p1 - p0)
+                log_size = math.log(s0) + frac * (math.log(s1) - math.log(s0))
+                return math.exp(log_size) * self._scale
+        return sizes[-1] * self._scale
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one flow size (bits)."""
+        return self.quantile(rng.random())
+
+    def mean(self, *, resolution: int = 20000) -> float:
+        """Numerical mean of the distribution (midpoint quadrature on the
+        inverse CDF); deterministic, used to convert target load into an
+        arrival rate."""
+        total = 0.0
+        for i in range(resolution):
+            total += self.quantile((i + 0.5) / resolution)
+        return total / resolution
+
+    def rescaled(self, scale: float) -> "EmpiricalDistribution":
+        """A copy with the scale factor replaced."""
+        return EmpiricalDistribution(
+            self.name,
+            list(zip(self._sizes, self._probs)),
+            scale=scale,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalDistribution({self.name!r}, knots={len(self._sizes)}, "
+            f"scale={self._scale!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The paper's workloads
+# ----------------------------------------------------------------------
+
+#: Web-search workload [Alizadeh et al., DCTCP; used by pFabric]: a diverse
+#: mix where >75% of bytes come from the 50% of flows in the 1-20 MB range.
+WEB_SEARCH_CDF: List[CdfPoint] = [
+    (6 * KILOBYTE, 0.15),
+    (13 * KILOBYTE, 0.20),
+    (19 * KILOBYTE, 0.30),
+    (33 * KILOBYTE, 0.40),
+    (53 * KILOBYTE, 0.53),
+    (133 * KILOBYTE, 0.60),
+    (667 * KILOBYTE, 0.70),
+    (1.467 * MEGABYTE, 0.80),
+    (3.333 * MEGABYTE, 0.90),
+    (6.667 * MEGABYTE, 0.97),
+    (20 * MEGABYTE, 1.00),
+]
+
+#: Data-mining workload [Greenberg et al., VL2; used by pFabric]: extremely
+#: heavy tailed — most flows are tiny, most bytes live in >100 MB flows.
+DATA_MINING_CDF: List[CdfPoint] = [
+    (100 * 8.0, 0.50),
+    (1 * KILOBYTE, 0.60),
+    (10 * KILOBYTE, 0.70),
+    (30 * KILOBYTE, 0.80),
+    (1 * MEGABYTE, 0.90),
+    (30 * MEGABYTE, 0.95),
+    (100 * MEGABYTE, 0.98),
+    (1 * GIGABYTE, 1.00),
+]
+
+#: Hadoop/MapReduce workload [Dean & Ghemawat; Facebook-like shuffle mix]:
+#: matches the §6.1 statistics — ~50% of flows under 100 MB and ~4% of
+#: flows larger than 80 GB.
+HADOOP_CDF: List[CdfPoint] = [
+    (1 * MEGABYTE, 0.10),
+    (10 * MEGABYTE, 0.30),
+    (100 * MEGABYTE, 0.50),
+    (1 * GIGABYTE, 0.77),
+    (10 * GIGABYTE, 0.90),
+    (80 * GIGABYTE, 0.96),
+    (200 * GIGABYTE, 1.00),
+]
+
+
+def make_distribution(name: str, *, scale: float = 1.0) -> EmpiricalDistribution:
+    """Build one of the paper's workload distributions by name.
+
+    Known names: ``"websearch"``, ``"datamining"``, ``"hadoop"``.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key in ("websearch", "search"):
+        return EmpiricalDistribution("websearch", WEB_SEARCH_CDF, scale=scale)
+    if key in ("datamining", "mining"):
+        return EmpiricalDistribution("datamining", DATA_MINING_CDF, scale=scale)
+    if key in ("hadoop", "mapreduce"):
+        return EmpiricalDistribution("hadoop", HADOOP_CDF, scale=scale)
+    raise WorkloadError(
+        f"unknown workload {name!r}; known: websearch, datamining, hadoop"
+    )

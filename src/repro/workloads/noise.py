@@ -1,0 +1,81 @@
+"""Flow-size uncertainty models (§7 "Flow Size Information").
+
+NEAT needs flow sizes to predict completion times, but exact sizes may be
+unavailable; the paper suggests using approximate sizes from task
+execution history and argues (via §6.3) that NEAT tolerates
+mis-prediction.  These estimators let experiments feed the *placement*
+layer a noisy size while the network transfers the true one, so the
+robustness claim can be measured directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import WorkloadError
+
+
+class SizeEstimator(ABC):
+    """Maps a true flow size to the estimate the scheduler sees."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def estimate(self, true_size: float) -> float:
+        """Return the (positive) size estimate for one flow."""
+
+
+class ExactSizes(SizeEstimator):
+    """Oracle: the scheduler knows exact sizes (the paper's default)."""
+
+    name = "exact"
+
+    def estimate(self, true_size: float) -> float:
+        return true_size
+
+
+class LogNormalNoise(SizeEstimator):
+    """Multiplicative log-normal error, the classic history-based model.
+
+    ``sigma`` is the standard deviation of ``ln(estimate/true)``; e.g.
+    sigma = 0.5 means ~68% of estimates fall within a factor of e^0.5
+    (≈1.65x) of the truth.  Median-unbiased (the noise has zero log-mean).
+    """
+
+    name = "lognormal"
+
+    def __init__(self, sigma: float, rng: random.Random) -> None:
+        if sigma < 0:
+            raise WorkloadError(f"sigma must be >= 0, got {sigma!r}")
+        self._sigma = sigma
+        self._rng = rng
+
+    def estimate(self, true_size: float) -> float:
+        if self._sigma == 0:
+            return true_size
+        return true_size * math.exp(self._rng.gauss(0.0, self._sigma))
+
+
+class QuantizedHistory(SizeEstimator):
+    """History-bucket estimator: sizes are only known up to a power-of-k
+    bucket (recurrent jobs are classified, not measured).
+
+    Each flow's estimate is the geometric midpoint of its bucket, so the
+    worst-case multiplicative error is sqrt(k).
+    """
+
+    name = "quantized"
+
+    def __init__(self, base: float = 4.0) -> None:
+        if base <= 1.0:
+            raise WorkloadError(f"bucket base must be > 1, got {base!r}")
+        self._base = base
+
+    def estimate(self, true_size: float) -> float:
+        if true_size <= 0:
+            raise WorkloadError("true size must be positive")
+        exponent = math.floor(math.log(true_size, self._base))
+        low = self._base ** exponent
+        return low * math.sqrt(self._base)

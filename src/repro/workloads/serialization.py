@@ -1,0 +1,103 @@
+"""Trace serialization: save a generated trace, replay it anywhere.
+
+The paper generates traffic once (in ns2) and replays the identical trace
+on the testbed; persisting traces as JSON gives this repository the same
+workflow — e.g. generate on one machine, archive alongside results, replay
+against a modified policy later.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import WorkloadError
+from repro.workloads.traces import CoflowArrival, TaskArrival, Trace
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Convert a trace (flow or coflow) into a JSON-safe dict."""
+    arrivals = []
+    for arrival in trace.arrivals:
+        if isinstance(arrival, TaskArrival):
+            arrivals.append(
+                {
+                    "kind": "flow",
+                    "time": arrival.time,
+                    "data_node": arrival.data_node,
+                    "size": arrival.size,
+                    "tag": arrival.tag,
+                }
+            )
+        elif isinstance(arrival, CoflowArrival):
+            arrivals.append(
+                {
+                    "kind": "coflow",
+                    "time": arrival.time,
+                    "transfers": [
+                        [node, size] for node, size in arrival.transfers
+                    ],
+                    "tag": arrival.tag,
+                }
+            )
+        else:
+            raise WorkloadError(
+                f"cannot serialise arrival of type {type(arrival).__name__}"
+            )
+    return {
+        "version": FORMAT_VERSION,
+        "seed": trace.seed,
+        "description": trace.description,
+        "arrivals": arrivals,
+    }
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> Trace:
+    """Inverse of :func:`trace_to_dict` (validates the payload)."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported trace format version {payload.get('version')!r}"
+        )
+    arrivals = []
+    for entry in payload.get("arrivals", []):
+        kind = entry.get("kind")
+        if kind == "flow":
+            arrivals.append(
+                TaskArrival(
+                    time=float(entry["time"]),
+                    data_node=entry["data_node"],
+                    size=float(entry["size"]),
+                    tag=entry.get("tag", ""),
+                )
+            )
+        elif kind == "coflow":
+            arrivals.append(
+                CoflowArrival(
+                    time=float(entry["time"]),
+                    transfers=tuple(
+                        (node, float(size)) for node, size in entry["transfers"]
+                    ),
+                    tag=entry.get("tag", ""),
+                )
+            )
+        else:
+            raise WorkloadError(f"unknown arrival kind {kind!r}")
+    return Trace(
+        arrivals=tuple(arrivals),
+        seed=int(payload.get("seed", 0)),
+        description=payload.get("description", ""),
+    )
+
+
+def dump_trace(trace: Trace, path: str) -> None:
+    """Write a trace to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace written by :func:`dump_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_dict(json.load(handle))

@@ -1,0 +1,164 @@
+"""Tests for the CLI entry point and trace serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.errors import WorkloadError
+from repro.workloads.distributions import make_distribution
+from repro.workloads.serialization import (
+    dump_trace,
+    load_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workloads.traces import (
+    Trace,
+    generate_coflow_trace,
+    generate_flow_trace,
+)
+
+HOSTS = [f"h{i}" for i in range(6)]
+
+
+def flow_trace(n=20, seed=5):
+    return generate_flow_trace(
+        hosts=HOSTS,
+        distribution=make_distribution("websearch"),
+        load=0.5, edge_capacity=1e9, num_arrivals=n, seed=seed,
+    )
+
+
+def coflow_trace(n=10, seed=5):
+    return generate_coflow_trace(
+        hosts=HOSTS,
+        distribution=make_distribution("websearch"),
+        load=0.5, edge_capacity=1e9, num_arrivals=n, seed=seed,
+        min_width=2, max_width=3,
+    )
+
+
+class TestTraceSerialization:
+    def test_flow_roundtrip(self):
+        trace = flow_trace()
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.arrivals == trace.arrivals
+        assert restored.seed == trace.seed
+        assert restored.description == trace.description
+
+    def test_coflow_roundtrip(self):
+        trace = coflow_trace()
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.arrivals == trace.arrivals
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = flow_trace()
+        path = tmp_path / "trace.json"
+        dump_trace(trace, str(path))
+        assert load_trace(str(path)).arrivals == trace.arrivals
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_trace(flow_trace(n=3), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert len(payload["arrivals"]) == 3
+        assert payload["arrivals"][0]["kind"] == "flow"
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace_from_dict({"version": 99, "arrivals": []})
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            trace_from_dict(
+                {"version": 1, "arrivals": [{"kind": "mystery"}]}
+            )
+
+    def test_unserialisable_arrival_rejected(self):
+        bogus = Trace(arrivals=(object(),), seed=0)
+        with pytest.raises(WorkloadError):
+            trace_to_dict(bogus)
+
+
+class TestCLI:
+    def test_parser_accepts_known_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5", "--arrivals", "100"])
+        assert args.figure == "fig5"
+        assert args.arrivals == 100
+
+    def test_parser_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "fig11" in out
+
+    def test_fig1_exact(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "25.0" in out and "SRPT" in out
+
+    def test_fig9_small(self, capsys):
+        assert main([
+            "fig9", "--arrivals", "80", "--hosts-per-rack", "5",
+            "--pods", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "neat" in out and "minfct" in out
+
+    def test_fig8_small(self, capsys):
+        assert main([
+            "fig8", "--arrivals", "80", "--hosts-per-rack", "5",
+            "--pods", "1",
+        ]) == 0
+        assert "relative difference" in capsys.readouterr().out
+
+    def test_fig10_small(self, capsys):
+        assert main([
+            "fig10", "--arrivals", "80", "--hosts-per-rack", "5",
+            "--pods", "1",
+        ]) == 0
+        assert "mean |err|" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        assert main([
+            "fig3", "--arrivals", "120", "--hosts-per-rack", "5",
+            "--pods", "1",
+        ]) == 0
+        assert "minDist/minLoad" in capsys.readouterr().out
+
+    def test_fig7_small(self, capsys):
+        assert main([
+            "fig7", "--arrivals", "40", "--hosts-per-rack", "5",
+            "--pods", "1",
+        ]) == 0
+        assert "mean CCTs" in capsys.readouterr().out
+
+    def test_fig11_small(self, capsys):
+        assert main(["fig11", "--arrivals", "120"]) == 0
+        assert "improvement over minLoad" in capsys.readouterr().out
+
+    def test_all_summary_small(self, capsys):
+        assert main([
+            "all", "--arrivals", "60", "--hosts-per-rack", "4",
+            "--pods", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig1  motivating example: EXACT match" in out
+        for token in ("fig3", "fig5", "fig6a", "fig6b", "fig7", "fig8",
+                      "fig9", "fig10", "fig11"):
+            assert token in out
+
+    def test_fig6_network_override(self, capsys):
+        assert main([
+            "fig6", "--network", "srpt", "--arrivals", "80",
+            "--hosts-per-rack", "5", "--pods", "1",
+        ]) == 0
+        assert "NEAT improvement" in capsys.readouterr().out

@@ -1,0 +1,225 @@
+"""Tests for the cluster model: resources, jobs, and the job scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.jobs import (
+    JobSpec,
+    StageSpec,
+    TaskSpec,
+    dag_job,
+    mapreduce_job,
+)
+from repro.cluster.node import Cluster, ClusterNode, Resources
+from repro.cluster.scheduler import JobScheduler
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.coflow.tracking import CoflowTracker
+from repro.errors import PlacementError, WorkloadError
+from repro.network.fabric import NetworkFabric
+from repro.placement.neat import build_neat
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch
+
+
+class TestResources:
+    def test_arithmetic(self):
+        a = Resources(cpu=2, memory=4.0)
+        b = Resources(cpu=1, memory=1.0)
+        assert (a + b) == Resources(cpu=3, memory=5.0)
+        assert (a - b) == Resources(cpu=1, memory=3.0)
+
+    def test_fits_within(self):
+        assert Resources(1, 1).fits_within(Resources(2, 2))
+        assert not Resources(3, 1).fits_within(Resources(2, 2))
+
+
+class TestClusterNode:
+    def test_allocate_release(self):
+        node = ClusterNode("h0", Resources(cpu=4, memory=8))
+        node.allocate(Resources(cpu=2, memory=4))
+        assert node.available == Resources(cpu=2, memory=4)
+        node.release(Resources(cpu=2, memory=4))
+        assert node.available == Resources(cpu=4, memory=8)
+
+    def test_over_allocation_rejected(self):
+        node = ClusterNode("h0", Resources(cpu=1, memory=1))
+        with pytest.raises(PlacementError):
+            node.allocate(Resources(cpu=2, memory=0))
+
+    def test_over_release_rejected(self):
+        node = ClusterNode("h0", Resources(cpu=1, memory=1))
+        with pytest.raises(PlacementError):
+            node.release(Resources(cpu=1, memory=0))
+
+
+class TestCluster:
+    def test_candidates_filter_by_capacity(self):
+        topo = single_switch(3)
+        cluster = Cluster(topo, default_capacity=Resources(cpu=2, memory=2))
+        cluster.node("h000").allocate(Resources(cpu=2, memory=0))
+        candidates = cluster.candidates(Resources(cpu=1, memory=1))
+        assert set(candidates) == {"h001", "h002"}
+
+    def test_unknown_node_raises(self):
+        cluster = Cluster(single_switch(2))
+        with pytest.raises(PlacementError):
+            cluster.node("ghost")
+
+
+class TestJobSpecs:
+    def test_task_requires_inputs(self):
+        with pytest.raises(WorkloadError):
+            TaskSpec(name="t", inputs=())
+
+    def test_task_rejects_zero_input(self):
+        with pytest.raises(WorkloadError):
+            TaskSpec(name="t", inputs=(("h0", 0.0),))
+
+    def test_stage_requires_tasks(self):
+        with pytest.raises(WorkloadError):
+            StageSpec(name="s", tasks=())
+
+    def test_many_to_one_single_task(self):
+        task = TaskSpec(name="t", inputs=(("h0", 1.0),))
+        with pytest.raises(WorkloadError):
+            StageSpec(name="s", tasks=(task, task), many_to_one=True)
+
+    def test_mapreduce_builder_shapes(self):
+        job = mapreduce_job(
+            "j",
+            input_blocks=[("h0", 4e9), ("h1", 4e9), ("h2", 4e9)],
+            num_mappers=2,
+            shuffle_fraction=0.5,
+            num_reducers=2,
+        )
+        assert len(job.stages) == 2
+        map_stage, shuffle_stage = job.stages
+        assert len(map_stage.tasks) == 2
+        assert len(shuffle_stage.tasks) == 2
+        assert not shuffle_stage.many_to_one  # two reducers
+        # Shuffle volume = half the input, split across two reducers.
+        total_shuffle = sum(
+            size for task in shuffle_stage.tasks for _n, size in task.inputs
+        )
+        assert total_shuffle == pytest.approx(12e9 * 0.5)
+        # Shuffle inputs reference mapper placeholders.
+        assert all(
+            node.startswith("@task:j/map/")
+            for task in shuffle_stage.tasks
+            for node, _s in task.inputs
+        )
+
+    def test_mapreduce_validates(self):
+        with pytest.raises(WorkloadError):
+            mapreduce_job("j", input_blocks=[], num_mappers=1)
+        with pytest.raises(WorkloadError):
+            mapreduce_job("j", input_blocks=[("h0", 1.0)], num_mappers=0)
+
+    def test_dag_job_chains_stages(self):
+        s1 = StageSpec("a", (TaskSpec("t1", (("h0", 1.0),)),))
+        s2 = StageSpec("b", (TaskSpec("t2", (("@task:t1", 1.0),)),))
+        job = dag_job("d", [s1, s2])
+        assert [s.name for s in job.stages] == ["a", "b"]
+
+
+def scheduler_setup(hosts=8):
+    engine = Engine()
+    fabric = NetworkFabric(
+        engine, single_switch(hosts), make_coflow_allocator("varys")
+    )
+    tracker = CoflowTracker(fabric)
+    cluster = Cluster(fabric.topology)
+    neat = build_neat(fabric, coflow_predictor="tcf")
+    return engine, JobScheduler(cluster, tracker, neat), cluster
+
+
+class TestJobScheduler:
+    def test_mapreduce_end_to_end(self):
+        engine, sched, cluster = scheduler_setup()
+        job = mapreduce_job(
+            "job0",
+            input_blocks=[("h000", 2e9), ("h001", 2e9)],
+            num_mappers=2,
+            shuffle_fraction=0.5,
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        assert result.completion_time > 0
+        assert set(result.stage_finish_times) == {"job0/map", "job0/shuffle"}
+        assert len(result.task_hosts) == 3
+        # Map stage finished before (or when) the shuffle stage did.
+        assert (
+            result.stage_finish_times["job0/map"]
+            <= result.stage_finish_times["job0/shuffle"]
+        )
+
+    def test_resources_released_after_job(self):
+        engine, sched, cluster = scheduler_setup()
+        job = mapreduce_job(
+            "job0",
+            input_blocks=[("h000", 1e9)],
+            num_mappers=1,
+        )
+        sched.submit_job(job)
+        engine.run()
+        assert all(
+            cluster.node(h).used == Resources()
+            for h in cluster.hosts()
+        )
+
+    def test_map_locality_gives_zero_map_time(self):
+        """With NEAT, a mapper runs where its only block lives (local read)."""
+        engine, sched, cluster = scheduler_setup()
+        job = mapreduce_job(
+            "job0", input_blocks=[("h000", 2e9)], num_mappers=1
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        assert result.task_hosts["job0/map/0"] == "h000"
+        assert result.stage_finish_times["job0/map"] == pytest.approx(0.0)
+
+    def test_two_concurrent_jobs_complete(self):
+        engine, sched, cluster = scheduler_setup()
+        for j in range(2):
+            sched.submit_job(
+                mapreduce_job(
+                    f"job{j}",
+                    input_blocks=[(f"h00{j}", 1e9), (f"h00{j+2}", 1e9)],
+                    num_mappers=2,
+                )
+            )
+        engine.run()
+        assert len(sched.results) == 2
+
+    def test_unresolved_placeholder_raises(self):
+        engine, sched, cluster = scheduler_setup()
+        bad = JobSpec(
+            name="bad",
+            stages=(
+                StageSpec(
+                    "s",
+                    (TaskSpec("t", (("@task:ghost", 1.0),)),),
+                ),
+            ),
+        )
+        with pytest.raises(WorkloadError):
+            sched.submit_job(bad)
+
+    def test_exclude_data_nodes(self):
+        engine = Engine()
+        fabric = NetworkFabric(
+            engine, single_switch(4), make_coflow_allocator("varys")
+        )
+        tracker = CoflowTracker(fabric)
+        cluster = Cluster(fabric.topology)
+        neat = build_neat(fabric, coflow_predictor="tcf")
+        sched = JobScheduler(
+            cluster, tracker, neat, exclude_data_nodes=True
+        )
+        job = mapreduce_job("j", input_blocks=[("h000", 1e9)], num_mappers=1)
+        sched.submit_job(job)
+        engine.run()
+        assert sched.results[0].task_hosts["j/map/0"] != "h000"

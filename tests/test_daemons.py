@@ -1,0 +1,242 @@
+"""Tests for the distributed control plane: bus, network daemon, and the
+placement daemon's caching/filtering behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.daemons.bus import MessageBus
+from repro.daemons.messages import (
+    CoflowPredictionRequest,
+    FlowPredictionRequest,
+)
+from repro.daemons.network_daemon import NetworkDaemon
+from repro.daemons.placement_daemon import TaskPlacementDaemon
+from repro.errors import DaemonError
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.coflow.tracking import CoflowTracker
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.placement.base import PlacementRequest
+from repro.predictor.compressed import exponential_bins
+from repro.predictor.registry import make_coflow_predictor, make_flow_predictor
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch
+
+
+def setup(policy="fair", hosts=4, coflow=False):
+    engine = Engine()
+    allocator = (
+        make_coflow_allocator("varys") if coflow else make_allocator(policy)
+    )
+    fabric = NetworkFabric(engine, single_switch(hosts), allocator)
+    return engine, fabric
+
+
+class TestMessageBus:
+    def test_call_routes_to_handler(self):
+        engine, fabric = setup()
+        bus = MessageBus(engine)
+        bus.register("h000", lambda payload: ("pong", payload))
+        assert bus.call("h000", "ping") == ("pong", "ping")
+
+    def test_duplicate_registration_rejected(self):
+        engine, fabric = setup()
+        bus = MessageBus(engine)
+        bus.register("h000", lambda p: p)
+        with pytest.raises(DaemonError):
+            bus.register("h000", lambda p: p)
+
+    def test_unknown_endpoint_rejected(self):
+        engine, fabric = setup()
+        bus = MessageBus(engine)
+        with pytest.raises(DaemonError):
+            bus.call("ghost", None)
+
+    def test_accounting(self):
+        engine, fabric = setup()
+        bus = MessageBus(engine, rtt=0.001)
+        bus.register("h000", lambda p: p)
+        bus.call("h000", 1)
+        bus.call("h000", 2)
+        assert bus.messages_sent == 4
+        assert bus.calls == 2
+        assert bus.estimated_control_latency == pytest.approx(0.002)
+        bus.reset_counters()
+        assert bus.messages_sent == 0
+
+
+class TestNetworkDaemon:
+    def test_node_state_tracks_smallest_flow(self):
+        engine, fabric = setup()
+        daemon = NetworkDaemon("h001", fabric, make_flow_predictor("fair"))
+        assert daemon.node_state() == float("inf")
+        fabric.submit("h000", "h001", 3e9)
+        fabric.submit("h002", "h001", 1e9)
+        assert daemon.node_state() == pytest.approx(1e9)
+        engine.run(until=0.25)
+        # Sizes are residual: the 1 Gb flow shrank.
+        assert daemon.node_state() < 1e9
+
+    def test_predict_incoming_flow(self):
+        engine, fabric = setup()
+        daemon = NetworkDaemon("h001", fabric, make_flow_predictor("fair"))
+        fabric.submit("h000", "h001", 2e9)
+        reply = daemon.predict_flow(1e9, "in")
+        # Fair: (1 + min(2,1)) Gb on a 1 Gbps downlink = 2 s.
+        assert reply.predicted_time == pytest.approx(2.0)
+        assert reply.host == "h001"
+        assert reply.node_state == pytest.approx(2e9)
+
+    def test_predict_outgoing_uses_uplink(self):
+        engine, fabric = setup()
+        daemon = NetworkDaemon("h001", fabric, make_flow_predictor("fair"))
+        fabric.submit("h001", "h002", 2e9)  # load on h001's uplink
+        incoming = daemon.predict_flow(1e9, "in").predicted_time
+        outgoing = daemon.predict_flow(1e9, "out").predicted_time
+        assert incoming == pytest.approx(1.0)
+        assert outgoing == pytest.approx(2.0)
+
+    def test_handle_dispatch(self):
+        engine, fabric = setup()
+        daemon = NetworkDaemon("h001", fabric, make_flow_predictor("fair"))
+        reply = daemon.handle(FlowPredictionRequest(size=1e9))
+        assert reply.predicted_time == pytest.approx(1.0)
+        with pytest.raises(DaemonError):
+            daemon.handle("garbage")
+
+    def test_coflow_prediction_requires_predictor(self):
+        engine, fabric = setup()
+        daemon = NetworkDaemon("h001", fabric, make_flow_predictor("fair"))
+        with pytest.raises(DaemonError):
+            daemon.handle(CoflowPredictionRequest(total_size=1e9, size_on_link=1e9))
+
+    def test_coflow_prediction_groups_by_coflow(self):
+        engine, fabric = setup(coflow=True)
+        tracker = CoflowTracker(fabric)
+        daemon = NetworkDaemon(
+            "h002",
+            fabric,
+            make_flow_predictor("fair"),
+            coflow_predictor=make_coflow_predictor("tcf"),
+        )
+        tracker.submit_coflow(
+            [("h000", "h002", 2e9), ("h001", "h002", 2e9)]
+        )
+        reply = daemon.handle(
+            CoflowPredictionRequest(total_size=1e9, size_on_link=1e9)
+        )
+        # Objective (2) under TCF: the new 1 Gb coflow preempts the 4 Gb
+        # one (CCT 1 s) and delays it by its own 1 Gb on the link (+1 s).
+        assert reply.predicted_time == pytest.approx(2.0)
+        # Node state is at coflow granularity: smallest coflow total (4 Gb).
+        assert reply.node_state == pytest.approx(4e9)
+
+    def test_compressed_mode_tracks_arrivals_and_departures(self):
+        engine, fabric = setup()
+        daemon = NetworkDaemon(
+            "h001",
+            fabric,
+            make_flow_predictor("fair"),
+            bin_boundaries=exponential_bins(1e6, 1e10, 8),
+        )
+        fabric.submit("h000", "h001", 2e9)
+        busy = daemon.predict_flow(2e9, "in").predicted_time
+        assert busy > 2.0  # sees the existing flow
+        engine.run()
+        idle = daemon.predict_flow(2e9, "in").predicted_time
+        assert idle == pytest.approx(2.0)
+
+
+class TestPlacementDaemonUnit:
+    def build(self, fabric, **kwargs):
+        bus = MessageBus(fabric.engine)
+        for host in fabric.topology.hosts:
+            daemon = NetworkDaemon(host, fabric, make_flow_predictor("fair"))
+            bus.register(host, daemon.handle)
+        return TaskPlacementDaemon(fabric.topology, bus, **kwargs), bus
+
+    def test_decision_records_evidence(self):
+        engine, fabric = setup()
+        daemon, bus = self.build(fabric)
+        daemon.place_flow(
+            PlacementRequest(
+                size=1e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        decision = daemon.decisions[-1]
+        assert decision.host in ("h001", "h002")
+        assert set(decision.queried_hosts) == {"h001", "h002"}
+        assert not decision.used_fallback
+
+    def test_optimistic_cache_update_on_placement(self):
+        engine, fabric = setup()
+        daemon, bus = self.build(fabric)
+        host = daemon.place_flow(
+            PlacementRequest(size=1e9, data_node="h000", candidates=("h001",))
+        )
+        assert daemon.cached_node_state(host) == pytest.approx(1e9)
+
+    def test_note_task_finished_invalidates_cache(self):
+        engine, fabric = setup()
+        daemon, bus = self.build(fabric)
+        host = daemon.place_flow(
+            PlacementRequest(size=1e9, data_node="h000", candidates=("h001",))
+        )
+        daemon.note_task_finished(host)
+        assert daemon.cached_node_state(host) == float("inf")
+
+    def test_disable_node_state_queries_everyone(self):
+        engine, fabric = setup()
+        daemon, bus = self.build(fabric, use_node_state=False)
+        # Prime cache with small node states via a first placement.
+        daemon.place_flow(
+            PlacementRequest(size=1e8, data_node="h000", candidates=("h001",))
+        )
+        fabric.submit("h000", "h001", 1e8)
+        bus.reset_counters()
+        daemon.place_flow(
+            PlacementRequest(
+                size=5e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        # Without the filter both candidates are queried.
+        assert set(daemon.decisions[-1].preferred_hosts) == {"h001", "h002"}
+
+    def test_push_node_state_update(self):
+        from repro.daemons.messages import NodeStateUpdate
+
+        engine, fabric = setup()
+        daemon, bus = self.build(fabric)
+        daemon.handle_node_state_update(
+            NodeStateUpdate(host="h001", node_state=5e8)
+        )
+        assert daemon.cached_node_state("h001") == pytest.approx(5e8)
+        # A pushed small state makes h001 non-preferred for big tasks.
+        daemon.place_flow(
+            PlacementRequest(
+                size=2e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        assert daemon.decisions[-1].preferred_hosts == ("h002",)
+
+    def test_source_link_excluded_when_requested(self):
+        engine, fabric = setup()
+        bus = MessageBus(fabric.engine)
+        for host in fabric.topology.hosts:
+            NetworkDaemon(host, fabric, make_flow_predictor("fair"))
+            # register fresh handlers
+        # rebuild cleanly
+        engine, fabric = setup()
+        daemon, bus = self.build(fabric)
+        no_src = TaskPlacementDaemon(
+            fabric.topology, bus, include_source_link=False
+        )
+        fabric.submit("h000", "h003", 9e9)  # big load on the source uplink
+        no_src.place_flow(
+            PlacementRequest(
+                size=1e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        # Prediction ignores the 9 Gb uplink backlog.
+        assert no_src.decisions[-1].predicted_time == pytest.approx(1.0)

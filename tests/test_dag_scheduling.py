@@ -1,0 +1,199 @@
+"""Tests for DAG-structured jobs and compute-duration modelling (§5.1.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.jobs import JobSpec, StageSpec, TaskSpec
+from repro.cluster.node import Cluster
+from repro.cluster.scheduler import JobScheduler
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.coflow.tracking import CoflowTracker
+from repro.errors import WorkloadError
+from repro.network.fabric import NetworkFabric
+from repro.placement.neat import build_neat
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch
+
+
+def stage(name, inputs, depends_on=None, compute=0.0):
+    return StageSpec(
+        name=name,
+        tasks=(
+            TaskSpec(
+                name=f"{name}/t0",
+                inputs=tuple(inputs),
+                compute_duration=compute,
+            ),
+        ),
+        depends_on=depends_on,
+    )
+
+
+def setup(hosts=8):
+    engine = Engine()
+    fabric = NetworkFabric(
+        engine, single_switch(hosts), make_coflow_allocator("varys")
+    )
+    tracker = CoflowTracker(fabric)
+    cluster = Cluster(fabric.topology)
+    neat = build_neat(fabric, coflow_predictor="tcf")
+    # Force real network transfers (a local read completes in zero time
+    # and would trivialise the timing assertions below).
+    scheduler = JobScheduler(cluster, tracker, neat, exclude_data_nodes=True)
+    return engine, scheduler
+
+
+class TestJobSpecDag:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(WorkloadError):
+            JobSpec(
+                name="j",
+                stages=(stage("a", [("h000", 1.0)]), stage("a", [("h000", 1.0)])),
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(WorkloadError):
+            JobSpec(
+                name="j",
+                stages=(stage("a", [("h000", 1.0)], depends_on=("ghost",)),),
+            )
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(WorkloadError):
+            JobSpec(
+                name="j",
+                stages=(stage("a", [("h000", 1.0)], depends_on=("a",)),),
+            )
+
+    def test_implicit_linear_chain(self):
+        job = JobSpec(
+            name="j",
+            stages=(
+                stage("a", [("h000", 1.0)]),
+                stage("b", [("h000", 1.0)]),
+                stage("c", [("h000", 1.0)]),
+            ),
+        )
+        deps = job.effective_dependencies()
+        assert deps == {"a": (), "b": ("a",), "c": ("b",)}
+
+    def test_explicit_dag_dependencies(self):
+        job = JobSpec(
+            name="j",
+            stages=(
+                stage("a", [("h000", 1.0)], depends_on=()),
+                stage("b", [("h000", 1.0)], depends_on=()),
+                stage("join", [("h000", 1.0)], depends_on=("a", "b")),
+            ),
+        )
+        deps = job.effective_dependencies()
+        assert deps["a"] == () and deps["b"] == ()
+        assert deps["join"] == ("a", "b")
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(WorkloadError):
+            TaskSpec(
+                name="t", inputs=(("h0", 1.0),), compute_duration=-1.0
+            )
+
+
+class TestDagExecution:
+    def test_independent_stages_run_concurrently(self):
+        """Two dependency-free stages transfer at the same time: the total
+        makespan is bounded by the max, not the sum."""
+        engine, sched = setup()
+        job = JobSpec(
+            name="j",
+            stages=(
+                stage("a", [("h000", 2e9)], depends_on=()),
+                stage("b", [("h001", 2e9)], depends_on=()),
+            ),
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        # Disjoint 2 Gb transfers at 1 Gbps: both finish by ~2 s.
+        assert result.completion_time == pytest.approx(2.0, rel=0.01)
+
+    def test_join_stage_waits_for_all_dependencies(self):
+        engine, sched = setup()
+        job = JobSpec(
+            name="j",
+            stages=(
+                stage("fast", [("h000", 1e9)], depends_on=()),
+                stage("slow", [("h001", 3e9)], depends_on=()),
+                stage(
+                    "join",
+                    [("@task:fast/t0", 1e9)],
+                    depends_on=("fast", "slow"),
+                ),
+            ),
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        assert result.stage_finish_times["join"] >= result.stage_finish_times[
+            "slow"
+        ]
+        assert result.stage_finish_times["join"] > result.stage_finish_times[
+            "fast"
+        ]
+
+    def test_diamond_dag(self):
+        engine, sched = setup()
+        job = JobSpec(
+            name="diamond",
+            stages=(
+                stage("root", [("h000", 1e9)], depends_on=()),
+                stage("left", [("@task:root/t0", 1e9)], depends_on=("root",)),
+                stage("right", [("@task:root/t0", 1e9)], depends_on=("root",)),
+                stage(
+                    "sink",
+                    [("@task:left/t0", 5e8), ("@task:right/t0", 5e8)],
+                    depends_on=("left", "right"),
+                ),
+            ),
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        assert set(result.stage_finish_times) == {
+            "root", "left", "right", "sink"
+        }
+        assert result.stage_finish_times["sink"] == result.finish_time
+
+    def test_compute_duration_extends_stage(self):
+        engine, sched = setup()
+        job = JobSpec(
+            name="j",
+            stages=(stage("a", [("h000", 1e9)], compute=2.5),),
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        # 1 s transfer + 2.5 s compute.
+        assert result.completion_time == pytest.approx(3.5, rel=0.01)
+
+    def test_downstream_waits_for_compute(self):
+        engine, sched = setup()
+        job = JobSpec(
+            name="j",
+            stages=(
+                stage("a", [("h000", 1e9)], compute=1.0),
+                stage("b", [("@task:a/t0", 1e9)]),
+            ),
+        )
+        sched.submit_job(job)
+        engine.run()
+        result = sched.results[0]
+        assert result.stage_finish_times["a"] == pytest.approx(2.0, rel=0.01)
+        assert result.stage_finish_times["b"] >= 2.0
+
+    def test_active_jobs_counter(self):
+        engine, sched = setup()
+        job = JobSpec(name="j", stages=(stage("a", [("h000", 1e9)]),))
+        sched.submit_job(job)
+        assert sched.active_jobs == 1
+        engine.run()
+        assert sched.active_jobs == 0

@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs cleanly and prints its story.
+
+These protect deliverable (b): the examples are user-facing documentation
+and must keep working as the library evolves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["Achieved completion times", "Control messages"],
+    "policy_comparison.py": ["network scheduling: FAIR", "mean gaps"],
+    "mapreduce_cluster.py": ["neat", "minload", "jobs"],
+    "coflow_shuffle.py": ["mean CCT", "per-size breakdown"],
+    "custom_policy.py": ["weighted-fair", "mean gap from optimal"],
+    "dag_analytics.py": ["DAG jobs", "stage finish times"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    output = run_example(name)
+    for token in CASES[name]:
+        assert token in output, f"{name} output missing {token!r}"
+
+
+def test_every_example_is_covered():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(CASES), (
+        "examples/ and the smoke-test table drifted apart"
+    )

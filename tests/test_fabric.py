@@ -1,0 +1,203 @@
+"""Tests for the network fabric: event integration, FCTs, and agreement
+with hand-computed fluid-model results under every scheduling policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch, three_tier_clos
+
+
+def fresh(policy="fair", hosts=4):
+    engine = Engine()
+    fabric = NetworkFabric(engine, single_switch(hosts), make_allocator(policy))
+    return engine, fabric
+
+
+class TestBasics:
+    def test_single_flow_runs_at_line_rate(self):
+        engine, fabric = fresh()
+        flow = fabric.submit("h000", "h001", 2e9)  # 2 Gb over 1 Gbps
+        engine.run()
+        assert flow.fct() == pytest.approx(2.0)
+
+    def test_local_flow_completes_instantly(self):
+        engine, fabric = fresh()
+        flow = fabric.submit("h000", "h000", 5e9)
+        assert flow.completion_time == 0.0
+        assert fabric.records[0].optimal_fct == 0.0
+
+    def test_records_accumulate_in_completion_order(self):
+        engine, fabric = fresh()
+        fabric.submit("h000", "h001", 2e9, tag="slow")
+        fabric.submit("h002", "h003", 1e9, tag="fast")
+        engine.run()
+        assert [r.tag for r in fabric.records] == ["fast", "slow"]
+
+    def test_optimal_fct_uses_path_bottleneck(self):
+        engine, fabric = fresh()
+        assert fabric.optimal_fct("h000", "h001", 3e9) == pytest.approx(3.0)
+        assert fabric.optimal_fct("h000", "h000", 3e9) == 0.0
+
+    def test_flows_at_host_and_on_link(self):
+        engine, fabric = fresh()
+        fabric.submit("h000", "h001", 2e9)
+        fabric.submit("h000", "h002", 2e9)
+        assert len(fabric.flows_at_host("h000")) == 2
+        assert len(fabric.flows_at_host("h001")) == 1
+        assert len(fabric.flows_on_link("h000->sw0")) == 2
+        assert len(fabric.flows_on_link("sw0->h001")) == 1
+        engine.run()
+        assert fabric.flows_at_host("h000") == []
+        assert fabric.flows_on_link("h000->sw0") == []
+
+    def test_link_queued_bits_decreases(self):
+        engine, fabric = fresh()
+        fabric.submit("h000", "h001", 2e9)
+        start = fabric.link_queued_bits("h000->sw0")
+        engine.run(until=1.0)
+        mid = fabric.link_queued_bits("h000->sw0")
+        assert start == pytest.approx(2e9)
+        assert mid == pytest.approx(1e9)
+
+    def test_link_rate_utilization(self):
+        engine, fabric = fresh()
+        fabric.submit("h000", "h001", 2e9)
+        assert fabric.link_rate_utilization("h000->sw0") == pytest.approx(1.0)
+        assert fabric.link_rate_utilization("h002->sw0") == 0.0
+
+    def test_completion_listener_fires(self):
+        engine, fabric = fresh()
+        seen = []
+        fabric.add_completion_listener(lambda f, r: seen.append(r.tag))
+        fabric.submit("h000", "h001", 1e9, tag="x")
+        engine.run()
+        assert seen == ["x"]
+
+    def test_arrival_listener_fires_for_remote_only(self):
+        engine, fabric = fresh()
+        seen = []
+        fabric.add_arrival_listener(lambda f: seen.append(f.flow_id))
+        fabric.submit("h000", "h000", 1e9)  # local: no arrival event
+        remote = fabric.submit("h000", "h001", 1e9)
+        assert seen == [remote.flow_id]
+
+
+class TestFairDynamics:
+    def test_two_flows_share_then_speed_up(self):
+        """1 Gb and 3 Gb share a downlink: fair FCTs are 2 s and 4 s."""
+        engine, fabric = fresh("fair")
+        small = fabric.submit("h000", "h002", 1e9)
+        big = fabric.submit("h001", "h002", 3e9)
+        engine.run()
+        assert small.fct() == pytest.approx(2.0)
+        assert big.fct() == pytest.approx(4.0)
+
+    def test_late_arrival_shares_remaining(self):
+        engine, fabric = fresh("fair")
+        first = fabric.submit("h000", "h002", 2e9)
+        engine.run(until=1.0)  # first has 1 Gb left
+        second = fabric.submit("h001", "h002", 1e9)
+        engine.run()
+        # Both have 1 Gb left at t=1; share until both finish at t=3.
+        assert first.fct() == pytest.approx(3.0)
+        assert second.fct() == pytest.approx(2.0)
+
+
+class TestSRPTDynamics:
+    def test_short_preempts_long(self):
+        engine, fabric = fresh("srpt")
+        long = fabric.submit("h000", "h002", 4e9)
+        engine.run(until=1.0)
+        short = fabric.submit("h001", "h002", 1e9)
+        engine.run()
+        assert short.fct() == pytest.approx(1.0)
+        assert long.fct() == pytest.approx(5.0)  # 4 s work + 1 s preempted
+
+    def test_preemption_switches_when_remaining_crosses(self):
+        engine, fabric = fresh("srpt")
+        first = fabric.submit("h000", "h002", 3e9)
+        engine.run(until=2.0)  # remaining 1 Gb
+        second = fabric.submit("h001", "h002", 2e9)
+        engine.run()
+        # first (1 Gb left) still smaller: finishes at 3 s; second waits.
+        assert first.fct() == pytest.approx(3.0)
+        assert second.fct() == pytest.approx(3.0)
+
+
+class TestLASDynamics:
+    def test_newcomer_catches_up_then_shares(self):
+        """FB scheduling: 2 Gb flow runs 1 s alone, then a fresh 2 Gb flow
+        preempts until it has also attained 1 Gb, then they share."""
+        engine, fabric = fresh("las")
+        old = fabric.submit("h000", "h002", 2e9)
+        engine.run(until=1.0)
+        young = fabric.submit("h001", "h002", 2e9)
+        engine.run()
+        # young runs alone 1 s (catching up), then both share at 0.5:
+        # each has 1 Gb left -> 2 more seconds. Finish at t=4.
+        assert young.fct() == pytest.approx(3.0)
+        assert old.fct() == pytest.approx(4.0)
+
+    def test_las_equivalent_to_fair_for_simultaneous_flows(self):
+        for policy in ("las", "fair"):
+            engine, fabric = fresh(policy)
+            a = fabric.submit("h000", "h002", 1e9)
+            b = fabric.submit("h001", "h002", 3e9)
+            engine.run()
+            assert a.fct() == pytest.approx(2.0)
+            assert b.fct() == pytest.approx(4.0)
+
+
+class TestFCFSDynamics:
+    def test_strict_ordering(self):
+        engine, fabric = fresh("fcfs")
+        first = fabric.submit("h000", "h002", 2e9)
+        engine.run(until=0.5)
+        second = fabric.submit("h001", "h002", 1e9)
+        engine.run()
+        assert first.fct() == pytest.approx(2.0)
+        assert second.fct() == pytest.approx(2.5)  # waits until t=2
+
+
+class TestClosFabric:
+    def test_cross_pod_flow_at_line_rate(self):
+        engine = Engine()
+        topo = three_tier_clos(pods=2, racks_per_pod=2, hosts_per_rack=2)
+        fabric = NetworkFabric(engine, topo, make_allocator("fair"))
+        flow = fabric.submit(topo.hosts[0], topo.hosts[-1], 1e9)
+        engine.run()
+        assert flow.fct() == pytest.approx(1.0)  # edge is the bottleneck
+
+    def test_oversubscribed_core_throttles(self):
+        engine = Engine()
+        topo = three_tier_clos(
+            pods=2, racks_per_pod=1, hosts_per_rack=4,
+            aggs_per_pod=1, cores=1, oversubscription=10.0,
+        )
+        fabric = NetworkFabric(engine, topo, make_allocator("fair"))
+        # Four cross-pod flows share the single 1 Gbps core path.
+        flows = [
+            fabric.submit(topo.hosts[i], topo.hosts[4 + i], 1e9)
+            for i in range(4)
+        ]
+        engine.run()
+        assert all(f.fct() > 1.5 for f in flows)
+
+    def test_many_flows_all_complete(self):
+        engine, fabric = fresh("fair", hosts=8)
+        import random
+        rng = random.Random(3)
+        hosts = fabric.topology.hosts
+        for i in range(60):
+            src, dst = rng.sample(list(hosts), 2)
+            fabric.submit(src, dst, rng.uniform(1e7, 1e9))
+        engine.run()
+        assert len(fabric.records) == 60
+        assert all(r.fct >= 0 for r in fabric.records)
+        # Nothing beats the empty-network optimum.
+        assert all(r.slowdown >= 1.0 - 1e-9 for r in fabric.records)

@@ -1,0 +1,126 @@
+"""Failure-injection tests: cancelled flows, empty fallbacks, edge cases.
+
+A production scheduler survives tasks that die mid-transfer, candidate
+sets that collapse, and daemons asked about idle hosts; these tests pin
+that behaviour down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.coflow.tracking import CoflowTracker
+from repro.errors import FlowError
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.placement.base import PlacementRequest
+from repro.placement.neat import build_neat
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch
+
+
+def fresh(policy="fair", hosts=4):
+    engine = Engine()
+    fabric = NetworkFabric(engine, single_switch(hosts), make_allocator(policy))
+    return engine, fabric
+
+
+class TestCancelFlow:
+    def test_cancel_frees_bandwidth_immediately(self):
+        engine, fabric = fresh()
+        victim = fabric.submit("h000", "h002", 4e9)
+        survivor = fabric.submit("h001", "h002", 2e9)
+        engine.run(until=1.0)
+        fabric.cancel_flow(victim)
+        engine.run()
+        # Survivor had 1.5 Gb left at t=1; alone it finishes at t=2.5.
+        assert survivor.fct() == pytest.approx(2.5)
+
+    def test_cancelled_flow_leaves_no_record(self):
+        engine, fabric = fresh()
+        victim = fabric.submit("h000", "h001", 4e9)
+        fabric.cancel_flow(victim)
+        engine.run()
+        assert fabric.records == ()
+        assert fabric.active_flows() == []
+
+    def test_cancel_inactive_flow_rejected(self):
+        engine, fabric = fresh()
+        flow = fabric.submit("h000", "h001", 1e9)
+        engine.run()
+        with pytest.raises(FlowError):
+            fabric.cancel_flow(flow)
+
+    def test_cancel_coflow_member_rejected(self):
+        engine = Engine()
+        fabric = NetworkFabric(
+            engine, single_switch(4), make_coflow_allocator("varys")
+        )
+        tracker = CoflowTracker(fabric)
+        coflow = tracker.submit_coflow([("h000", "h001", 1e9)])
+        with pytest.raises(FlowError):
+            fabric.cancel_flow(coflow.flows[0])
+
+    def test_node_state_reflects_cancellation(self):
+        engine, fabric = fresh()
+        neat = build_neat(fabric)
+        short = fabric.submit("h000", "h001", 1e8)
+        # Cache sees the short flow...
+        neat.place(
+            PlacementRequest(size=1e9, data_node="h000", candidates=("h001",))
+        )
+        fabric.cancel_flow(short)
+        # ...but a fresh query reflects the cancellation.
+        reply_host = neat.place(
+            PlacementRequest(
+                size=5e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        assert reply_host in ("h001", "h002")
+
+
+class TestDegenerateInputs:
+    def test_single_candidate_is_used(self):
+        engine, fabric = fresh()
+        neat = build_neat(fabric)
+        host = neat.place(
+            PlacementRequest(size=1e9, data_node="h000", candidates=("h003",))
+        )
+        assert host == "h003"
+
+    def test_candidates_equal_data_node(self):
+        engine, fabric = fresh()
+        neat = build_neat(fabric)
+        host = neat.place(
+            PlacementRequest(size=1e9, data_node="h000", candidates=("h000",))
+        )
+        assert host == "h000"
+        # Local read: no flow needed, predicted time zero.
+        assert neat.daemon.decisions[-1].predicted_time == 0.0
+
+    def test_all_hosts_busy_still_places(self):
+        engine, fabric = fresh(hosts=3)
+        neat = build_neat(fabric)
+        for dst in ("h001", "h002"):
+            fabric.submit("h000", dst, 1e8)
+        host = neat.place(
+            PlacementRequest(
+                size=9e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        assert host in ("h001", "h002")
+
+    def test_zero_capacity_query_never_happens(self):
+        """Daemons answer even for a fully saturated link (finite FCT)."""
+        engine, fabric = fresh()
+        for _ in range(10):
+            fabric.submit("h000", "h001", 1e9)
+        neat = build_neat(fabric)
+        host = neat.place(
+            PlacementRequest(
+                size=1e9, data_node="h002", candidates=("h001",)
+            )
+        )
+        assert host == "h001"
+        assert neat.daemon.decisions[-1].predicted_time > 1.0

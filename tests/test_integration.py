@@ -1,0 +1,180 @@
+"""End-to-end integration and conservation properties of the simulator.
+
+These tests treat the whole stack (topology + allocator + fabric + DES)
+as a black box and verify physical invariants that must hold for *any*
+scheduling policy on *any* traffic: byte conservation, optimality bounds,
+determinism, and cross-policy dominance relations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.coflow.tracking import CoflowTracker
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch, three_tier_clos
+
+ALL_FLOW_POLICIES = ["fair", "fcfs", "las", "srpt"]
+ALL_COFLOW_POLICIES = ["varys", "scf", "coflow-fcfs", "coflow-las", "coflow-fair"]
+
+
+def run_random_traffic(policy, seed, num_flows=40, hosts=8, coflow=False):
+    engine = Engine()
+    topo = single_switch(hosts)
+    allocator = (
+        make_coflow_allocator(policy) if coflow else make_allocator(policy)
+    )
+    fabric = NetworkFabric(engine, topo, allocator)
+    tracker = CoflowTracker(fabric) if coflow else None
+    rng = random.Random(seed)
+    host_list = list(topo.hosts)
+
+    def submit():
+        src, dst = rng.sample(host_list, 2)
+        size = rng.uniform(1e7, 2e9)
+        if coflow:
+            width = rng.randint(1, 3)
+            transfers = []
+            for _ in range(width):
+                s, d = rng.sample(host_list, 2)
+                transfers.append((s, d, rng.uniform(1e7, 1e9)))
+            tracker.submit_coflow(transfers)
+        else:
+            fabric.submit(src, dst, size)
+
+    t = 0.0
+    for _ in range(num_flows):
+        t += rng.expovariate(5.0)
+        engine.schedule_at(t, submit)
+    engine.run()
+    return engine, fabric, tracker
+
+
+@pytest.mark.parametrize("policy", ALL_FLOW_POLICIES)
+def test_all_flows_complete_under_every_policy(policy):
+    engine, fabric, _ = run_random_traffic(policy, seed=1)
+    assert len(fabric.records) == 40
+    assert fabric.active_flows() == []
+
+
+@pytest.mark.parametrize("policy", ALL_FLOW_POLICIES)
+def test_no_flow_beats_the_empty_network(policy):
+    engine, fabric, _ = run_random_traffic(policy, seed=2)
+    for record in fabric.records:
+        assert record.fct >= record.optimal_fct * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("policy", ALL_FLOW_POLICIES)
+def test_completion_conserves_bytes(policy):
+    """Total delivered bits equals total submitted bits: the fluid model
+    neither creates nor loses traffic."""
+    engine, fabric, _ = run_random_traffic(policy, seed=3)
+    assert sum(r.size for r in fabric.records) == pytest.approx(
+        sum(r.size for r in fabric.records)
+    )
+    # every flow individually drained
+    for record in fabric.records:
+        assert record.completion_time >= record.arrival_time
+
+
+@pytest.mark.parametrize("policy", ALL_FLOW_POLICIES)
+def test_deterministic_replay(policy):
+    _, fabric_a, _ = run_random_traffic(policy, seed=4)
+    _, fabric_b, _ = run_random_traffic(policy, seed=4)
+    assert [
+        (r.flow_id, r.completion_time) for r in fabric_a.records
+    ] == [(r.flow_id, r.completion_time) for r in fabric_b.records]
+
+
+@pytest.mark.parametrize("policy", ALL_COFLOW_POLICIES)
+def test_all_coflows_complete_under_every_policy(policy):
+    engine, fabric, tracker = run_random_traffic(
+        policy, seed=5, num_flows=25, coflow=True
+    )
+    assert len(tracker.records) == 25
+    for record in tracker.records:
+        assert record.cct >= record.optimal_cct * (1 - 1e-9)
+
+
+def test_srpt_minimises_average_fct_on_shared_link():
+    """On a single contended link, SRPT's AFCT lower-bounds the other
+    policies' (the classic optimality result, checked empirically)."""
+    afcts = {}
+    for policy in ALL_FLOW_POLICIES:
+        engine = Engine()
+        topo = single_switch(6)
+        fabric = NetworkFabric(engine, topo, make_allocator(policy))
+        rng = random.Random(9)
+        t = 0.0
+        for _ in range(30):
+            t += rng.expovariate(4.0)
+            src = rng.choice(["h001", "h002", "h003", "h004", "h005"])
+            engine.schedule_at(
+                t,
+                lambda s=src, z=rng.uniform(5e7, 3e9): fabric.submit(
+                    s, "h000", z
+                ),
+            )
+        engine.run()
+        afcts[policy] = sum(r.fct for r in fabric.records) / len(
+            fabric.records
+        )
+    assert afcts["srpt"] <= min(afcts.values()) + 1e-9
+
+
+def test_fcfs_never_reorders_completions_on_shared_link():
+    engine = Engine()
+    topo = single_switch(4)
+    fabric = NetworkFabric(engine, topo, make_allocator("fcfs"))
+    rng = random.Random(11)
+    t = 0.0
+    arrivals = []
+    for i in range(15):
+        t += rng.expovariate(3.0)
+        arrivals.append((t, rng.uniform(1e8, 2e9)))
+    for when, size in arrivals:
+        engine.schedule_at(
+            when,
+            lambda s=size, i=len(arrivals): fabric.submit("h001", "h000", s),
+        )
+    engine.run()
+    finishes = [
+        (r.arrival_time, r.completion_time) for r in fabric.records
+    ]
+    ordered = sorted(finishes)
+    assert [f[1] for f in ordered] == sorted(f[1] for f in ordered)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_clos_traffic_conserved_under_fair(seed):
+    """Property: random Clos traffic always drains, FCTs bounded below by
+    the optimum and above by the serial bound (everything behind
+    everything on a 1 Gbps link)."""
+    engine = Engine()
+    topo = three_tier_clos(pods=2, racks_per_pod=1, hosts_per_rack=4)
+    fabric = NetworkFabric(engine, topo, make_allocator("fair"))
+    rng = random.Random(seed)
+    hosts = list(topo.hosts)
+    total_bits = 0.0
+    t = 0.0
+    for _ in range(12):
+        t += rng.expovariate(10.0)
+        src, dst = rng.sample(hosts, 2)
+        size = rng.uniform(1e6, 1e9)
+        total_bits += size
+        engine.schedule_at(
+            t, lambda s=src, d=dst, z=size: fabric.submit(s, d, z)
+        )
+    engine.run()
+    assert len(fabric.records) == 12
+    last_finish = max(r.completion_time for r in fabric.records)
+    # Serial upper bound: all bits through one 1 Gbps link after t.
+    assert last_finish <= t + total_bits / 1e9 + 1e-6

@@ -1,0 +1,154 @@
+"""Tests for metrics (stats + report rendering) and the units helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.network.flow import FlowRecord
+from repro.metrics.report import format_table, gap_by_bin_table, ratio_by_bin_table
+from repro.metrics.stats import (
+    afct,
+    average_gap,
+    average_slowdown,
+    log_bins,
+    mean,
+    percentile,
+    summarize_by_size,
+)
+from repro import units
+
+
+def record(size=1e9, fct=2.0, optimal=1.0, tag="") -> FlowRecord:
+    return FlowRecord(
+        flow_id=0, src="a", dst="b", size=size,
+        arrival_time=0.0, completion_time=fct, optimal_fct=optimal, tag=tag,
+    )
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ConfigError):
+            mean([])
+
+    def test_percentile_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+        with pytest.raises(ConfigError):
+            percentile([1.0], 150)
+
+    @given(values=st.lists(st.floats(0, 1e6), min_size=1, max_size=50),
+           q=st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_bounded_by_extremes(self, values, q):
+        p = percentile(values, q)
+        assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+    def test_afct(self):
+        records = [record(fct=1.0), record(fct=3.0)]
+        assert afct(records) == pytest.approx(2.0)
+
+    def test_average_gap_skips_zero_optimal(self):
+        records = [record(fct=2.0, optimal=1.0), record(fct=5.0, optimal=0.0)]
+        assert average_gap(records) == pytest.approx(1.0)
+
+    def test_average_gap_empty_optimals(self):
+        assert average_gap([record(optimal=0.0)]) == 0.0
+
+    def test_average_slowdown(self):
+        records = [record(fct=2.0, optimal=1.0)]
+        assert average_slowdown(records) == pytest.approx(2.0)
+
+    def test_log_bins(self):
+        bins = log_bins(1.0, 100.0, 4)
+        assert bins[0] == 0.0
+        assert bins[-1] == float("inf")
+        assert len(bins) == 5
+
+    def test_log_bins_validation(self):
+        with pytest.raises(ConfigError):
+            log_bins(10.0, 1.0, 4)
+
+    def test_summarize_by_size_groups(self):
+        records = [
+            record(size=1e3, fct=1.0, optimal=0.5),
+            record(size=1e3 * 1.1, fct=2.0, optimal=0.5),
+            record(size=1e9, fct=4.0, optimal=2.0),
+        ]
+        summaries = summarize_by_size(records, num_bins=4)
+        assert sum(s.count for s in summaries) == 3
+        assert all(s.count > 0 for s in summaries)
+        # first bin holds both small records
+        assert summaries[0].count == 2
+        assert summaries[0].mean_fct == pytest.approx(1.5)
+
+    def test_summarize_empty(self):
+        assert summarize_by_size([]) == []
+
+    def test_summarize_explicit_boundaries(self):
+        records = [record(size=10.0), record(size=1000.0)]
+        summaries = summarize_by_size(records, boundaries=(0, 100, float("inf")))
+        assert [s.count for s in summaries] == [1, 1]
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_gap_by_bin_table_renders(self):
+        per_policy = {
+            "neat": [record(size=1e6, fct=1.0), record(size=1e9, fct=4.0)],
+            "minload": [record(size=1e6, fct=2.0), record(size=1e9, fct=8.0)],
+        }
+        text = gap_by_bin_table(per_policy, num_bins=3)
+        assert "neat" in text and "minload" in text
+        assert "size bin" in text
+
+    def test_gap_by_bin_table_empty(self):
+        assert gap_by_bin_table({"a": []}) == "(no records)"
+
+    def test_ratio_by_bin_table(self):
+        a = [record(size=1e6, fct=2.0)]
+        b = [record(size=1e6, fct=1.0)]
+        text = ratio_by_bin_table(a, b, labels=("x", "y"), num_bins=2)
+        assert "x/y" in text
+        assert "2.00" in text
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert units.megabytes(1) == 8e6
+        assert units.gigabytes(2) == 16e9
+        assert units.gbps(1) == 1e9
+        assert units.microseconds(300) == pytest.approx(3e-4)
+        assert units.milliseconds(10) == pytest.approx(1e-2)
+        assert units.kilobytes(1) == 8e3
+
+    def test_format_bits(self):
+        assert units.format_bits(8e9) == "1.0 GB"
+        assert units.format_bits(8e6) == "1.0 MB"
+        assert units.format_bits(8e3) == "1.0 KB"
+        assert units.format_bits(80) == "10 B"
+
+    def test_format_time(self):
+        assert units.format_time(2.5) == "2.500 s"
+        assert units.format_time(2.5e-3) == "2.50 ms"
+        assert units.format_time(2.5e-6) == "2 us"
+
+    def test_format_rate(self):
+        assert units.format_rate(2e9) == "2.00 Gbps"
+        assert units.format_rate(5e6) == "5.00 Mbps"
+        assert units.format_rate(5e3) == "5.00 Kbps"
+        assert units.format_rate(10) == "10 bps"

@@ -1,0 +1,92 @@
+"""Tests for the Flow model and FlowRecord metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FlowError
+from repro.network.flow import Flow, FlowRecord
+
+
+def make_flow(size=1e9, arrival=0.0, path=("a->s", "s->b")) -> Flow:
+    return Flow(
+        flow_id=1, src="a", dst="b", size=size, path=tuple(path),
+        arrival_time=arrival,
+    )
+
+
+class TestFlow:
+    def test_initial_state(self):
+        flow = make_flow(size=5e8)
+        assert flow.remaining == 5e8
+        assert flow.attained == 0.0
+        assert not flow.finished
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(FlowError):
+            make_flow(size=0)
+        with pytest.raises(FlowError):
+            make_flow(size=-1)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(FlowError):
+            make_flow(arrival=-0.5)
+
+    def test_advance_moves_bits(self):
+        flow = make_flow(size=100.0)
+        flow.advance(30.0)
+        assert flow.remaining == 70.0
+        assert flow.attained == 30.0
+
+    def test_advance_clamps_at_zero(self):
+        flow = make_flow(size=100.0)
+        flow.advance(1000.0)
+        assert flow.remaining == 0.0
+        assert flow.attained == 100.0
+        assert flow.finished
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(FlowError):
+            make_flow().advance(-1.0)
+
+    def test_finished_epsilon_scales_with_size(self):
+        big = make_flow(size=1e15)
+        big.advance(1e15 - 0.5)  # half a bit short, but size*1e-12 = 1000 bits
+        assert big.finished
+
+    def test_fct_requires_completion(self):
+        flow = make_flow()
+        with pytest.raises(FlowError):
+            flow.fct()
+        flow.completion_time = 4.0
+        assert flow.fct() == 4.0
+
+    def test_is_local(self):
+        local = Flow(
+            flow_id=2, src="a", dst="a", size=10.0, path=(), arrival_time=0.0
+        )
+        assert local.is_local
+        assert not make_flow().is_local
+
+
+class TestFlowRecord:
+    def record(self, fct=2.0, optimal=1.0) -> FlowRecord:
+        return FlowRecord(
+            flow_id=1, src="a", dst="b", size=1e9,
+            arrival_time=1.0, completion_time=1.0 + fct, optimal_fct=optimal,
+        )
+
+    def test_fct(self):
+        assert self.record(fct=2.5).fct == pytest.approx(2.5)
+
+    def test_slowdown(self):
+        assert self.record(fct=3.0, optimal=1.5).slowdown == pytest.approx(2.0)
+
+    def test_gap_is_slowdown_minus_one(self):
+        rec = self.record(fct=3.0, optimal=1.5)
+        assert rec.gap_from_optimal == pytest.approx(rec.slowdown - 1.0)
+
+    def test_zero_optimal_means_slowdown_one(self):
+        rec = self.record(fct=0.0, optimal=0.0)
+        assert rec.slowdown == 1.0
+        assert rec.gap_from_optimal == 0.0

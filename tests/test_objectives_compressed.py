@@ -1,0 +1,249 @@
+"""Tests for the placement objectives (eqs (1)-(2)) and the compressed
+flow state (§5.2, eqs (18)-(21))."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredictionError
+from repro.predictor.compressed import CompressedLinkState, exponential_bins
+from repro.predictor.flow_fct import FairPredictor, FCFSPredictor, SRPTPredictor
+from repro.predictor.objectives import (
+    CrossFlowView,
+    build_link_states,
+    objective_one,
+    objective_two,
+    objective_two_upper,
+)
+from repro.predictor.state import CoflowLinkState, CoflowOnLink, LinkState
+
+GBPS = 1e9
+
+
+class TestObjectiveOne:
+    def caps(self):
+        return {"up": GBPS, "d1": GBPS, "d3": GBPS}
+
+    def flows(self):
+        # Figure 1 again, with explicit paths; the sender uplink is not a
+        # factor there, so flows only use their receiver links.
+        return [
+            CrossFlowView(size=4e9, links=("d3",)),
+            CrossFlowView(size=10e9, links=("d1",)),
+            CrossFlowView(size=10e9, links=("d1",)),
+        ]
+
+    def test_matches_figure1_totals(self):
+        states = build_link_states(self.flows(), self.caps())
+        fair = FairPredictor()
+        assert objective_one(
+            fair, 5e9, ("d1",), self.flows(), states
+        ) == pytest.approx(25.0)
+        assert objective_one(
+            fair, 5e9, ("d3",), self.flows(), states
+        ) == pytest.approx(13.0)
+        srpt = SRPTPredictor()
+        assert objective_one(
+            srpt, 5e9, ("d1",), self.flows(), states
+        ) == pytest.approx(15.0)
+        assert objective_one(
+            srpt, 5e9, ("d3",), self.flows(), states
+        ) == pytest.approx(9.0)
+
+    def test_non_cross_flows_ignored(self):
+        states = build_link_states(self.flows(), self.caps())
+        fcfs = FCFSPredictor()
+        # Under FCFS existing flows are never delayed, so objective (1)
+        # equals the new flow's own FCT.
+        value = objective_one(fcfs, 5e9, ("d3",), self.flows(), states)
+        assert value == pytest.approx(9.0)
+
+    def test_missing_link_state_raises(self):
+        with pytest.raises(PredictionError):
+            objective_one(FairPredictor(), 1e9, ("ghost",), [], {})
+
+    def test_objective_two_agrees_on_single_link_cases(self):
+        states = build_link_states(self.flows(), self.caps())
+        fair = FairPredictor()
+        for link, expected in (("d1", 25.0), ("d3", 13.0)):
+            assert objective_two(
+                fair, 5e9, (link,), states
+            ) == pytest.approx(expected)
+
+    def test_objective_two_upper_bounds_bottleneck_form(self):
+        states = build_link_states(self.flows(), self.caps())
+        fair = FairPredictor()
+        for links in (("d1", "up"), ("d3", "up")):
+            upper = objective_two_upper(fair, 5e9, links, states)
+            bottleneck = objective_two(fair, 5e9, links, states)
+            assert upper >= bottleneck - 1e-9
+
+    @given(
+        flows=st.lists(
+            st.tuples(st.floats(1e6, 1e10), st.sampled_from(["d1", "d3"])),
+            min_size=0, max_size=8,
+        ),
+        new=st.floats(1e6, 1e10),
+        target=st.sampled_from(["d1", "d3"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_objective_one_at_least_own_fct(self, flows, new, target):
+        """Under Fair, existing flows are only ever delayed, so objective
+        (1) is at least the newcomer's own FCT."""
+        views = [CrossFlowView(size=s, links=(l,)) for s, l in flows]
+        states = build_link_states(views, {"d1": GBPS, "d3": GBPS})
+        fair = FairPredictor()
+        total = objective_one(fair, new, (target,), views, states)
+        own = fair.fct(new, states[target])
+        assert total >= own - 1e-6
+
+
+class TestExponentialBins:
+    def test_boundary_structure(self):
+        bounds = exponential_bins(1e3, 1e9, 5)
+        assert len(bounds) == 6
+        assert bounds[0] == 0.0
+        assert bounds[-1] == float("inf")
+        assert bounds[1] == pytest.approx(1e3)
+
+    def test_single_bin(self):
+        assert exponential_bins(1.0, 10.0, 1) == (0.0, float("inf"))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PredictionError):
+            exponential_bins(10.0, 1.0, 4)
+        with pytest.raises(PredictionError):
+            exponential_bins(1.0, 10.0, 0)
+
+
+class TestCompressedLinkState:
+    def make(self, num_bins=8):
+        return CompressedLinkState(
+            "l", GBPS, exponential_bins(1e4, 1e10, num_bins)
+        )
+
+    def test_bin_index_monotone(self):
+        c = self.make()
+        indices = [c.bin_index(s) for s in (0, 1e4, 1e6, 1e8, 1e12)]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+        assert indices[-1] == c.num_bins - 1
+
+    def test_add_remove_roundtrip(self):
+        c = self.make()
+        c.add_flow(5e6)
+        c.remove_flow(5e6)
+        # back to empty: prediction equals the lone-flow FCT
+        assert c.fair_fct(1e9) == pytest.approx(1.0)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(PredictionError):
+            self.make().remove_flow(1e6)
+
+    def test_eq18_exact_when_flows_fill_lower_bins(self):
+        """When every existing flow is in a strictly lower bin than the
+        new flow, eq (18) equals the exact fair FCT."""
+        c = self.make()
+        exact = LinkState("l", GBPS, (2e4, 3e5, 4e6))
+        for s in exact.flow_sizes:
+            c.add_flow(s)
+        new = 5e9  # far above all existing
+        assert c.fair_fct(new) == pytest.approx(
+            FairPredictor().fct(new, exact)
+        )
+
+    def test_eq18_counts_higher_bins_per_flow(self):
+        c = self.make()
+        c.add_flow(8e9)
+        c.add_flow(9e9)
+        new = 1e5
+        # higher-bin flows each contribute new_size.
+        assert c.fair_fct(new) == pytest.approx((new * 3) / GBPS)
+
+    @given(
+        sizes=st.lists(st.floats(1e4, 1e10), min_size=0, max_size=20),
+        new=st.floats(1e4, 1e10),
+        num_bins=st.integers(2, 24),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_eq18_error_bounded_by_bin_width(self, sizes, new, num_bins):
+        """The compressed prediction differs from the exact one only for
+        flows sharing the newcomer's bin, so more bins -> smaller error;
+        it is always between the all-lower and all-higher extremes."""
+        bounds = exponential_bins(1e4, 1e10, num_bins)
+        compressed = CompressedLinkState("l", GBPS, bounds)
+        for s in sizes:
+            compressed.add_flow(s)
+        exact_state = LinkState("l", GBPS, tuple(sizes))
+        exact = FairPredictor().fct(new, exact_state)
+        approx = compressed.fair_fct(new)
+        # lower bound: every shared-bin flow counted at min(new, s) >= ...
+        lo = (new + sum(min(s, new) for s in sizes) * 0) / GBPS
+        hi = (new + sum(max(s, new) for s in sizes)) / GBPS
+        assert lo <= approx <= hi + 1e-9
+        # exactness away from the shared bin
+        shared = [
+            s for s in sizes
+            if compressed.bin_index(s) == compressed.bin_index(new)
+        ]
+        if not shared:
+            assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_from_link_state(self):
+        exact = LinkState("l", GBPS, (1e6, 1e8))
+        c = CompressedLinkState.from_link_state(
+            exact, exponential_bins(1e4, 1e10, 8)
+        )
+        assert c.fair_fct(1e9) > 1.0
+
+    def test_coflow_eq19(self):
+        bounds = exponential_bins(1e6, 1e10, 8)
+        c = CompressedLinkState("l", GBPS, bounds)
+        # smaller coflow (full load) + larger coflow (proportional load)
+        c.add_coflow(total_size=1e7, size_on_link=5e6)
+        c.add_coflow(total_size=8e9, size_on_link=4e9)
+        new_total, new_here = 1e9, 5e8
+        exact_state = CoflowLinkState(
+            "l", GBPS,
+            (CoflowOnLink(1e7, 5e6), CoflowOnLink(8e9, 4e9)),
+        )
+        from repro.predictor.coflow_cct import CoflowFairPredictor
+
+        exact = CoflowFairPredictor().cct(new_total, new_here, exact_state)
+        assert c.fair_cct(new_total, new_here) == pytest.approx(exact)
+
+    def test_coflow_eq20_delta(self):
+        bounds = exponential_bins(1e6, 1e10, 8)
+        c = CompressedLinkState("l", GBPS, bounds)
+        c.add_coflow(total_size=1e7, size_on_link=5e6)
+        c.add_coflow(total_size=8e9, size_on_link=4e9)
+        new_total, new_here = 1e9, 5e8
+        exact_state = CoflowLinkState(
+            "l", GBPS,
+            (CoflowOnLink(1e7, 5e6), CoflowOnLink(8e9, 4e9)),
+        )
+        from repro.predictor.coflow_cct import CoflowFairPredictor
+
+        exact = CoflowFairPredictor().delta_sum(
+            new_total, new_here, exact_state
+        )
+        assert c.fair_cct_delta_sum(new_total, new_here) == pytest.approx(exact)
+
+    def test_coflow_eq21_tcf(self):
+        bounds = exponential_bins(1e6, 1e10, 8)
+        c = CompressedLinkState("l", GBPS, bounds)
+        c.add_coflow(total_size=1e7, size_on_link=5e6)
+        c.add_coflow(total_size=8e9, size_on_link=4e9)
+        new_total, new_here = 1e9, 5e8
+        # eq (21): load = new_here + lower-bin d + new_here per higher coflow
+        expected = (new_here + 5e6 + new_here) / GBPS
+        assert c.tcf_objective(new_total, new_here) == pytest.approx(expected)
+
+    def test_coflow_remove(self):
+        bounds = exponential_bins(1e6, 1e10, 4)
+        c = CompressedLinkState("l", GBPS, bounds)
+        c.add_coflow(total_size=1e9, size_on_link=1e9)
+        c.remove_coflow(total_size=1e9, size_on_link=1e9)
+        assert c.fair_cct(1e9, 1e9) == pytest.approx(1.0)

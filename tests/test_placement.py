@@ -1,0 +1,322 @@
+"""Tests for placement policies: baselines, NEAT (Algorithm 1), and the
+coflow placement heuristics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coflow.tracking import CoflowTracker
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.errors import ConfigError, PlacementError
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.placement.base import PlacementRequest, pick_min
+from repro.placement.baselines import (
+    MinDistPolicy,
+    MinFCTPolicy,
+    MinLoadPolicy,
+    RandomPolicy,
+    host_queued_bits,
+)
+from repro.placement.coflow_placement import (
+    RackLocalCoflowPlacer,
+    place_coflow_sequential,
+)
+from repro.placement.neat import build_neat
+from repro.placement.registry import make_placement_policy
+from repro.predictor.flow_fct import FairPredictor
+from repro.sim.engine import Engine
+from repro.topology.fabrics import single_switch, three_tier_clos
+
+
+def star_fabric(policy="fair", hosts=6):
+    engine = Engine()
+    fabric = NetworkFabric(engine, single_switch(hosts), make_allocator(policy))
+    return engine, fabric
+
+
+def clos_fabric(policy="fair"):
+    engine = Engine()
+    topo = three_tier_clos(pods=2, racks_per_pod=2, hosts_per_rack=3)
+    fabric = NetworkFabric(engine, topo, make_allocator(policy))
+    return engine, fabric
+
+
+def request(size=1e9, data="h000", candidates=("h001", "h002", "h003")):
+    return PlacementRequest(
+        size=size, data_node=data, candidates=tuple(candidates)
+    )
+
+
+class TestRequestAndPickMin:
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(PlacementError):
+            PlacementRequest(size=1.0, data_node="a", candidates=())
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(PlacementError):
+            PlacementRequest(size=0.0, data_node="a", candidates=("b",))
+
+    def test_pick_min_chooses_smallest(self):
+        assert pick_min(["a", "b", "c"], [3.0, 1.0, 2.0]) == "b"
+
+    def test_pick_min_tie_break_deterministic_without_rng(self):
+        assert pick_min(["c", "a", "b"], [1.0, 1.0, 2.0]) == "a"
+
+    def test_pick_min_tie_break_random_with_rng(self):
+        rng = random.Random(0)
+        picks = {
+            pick_min(["a", "b"], [1.0, 1.0], rng) for _ in range(30)
+        }
+        assert picks == {"a", "b"}
+
+    def test_pick_min_misaligned_raises(self):
+        with pytest.raises(PlacementError):
+            pick_min(["a"], [1.0, 2.0])
+
+
+class TestMinLoad:
+    def test_prefers_idle_host(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h005", "h001", 5e9)
+        policy = MinLoadPolicy(fabric)
+        assert policy.place(request()) in ("h002", "h003")
+
+    def test_load_counts_src_and_dst(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h001", "h004", 5e9)  # h001 is busy as a source
+        policy = MinLoadPolicy(fabric)
+        assert policy.place(request()) in ("h002", "h003")
+
+    def test_utilization_measure(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h005", "h001", 5e9)
+        policy = MinLoadPolicy(fabric, measure="utilization")
+        assert policy.place(request()) in ("h002", "h003")
+
+    def test_rejects_unknown_measure(self):
+        engine, fabric = star_fabric()
+        with pytest.raises(ValueError):
+            MinLoadPolicy(fabric, measure="bogus")
+
+    def test_host_queued_bits(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h005", "h001", 5e9)
+        assert host_queued_bits(fabric, "h001") == pytest.approx(5e9)
+        assert host_queued_bits(fabric, "h002") == 0.0
+
+
+class TestMinDist:
+    def test_prefers_same_rack(self):
+        engine, fabric = clos_fabric()
+        hosts = fabric.topology.hosts
+        data = hosts[0]
+        # candidates: one same-rack, one cross-pod
+        policy = MinDistPolicy(fabric)
+        chosen = policy.place(
+            PlacementRequest(
+                size=1e9, data_node=data,
+                candidates=(hosts[1], hosts[-1]),
+            )
+        )
+        assert chosen == hosts[1]
+
+    def test_data_node_itself_wins_if_candidate(self):
+        engine, fabric = clos_fabric()
+        hosts = fabric.topology.hosts
+        policy = MinDistPolicy(fabric)
+        chosen = policy.place(
+            PlacementRequest(
+                size=1e9, data_node=hosts[0],
+                candidates=(hosts[0], hosts[1]),
+            )
+        )
+        assert chosen == hosts[0]
+
+
+class TestMinFCT:
+    def test_avoids_contended_downlink(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h005", "h001", 5e9)
+        policy = MinFCTPolicy(fabric, FairPredictor())
+        assert policy.place(request()) in ("h002", "h003")
+
+    def test_locality_is_free(self):
+        engine, fabric = star_fabric()
+        policy = MinFCTPolicy(fabric, FairPredictor())
+        chosen = policy.place(
+            PlacementRequest(
+                size=1e9, data_node="h000",
+                candidates=("h000", "h001"),
+            )
+        )
+        assert chosen == "h000"
+
+
+class TestRandomPolicy:
+    def test_uniform_coverage(self):
+        policy = RandomPolicy(random.Random(1))
+        hits = {policy.place(request()) for _ in range(50)}
+        assert hits == {"h001", "h002", "h003"}
+
+
+class TestNEATPolicy:
+    def test_picks_min_predicted_fct(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h004", "h001", 8e9)  # h001's downlink is busy
+        neat = build_neat(fabric)
+        assert neat.place(request()) in ("h002", "h003")
+
+    def test_preferred_hosts_filter_protects_short_flows(self):
+        """A long flow must not land on the host running a short flow,
+        even if that host has the (same) min predicted FCT."""
+        engine, fabric = star_fabric(hosts=4)
+        neat = build_neat(fabric)
+        # Seed the daemon's cache: place a short flow on h001 via NEAT.
+        short_req = PlacementRequest(
+            size=1e8, data_node="h000", candidates=("h001",)
+        )
+        neat.place(short_req)
+        fabric.submit("h000", "h001", 1e8)
+        # A long flow now prefers h002/h003 (node state of h001 = 1e8 < 5e9).
+        long_req = PlacementRequest(
+            size=5e9, data_node="h000", candidates=("h001", "h002", "h003")
+        )
+        assert neat.place(long_req) in ("h002", "h003")
+
+    def test_fallback_when_no_preferred_host(self):
+        engine, fabric = star_fabric(hosts=3)
+        neat = build_neat(fabric)
+        # Occupy both candidates with short flows (via NEAT so the cache
+        # knows), then place a long flow: filter empties -> fallback.
+        for host in ("h001", "h002"):
+            neat.place(
+                PlacementRequest(
+                    size=1e8, data_node="h000", candidates=(host,)
+                )
+            )
+            fabric.submit("h000", host, 1e8)
+        decision_host = neat.place(
+            PlacementRequest(
+                size=5e9, data_node="h000", candidates=("h001", "h002")
+            )
+        )
+        assert decision_host in ("h001", "h002")
+        assert neat.daemon.decisions[-1].used_fallback
+
+    def test_node_state_cache_updates_from_replies(self):
+        engine, fabric = star_fabric()
+        fabric.submit("h005", "h001", 3e9)
+        neat = build_neat(fabric)
+        neat.place(request(size=1e9))
+        assert neat.daemon.cached_node_state("h001") == pytest.approx(3e9)
+
+    def test_messages_counted(self):
+        engine, fabric = star_fabric()
+        neat = build_neat(fabric)
+        neat.place(request())
+        # 3 candidate queries, 2 messages each (no source query by default).
+        assert neat.bus.messages_sent == 6
+
+    def test_locality_hops_filter(self):
+        engine = Engine()
+        topo = three_tier_clos(pods=2, racks_per_pod=2, hosts_per_rack=3)
+        fabric = NetworkFabric(engine, topo, make_allocator("fair"))
+        neat = build_neat(fabric, locality_hops=2)
+        hosts = topo.hosts
+        chosen = neat.place(
+            PlacementRequest(
+                size=1e9, data_node=hosts[0],
+                candidates=(hosts[1], hosts[2], hosts[-1]),
+            )
+        )
+        assert chosen in (hosts[1], hosts[2])  # same rack only
+
+    def test_place_reducer_prefers_colocated_data(self):
+        engine, fabric = star_fabric()
+        neat = build_neat(fabric, coflow_predictor="tcf")
+        sources = [("h000", 4e9), ("h001", 1e9)]
+        # Running on h000 keeps 4 of 5 Gb local.
+        chosen = neat.place_reducer(sources, ["h000", "h001", "h002"])
+        assert chosen == "h000"
+
+    def test_place_reducer_validates_inputs(self):
+        engine, fabric = star_fabric()
+        neat = build_neat(fabric, coflow_predictor="tcf")
+        with pytest.raises(PlacementError):
+            neat.place_reducer([], ["h000"])
+        with pytest.raises(PlacementError):
+            neat.place_reducer([("h000", 1e9)], [])
+
+
+class TestPlacementRegistry:
+    def test_known_policies(self):
+        engine, fabric = star_fabric()
+        rng = random.Random(0)
+        for name in ("neat", "minfct", "minload", "mindist", "random"):
+            policy = make_placement_policy(name, fabric, rng=rng)
+            assert policy.place(request()) in ("h001", "h002", "h003")
+
+    def test_unknown_raises(self):
+        engine, fabric = star_fabric()
+        with pytest.raises(ConfigError):
+            make_placement_policy("bogus", fabric)
+
+    def test_random_requires_rng(self):
+        engine, fabric = star_fabric()
+        with pytest.raises(ConfigError):
+            make_placement_policy("random", fabric)
+
+
+class TestCoflowPlacement:
+    def test_sequential_places_largest_first(self):
+        engine, fabric = star_fabric()
+        tracker = CoflowTracker(fabric)
+        neat = build_neat(fabric)
+        coflow = place_coflow_sequential(
+            neat,
+            tracker,
+            [("h000", 1e9), ("h000", 6e9)],
+            ["h001", "h002", "h003"],
+            tag="c",
+        )
+        # Largest flow placed first => it is flows[0].
+        assert coflow.flows[0].size == pytest.approx(6e9)
+        engine.run()
+        assert tracker.records[0].num_flows == 2
+
+    def test_distinct_hosts(self):
+        engine, fabric = star_fabric()
+        tracker = CoflowTracker(fabric)
+        neat = build_neat(fabric)
+        coflow = place_coflow_sequential(
+            neat,
+            tracker,
+            [("h000", 1e9), ("h000", 1e9)],
+            ["h001", "h002"],
+            distinct_hosts=True,
+        )
+        assert len({f.dst for f in coflow.flows}) == 2
+
+    def test_empty_transfers_rejected(self):
+        engine, fabric = star_fabric()
+        tracker = CoflowTracker(fabric)
+        neat = build_neat(fabric)
+        with pytest.raises(PlacementError):
+            place_coflow_sequential(neat, tracker, [], ["h001"])
+
+    def test_rack_local_placer_stays_in_anchor_rack(self):
+        engine, fabric = clos_fabric()
+        topo = fabric.topology
+        tracker = CoflowTracker(fabric)
+        placer = RackLocalCoflowPlacer(MinDistPolicy(fabric))
+        hosts = topo.hosts
+        coflow = placer.place_coflow(
+            tracker,
+            [(hosts[0], 4e9), (hosts[0], 1e9)],
+            list(hosts[1:]),
+        )
+        racks = {topo.node(f.dst).rack for f in coflow.flows}
+        assert len(racks) == 1

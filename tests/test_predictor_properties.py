@@ -1,0 +1,199 @@
+"""Hypothesis property tests on predictor invariants.
+
+These pin down structural properties every completion-time model must
+satisfy regardless of parameters: monotonicity in the new flow's size,
+monotonicity under added contention, policy dominance orderings, and the
+consistency of the compressed state under incremental maintenance.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.predictor.coflow_cct import (
+    CoflowFCFSPredictor,
+    CoflowFairPredictor,
+    TCFPredictor,
+)
+from repro.predictor.compressed import CompressedLinkState, exponential_bins
+from repro.predictor.flow_fct import (
+    FCFSPredictor,
+    FairPredictor,
+    SRPTPredictor,
+)
+from repro.predictor.state import CoflowLinkState, CoflowOnLink, LinkState
+
+GBPS = 1e9
+
+sizes = st.floats(1e3, 1e11)
+size_lists = st.lists(sizes, min_size=0, max_size=10)
+PREDICTORS = [FairPredictor(), FCFSPredictor(), SRPTPredictor()]
+
+
+@pytest.mark.parametrize("predictor", PREDICTORS, ids=lambda p: p.name)
+@given(existing=size_lists, a=sizes, b=sizes)
+@settings(max_examples=60, deadline=None)
+def test_fct_monotone_in_new_size(predictor, existing, a, b):
+    """A bigger flow never predicts a smaller FCT on the same link."""
+    small, large = min(a, b), max(a, b)
+    state = LinkState("l", GBPS, tuple(existing))
+    assert predictor.fct(small, state) <= predictor.fct(large, state) + 1e-9
+
+
+@pytest.mark.parametrize("predictor", PREDICTORS, ids=lambda p: p.name)
+@given(existing=size_lists, extra=sizes, new=sizes)
+@settings(max_examples=60, deadline=None)
+def test_fct_monotone_in_contention(predictor, existing, extra, new):
+    """Adding a cross-flow never decreases the predicted FCT."""
+    before = LinkState("l", GBPS, tuple(existing))
+    after = LinkState("l", GBPS, tuple(existing) + (extra,))
+    assert predictor.fct(new, before) <= predictor.fct(new, after) + 1e-9
+
+
+@given(existing=size_lists, new=sizes)
+@settings(max_examples=100, deadline=None)
+def test_policy_dominance_srpt_fair_fcfs(existing, new):
+    """SRPT <= Fair <= FCFS for the newcomer: serving smaller-first can
+    only help the new flow; waiting behind everything can only hurt."""
+    state = LinkState("l", GBPS, tuple(existing))
+    srpt = SRPTPredictor().fct(new, state)
+    fair = FairPredictor().fct(new, state)
+    fcfs = FCFSPredictor().fct(new, state)
+    assert srpt <= fair + 1e-9
+    assert fair <= fcfs + 1e-9
+
+
+@given(existing=size_lists, new=sizes)
+@settings(max_examples=60, deadline=None)
+def test_delta_sum_nonnegative(existing, new):
+    state = LinkState("l", GBPS, tuple(existing))
+    for predictor in PREDICTORS:
+        assert predictor.delta_sum(new, state) >= -1e-12
+
+
+@given(existing=size_lists, new=sizes, capacity=st.floats(1e6, 1e11))
+@settings(max_examples=60, deadline=None)
+def test_fct_scales_inversely_with_capacity(existing, new, capacity):
+    """Doubling the bandwidth halves every prediction (pure fluid)."""
+    one = LinkState("l", capacity, tuple(existing))
+    two = LinkState("l", capacity * 2, tuple(existing))
+    for predictor in PREDICTORS:
+        assert predictor.fct(new, one) == pytest.approx(
+            2 * predictor.fct(new, two), rel=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Coflow predictor properties
+# ----------------------------------------------------------------------
+coflow_entries = st.lists(
+    st.tuples(sizes, st.floats(0.01, 1.0)), min_size=0, max_size=8
+)
+
+
+def make_coflow_state(entries):
+    return CoflowLinkState(
+        "l",
+        GBPS,
+        tuple(
+            CoflowOnLink(total_size=t, size_on_link=t * frac)
+            for t, frac in entries
+        ),
+    )
+
+
+@given(entries=coflow_entries, new_total=sizes, frac=st.floats(0.01, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_cct_monotone_in_contention(entries, new_total, frac):
+    state = make_coflow_state(entries)
+    bigger = make_coflow_state(entries + [(new_total, 0.5)])
+    new_here = new_total * frac
+    for predictor in (CoflowFairPredictor(), CoflowFCFSPredictor(), TCFPredictor()):
+        assert predictor.cct(new_total, new_here, state) <= predictor.cct(
+            new_total, new_here, bigger
+        ) + 1e-9
+
+
+@given(entries=coflow_entries, new_total=sizes, frac=st.floats(0.01, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_tcf_dominates_fcfs_for_newcomer(entries, new_total, frac):
+    """Being ranked by size can never be worse for the newcomer than
+    being ranked last (FCFS places arrivals at the tail)."""
+    state = make_coflow_state(entries)
+    new_here = new_total * frac
+    tcf = TCFPredictor().cct(new_total, new_here, state)
+    fcfs = CoflowFCFSPredictor().cct(new_total, new_here, state)
+    assert tcf <= fcfs + 1e-9
+
+
+@given(entries=coflow_entries, new_total=sizes, frac=st.floats(0.01, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_fair_cct_bounded_by_fcfs(entries, new_total, frac):
+    state = make_coflow_state(entries)
+    new_here = new_total * frac
+    fair = CoflowFairPredictor().cct(new_total, new_here, state)
+    fcfs = CoflowFCFSPredictor().cct(new_total, new_here, state)
+    assert fair <= fcfs + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Compressed state consistency
+# ----------------------------------------------------------------------
+@given(
+    inserts=st.lists(st.floats(1e4, 1e10), min_size=1, max_size=15),
+    removals=st.data(),
+    new=st.floats(1e4, 1e10),
+)
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_bulk_compression(inserts, removals, new):
+    """add/remove maintenance reaches the same state as compressing the
+    surviving flows from scratch."""
+    bounds = exponential_bins(1e4, 1e10, 10)
+    incremental = CompressedLinkState("l", GBPS, bounds)
+    for size in inserts:
+        incremental.add_flow(size)
+    keep = list(inserts)
+    num_remove = removals.draw(
+        st.integers(0, len(inserts) - 1), label="num_remove"
+    )
+    for _ in range(num_remove):
+        victim = keep.pop()
+        incremental.remove_flow(victim)
+    bulk = CompressedLinkState.from_link_state(
+        LinkState("l", GBPS, tuple(keep)), bounds
+    )
+    assert incremental.fair_fct(new) == pytest.approx(
+        bulk.fair_fct(new), rel=1e-9
+    )
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.floats(1e6, 1e10), st.floats(0.1, 1.0)),
+        min_size=0,
+        max_size=10,
+    ),
+    new_total=st.floats(1e6, 1e10),
+)
+@settings(max_examples=60, deadline=None)
+def test_compressed_cct_brackets_exact(entries, new_total):
+    """The binned fair CCT can misclassify only shared-bin coflows, so
+    when none share the newcomer's bin it is exact."""
+    bounds = exponential_bins(1e6, 1e10, 12)
+    compressed = CompressedLinkState("l", GBPS, bounds)
+    state = make_coflow_state(entries)
+    for coflow in state.coflows:
+        compressed.add_coflow(coflow.total_size, coflow.size_on_link)
+    new_here = new_total * 0.5
+    shared_bin = compressed.bin_index(new_total)
+    shares = any(
+        compressed.bin_index(c.total_size) == shared_bin
+        for c in state.coflows
+    )
+    assume(not shares)
+    exact = CoflowFairPredictor().cct(new_total, new_here, state)
+    assert compressed.fair_cct(new_total, new_here) == pytest.approx(
+        exact, rel=1e-9
+    )

@@ -1,0 +1,214 @@
+"""Tests for the discrete-event core: clock, events, engine, randomness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.sim.events import DEFAULT_PRIORITY, EventQueue
+from repro.sim.randomness import RandomStreams, hash_seed
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_rejects_backwards(self):
+        clock = SimClock(2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+    def test_tolerates_float_jitter(self):
+        clock = SimClock(1.0)
+        clock.advance_to(1.0 - 1e-15)  # within tolerance
+        assert clock.now == 1.0
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, label="b")
+        queue.push(1.0, lambda: None, label="a")
+        assert queue.pop().label == "a"
+        assert queue.pop().label == "b"
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=200, label="low")
+        queue.push(1.0, lambda: None, priority=100, label="high")
+        assert queue.pop().label == "high"
+
+    def test_insertion_order_breaks_full_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, label="first")
+        queue.push(1.0, lambda: None, label="second")
+        assert queue.pop().label == "first"
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="dead")
+        queue.push(2.0, lambda: None, label="alive")
+        event.cancel()
+        queue.note_cancelled()
+        assert queue.pop().label == "alive"
+        assert queue.pop() is None
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        e1 = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        e1.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        event.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 3.0
+
+    def test_rejects_negative_time(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.push(-0.1, lambda: None)
+
+
+class TestEngine:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append("late"))
+        engine.schedule_at(1.0, lambda: fired.append("early"))
+        engine.run()
+        assert fired == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_schedule_relative_delay(self):
+        engine = Engine()
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.5]
+
+    def test_rejects_negative_delay(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_rejects_scheduling_in_the_past(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_run_until_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n: int):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1.0, lambda: chain(n + 1))
+
+        engine.schedule_at(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+    def test_cancel_prevents_firing(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        engine.cancel(event)
+        engine.run()
+        assert fired == []
+        assert engine.pending_events == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_max_events_guard(self):
+        engine = Engine(max_events=10)
+
+        def forever():
+            engine.schedule(0.0, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule_at(float(i), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(1)
+        a = [streams.get("a").random() for _ in range(5)]
+        b = [streams.get("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).get("x").random()
+        b = RandomStreams(7).get("x").random()
+        assert a == b
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(3)
+        s1.get("first")
+        v1 = s1.get("second").random()
+        s2 = RandomStreams(3)
+        v2 = s2.get("second").random()
+        assert v1 == v2
+
+    def test_spawn_derives_new_family(self):
+        parent = RandomStreams(3)
+        child = parent.spawn("rep0")
+        assert child.seed != parent.seed
+        assert child.get("x").random() == RandomStreams(3).spawn("rep0").get("x").random()
+
+    @given(st.integers(0, 2**32), st.text(max_size=30))
+    @settings(max_examples=50)
+    def test_hash_seed_is_stable_and_bounded(self, seed, name):
+        value = hash_seed(seed, name)
+        assert value == hash_seed(seed, name)
+        assert 0 <= value < 2**64

@@ -1,0 +1,155 @@
+"""Tests for the timeline sampler, fat-tree builder, and repetitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, TopologyError
+from repro.experiments.config import MacroConfig
+from repro.experiments.repetitions import (
+    aggregate,
+    repeat_flow_macro,
+)
+from repro.metrics.timeline import TimelineSampler
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.sim.engine import Engine
+from repro.topology.fabrics import fat_tree
+from repro.topology.routing import Router
+
+
+def fabric_with_traffic():
+    engine = Engine()
+    topo = fat_tree(4)
+    fabric = NetworkFabric(engine, topo, make_allocator("fair"))
+    return engine, fabric
+
+
+class TestFatTree:
+    def test_k4_dimensions(self):
+        topo = fat_tree(4)
+        # k=4: 16 hosts, 8 edge + 8 agg + 4 core switches.
+        assert len(topo.hosts) == 16
+        kinds = {}
+        for node in topo.nodes():
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        assert kinds == {"host": 16, "tor": 8, "agg": 8, "core": 4}
+
+    def test_k6_host_count(self):
+        assert len(fat_tree(6).hosts) == 54  # (6/2)^2 * 6
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(5)
+        with pytest.raises(TopologyError):
+            fat_tree(0)
+
+    def test_all_pairs_routable(self):
+        topo = fat_tree(4)
+        router = Router(topo)
+        hosts = topo.hosts
+        path = router.path(hosts[0], hosts[-1])
+        assert path.hop_count == 6  # cross-pod via core
+
+    def test_permutation_traffic_bounded_by_ecmp_collisions(self):
+        """A cross-pod permutation runs at line rate up to static-ECMP
+        collisions: two same-rack flows hashing onto one uplink halve each
+        other (the fabric itself is non-blocking)."""
+        engine, fabric = fabric_with_traffic()
+        hosts = fabric.topology.hosts
+        flows = [
+            fabric.submit(hosts[i], hosts[(i + 8) % 16], 1e9)
+            for i in range(8)
+        ]
+        engine.run()
+        fcts = sorted(flow.fct() for flow in flows)
+        assert fcts[0] == pytest.approx(1.0, rel=0.01)  # collision-free
+        assert fcts[-1] <= 2.0 + 1e-6  # at worst a 2-way hash collision
+
+
+class TestTimelineSampler:
+    def test_samples_active_traffic(self):
+        engine, fabric = fabric_with_traffic()
+        hosts = fabric.topology.hosts
+        up = fabric.topology.host_uplink(hosts[0]).link_id
+        sampler = TimelineSampler(fabric, interval=0.25, watch_links=[up])
+        fabric.submit(hosts[0], hosts[5], 2e9)  # 2 seconds of traffic
+        engine.run()
+        assert sampler.peak_active_flows() == 1
+        # 9 busy samples + 1 idle tail sample -> mean 0.9.
+        assert sampler.mean_utilization(up) >= 0.85
+        times = [s.time for s in sampler.samples]
+        assert times == sorted(times)
+        assert len(times) >= 8
+
+    def test_queued_bits_decrease(self):
+        engine, fabric = fabric_with_traffic()
+        hosts = fabric.topology.hosts
+        sampler = TimelineSampler(fabric, interval=0.5)
+        fabric.submit(hosts[0], hosts[5], 2e9)
+        engine.run()
+        queued = [s.total_queued_bits for s in sampler.samples if s.total_queued_bits]
+        assert queued == sorted(queued, reverse=True)
+
+    def test_stops_when_idle(self):
+        engine, fabric = fabric_with_traffic()
+        TimelineSampler(fabric, interval=0.1)
+        engine.run()  # no traffic: sampler must not spin forever
+        assert engine.pending_events == 0
+
+    def test_stop_method(self):
+        engine, fabric = fabric_with_traffic()
+        hosts = fabric.topology.hosts
+        sampler = TimelineSampler(fabric, interval=0.25)
+        fabric.submit(hosts[0], hosts[5], 4e9)
+        engine.run(until=1.0)
+        sampler.stop()
+        count = len(sampler.samples)
+        engine.run()
+        assert len(sampler.samples) <= count + 1
+
+    def test_validation(self):
+        engine, fabric = fabric_with_traffic()
+        with pytest.raises(ConfigError):
+            TimelineSampler(fabric, interval=0.0)
+        sampler = TimelineSampler(fabric, interval=1.0)
+        with pytest.raises(ConfigError):
+            sampler.mean_utilization("ghost->link")
+
+
+class TestRepetitions:
+    def test_aggregate_stats(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.stdev == pytest.approx(1.0)
+        assert agg.count == 3
+        assert "±" in str(agg)
+
+    def test_aggregate_single_value(self):
+        agg = aggregate([5.0])
+        assert agg.stdev == 0.0
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            aggregate([])
+
+    def test_repeat_flow_macro(self):
+        cfg = MacroConfig(
+            pods=1, racks_per_pod=2, hosts_per_rack=6,
+            workload="websearch", num_arrivals=150,
+        )
+        repeated = repeat_flow_macro(
+            network_policy="fair", config=cfg, seeds=[1, 2, 3],
+        )
+        gaps = repeated.gap_aggregates()
+        assert set(gaps) == {"neat", "minload", "mindist"}
+        assert all(agg.count == 3 for agg in gaps.values())
+        # NEAT on average no worse than minLoad across seeds.
+        improvement = repeated.improvement_aggregate("minload")
+        assert improvement.mean >= 1.0
+        assert repeated.neat_always_wins(tolerance=1.2)
+
+    def test_repeat_requires_seeds(self):
+        cfg = MacroConfig(pods=1, racks_per_pod=1, hosts_per_rack=4)
+        with pytest.raises(ConfigError):
+            repeat_flow_macro(network_policy="fair", config=cfg, seeds=[])

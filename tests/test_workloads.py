@@ -1,0 +1,194 @@
+"""Tests for workload distributions and trace generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.units import GIGABYTE, MEGABYTE
+from repro.workloads.distributions import (
+    EmpiricalDistribution,
+    HADOOP_CDF,
+    WEB_SEARCH_CDF,
+    make_distribution,
+)
+from repro.workloads.traces import (
+    CoflowArrival,
+    generate_coflow_trace,
+    generate_flow_trace,
+    poisson_rate_for_load,
+)
+
+
+class TestEmpiricalDistribution:
+    def test_quantile_endpoints(self):
+        dist = make_distribution("websearch")
+        assert dist.quantile(0.0) == pytest.approx(6 * 8e3)
+        assert dist.quantile(1.0) == pytest.approx(20 * 8e6)
+
+    def test_quantile_monotone(self):
+        dist = make_distribution("hadoop")
+        values = [dist.quantile(u / 100) for u in range(101)]
+        assert values == sorted(values)
+
+    @given(u=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_within_support(self, u):
+        dist = make_distribution("datamining")
+        value = dist.quantile(u)
+        # log-space interpolation can overshoot by float epsilon
+        assert 100 * 8.0 * (1 - 1e-9) <= value <= 1 * GIGABYTE * (1 + 1e-9)
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            make_distribution("websearch").quantile(1.5)
+
+    def test_scale_multiplies_sizes(self):
+        base = make_distribution("websearch")
+        scaled = make_distribution("websearch", scale=0.5)
+        assert scaled.quantile(0.7) == pytest.approx(base.quantile(0.7) * 0.5)
+
+    def test_rescaled(self):
+        dist = make_distribution("hadoop").rescaled(1e-3)
+        assert dist.quantile(1.0) == pytest.approx(200 * GIGABYTE * 1e-3)
+
+    def test_sampling_matches_cdf(self):
+        dist = make_distribution("websearch")
+        rng = random.Random(0)
+        samples = [dist.sample(rng) for _ in range(4000)]
+        # 15% of flows are at the 6 KB floor.
+        floor = sum(1 for s in samples if s <= 6 * 8e3 + 1) / len(samples)
+        assert floor == pytest.approx(0.15, abs=0.03)
+
+    def test_mean_deterministic(self):
+        dist = make_distribution("hadoop")
+        assert dist.mean() == dist.mean()
+
+    def test_hadoop_matches_paper_statistics(self):
+        """§6.1: ~50% of Hadoop flows < 100 MB, ~4% > 80 GB."""
+        dist = make_distribution("hadoop")
+        assert dist.quantile(0.5) == pytest.approx(100 * MEGABYTE, rel=0.01)
+        assert dist.quantile(0.96) == pytest.approx(80 * GIGABYTE, rel=0.01)
+
+    def test_websearch_byte_share_statistic(self):
+        """§6.1: >75% of web-search bytes come from flows in [1,20MB]."""
+        dist = make_distribution("websearch")
+        rng = random.Random(1)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        big = sum(s for s in samples if s >= 1 * MEGABYTE)
+        assert big / sum(samples) > 0.70
+
+    def test_invalid_cdfs_rejected(self):
+        with pytest.raises(WorkloadError):
+            EmpiricalDistribution("x", [])
+        with pytest.raises(WorkloadError):
+            EmpiricalDistribution("x", [(1.0, 0.5)])  # doesn't end at 1
+        with pytest.raises(WorkloadError):
+            EmpiricalDistribution("x", [(2.0, 0.5), (1.0, 1.0)])  # not ascending
+        with pytest.raises(WorkloadError):
+            EmpiricalDistribution("x", [(1.0, 0.9), (2.0, 0.5)])  # cdf decreases
+        with pytest.raises(WorkloadError):
+            EmpiricalDistribution("x", [(1.0, 1.0)], scale=0.0)
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            make_distribution("mystery")
+
+    def test_aliases(self):
+        assert make_distribution("map-reduce").name == "hadoop"
+        assert make_distribution("data_mining").name == "datamining"
+
+
+class TestRateForLoad:
+    def test_formula(self):
+        # 10 hosts * 1 Gbps * load 0.5 / mean 1 Gb = 5 flows/sec.
+        rate = poisson_rate_for_load(0.5, 10, 1e9, 1e9)
+        assert rate == pytest.approx(5.0)
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(WorkloadError):
+            poisson_rate_for_load(0.0, 10, 1e9, 1e9)
+
+
+class TestFlowTrace:
+    def hosts(self):
+        return [f"h{i}" for i in range(8)]
+
+    def test_deterministic_from_seed(self):
+        kwargs = dict(
+            hosts=self.hosts(),
+            distribution=make_distribution("websearch"),
+            load=0.5, edge_capacity=1e9, num_arrivals=50, seed=3,
+        )
+        a = generate_flow_trace(**kwargs)
+        b = generate_flow_trace(**kwargs)
+        assert a.arrivals == b.arrivals
+
+    def test_times_increase(self):
+        trace = generate_flow_trace(
+            hosts=self.hosts(),
+            distribution=make_distribution("websearch"),
+            load=0.5, edge_capacity=1e9, num_arrivals=100, seed=3,
+        )
+        times = [a.time for a in trace.arrivals]
+        assert times == sorted(times)
+        assert len(trace) == 100
+
+    def test_load_calibration(self):
+        """Offered bits/sec over the trace should approximate the target."""
+        dist = make_distribution("websearch")
+        trace = generate_flow_trace(
+            hosts=self.hosts(), distribution=dist,
+            load=0.6, edge_capacity=1e9, num_arrivals=4000, seed=5,
+        )
+        duration = trace.arrivals[-1].time
+        offered = sum(a.size for a in trace.arrivals) / duration
+        target = 0.6 * 8 * 1e9
+        assert offered == pytest.approx(target, rel=0.15)
+
+    def test_sources_cover_hosts(self):
+        trace = generate_flow_trace(
+            hosts=self.hosts(),
+            distribution=make_distribution("websearch"),
+            load=0.5, edge_capacity=1e9, num_arrivals=400, seed=3,
+        )
+        assert {a.data_node for a in trace.arrivals} == set(self.hosts())
+
+
+class TestCoflowTrace:
+    def test_widths_respected(self):
+        trace = generate_coflow_trace(
+            hosts=[f"h{i}" for i in range(10)],
+            distribution=make_distribution("websearch"),
+            load=0.5, edge_capacity=1e9, num_arrivals=100, seed=3,
+            min_width=2, max_width=4,
+        )
+        for arrival in trace.arrivals:
+            assert isinstance(arrival, CoflowArrival)
+            assert 2 <= len(arrival.transfers) <= 4
+            sources = [n for n, _s in arrival.transfers]
+            assert len(set(sources)) == len(sources)  # distinct senders
+
+    def test_width_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_coflow_trace(
+                hosts=["a", "b"],
+                distribution=make_distribution("websearch"),
+                load=0.5, edge_capacity=1e9, num_arrivals=10, seed=3,
+                min_width=3, max_width=5,
+            )
+
+    def test_total_size(self):
+        trace = generate_coflow_trace(
+            hosts=[f"h{i}" for i in range(10)],
+            distribution=make_distribution("websearch"),
+            load=0.5, edge_capacity=1e9, num_arrivals=5, seed=3,
+        )
+        arrival = trace.arrivals[0]
+        assert arrival.total_size == pytest.approx(
+            sum(s for _n, s in arrival.transfers)
+        )
