@@ -8,11 +8,14 @@ Examples::
     python -m repro fig6 --network las
     python -m repro fig7 --network scf --arrivals 200
     python -m repro fig11
+    python -m repro fig5 --trace /tmp/t.jsonl --metrics-out /tmp/m.json
+    python -m repro fig7 --timeline /tmp/timeline.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 
@@ -60,7 +63,96 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--arrivals", type=int, default=800)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--oversubscription", type=float, default=1.0)
+    obs = parser.add_argument_group(
+        "observability",
+        "any of these arms the telemetry layer and prints its report",
+    )
+    obs.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured JSONL event trace (flow lifecycle, rate "
+             "recomputes, bus messages, placement decisions + outcomes)",
+    )
+    obs.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write counters/gauges/histograms/timers and the "
+             "placement-decision error summary as JSON",
+    )
+    obs.add_argument(
+        "--timeline", metavar="PATH", default=None,
+        help="sample per-link utilisation over time and write it as JSON",
+    )
+    obs.add_argument(
+        "--timeline-interval", type=float, default=0.1, metavar="SECONDS",
+        help="timeline sampling interval in simulated seconds "
+             "(default: %(default)s)",
+    )
+    obs.add_argument(
+        "--wall-clock", action="store_true",
+        help="stamp trace records with wall time (breaks byte-identical "
+             "trace determinism)",
+    )
     return parser
+
+
+def telemetry_from_args(args: argparse.Namespace):
+    """Build a :class:`~repro.telemetry.Telemetry` when any observability
+    flag was given; return None otherwise (zero overhead)."""
+    if not (args.trace or args.metrics_out or args.timeline):
+        return None
+    from repro.telemetry import create_telemetry
+
+    return create_telemetry(
+        trace_path=args.trace,
+        timeline_interval=(
+            args.timeline_interval if args.timeline else None
+        ),
+        wall_clock=args.wall_clock,
+    )
+
+
+def emit_telemetry_outputs(tele, args: argparse.Namespace) -> None:
+    """Close the trace and write the report / metrics / timeline files."""
+    from repro.telemetry import render_report
+
+    tele.close()
+    print()
+    print(render_report(tele))
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics_out:
+        tele.registry.write_json(
+            args.metrics_out,
+            extra={"placement_decisions": tele.decisions.error_summary()},
+        )
+        print(f"metrics written to {args.metrics_out}")
+    if args.timeline:
+        payload = {
+            "interval": args.timeline_interval,
+            "timelines": [
+                {
+                    "label": label,
+                    "samples": [
+                        {
+                            "time": s.time,
+                            "active_flows": s.active_flows,
+                            "total_queued_bits": s.total_queued_bits,
+                            "links": {
+                                str(link): {
+                                    "utilization": util,
+                                    "queued_bits": queued,
+                                }
+                                for link, (util, queued) in s.links.items()
+                            },
+                        }
+                        for s in samples
+                    ],
+                }
+                for label, samples in tele.timelines
+            ],
+        }
+        with open(args.timeline, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"timeline written to {args.timeline}")
 
 
 def config_from_args(args: argparse.Namespace, **overrides) -> MacroConfig:
@@ -75,6 +167,24 @@ def config_from_args(args: argparse.Namespace, **overrides) -> MacroConfig:
         oversubscription=args.oversubscription,
     )
     return replace(base, **overrides) if overrides else base
+
+
+def _ctrl_messages(results) -> str:
+    """Render per-placement control-plane message counts for one figure.
+
+    ``results`` maps placement name -> RunResult; only daemon-based
+    policies send bus messages, so zero-count entries are omitted.
+    """
+    counts = {
+        name: r.control_messages
+        for name, r in results.items()
+        if r.control_messages
+    }
+    if not counts:
+        return "ctrl msgs: 0"
+    return "ctrl msgs: " + ", ".join(
+        f"{name}={count}" for name, count in counts.items()
+    )
 
 
 def run_all_summary(args: argparse.Namespace) -> int:
@@ -94,14 +204,16 @@ def run_all_summary(args: argparse.Namespace) -> int:
     c3 = figure3("fair", replace(cfg, workload="datamining",
                                  oversubscription=max(args.oversubscription, 4.0)))
     print(f"fig3  minDist/minLoad overall FCT ratio under Fair: "
-          f"{c3.overall_ratio():.2f}")
+          f"{c3.overall_ratio():.2f} "
+          f"[{_ctrl_messages({'mindist': c3.mindist, 'minload': c3.minload})}]")
 
     for net, label in (("fair", "fig5"), ("las", "fig6a"), ("srpt", "fig6b")):
         outcome = run_flow_macro(network_policy=net, config=cfg)
         print(
             f"{label:5s} {net.upper():4s}: NEAT "
             f"{outcome.improvement_over('minload'):.2f}x vs minLoad, "
-            f"{outcome.improvement_over('mindist'):.2f}x vs minDist"
+            f"{outcome.improvement_over('mindist'):.2f}x vs minDist "
+            f"[{_ctrl_messages(outcome.results)}]"
         )
 
     c7 = figure7("varys", replace(cfg, coflows=True,
@@ -109,16 +221,19 @@ def run_all_summary(args: argparse.Namespace) -> int:
     ccts = c7.average_ccts()
     print(
         f"fig7  Varys coflows: mean CCT neat={ccts['neat']:.3f}s "
-        f"minload={ccts['minload']:.3f}s mindist={ccts['mindist']:.3f}s"
+        f"minload={ccts['minload']:.3f}s mindist={ccts['mindist']:.3f}s "
+        f"[{_ctrl_messages(c7.results)}]"
     )
 
     c8 = figure8(cfg)
     print(f"fig8  Fair-vs-SRPT predictor relative difference: "
-          f"{c8.relative_difference():.2f}")
+          f"{c8.relative_difference():.2f} "
+          f"[{_ctrl_messages({'neat-fair': c8.fair_predictor, 'neat-srpt': c8.srpt_predictor})}]")
 
     c9 = figure9(cfg, network_policy="fair")
     print(f"fig9  minFCT degradation without node states (Fair): "
-          f"{c9.minfct_degradation() * 100:.0f}%")
+          f"{c9.minfct_degradation() * 100:.0f}% "
+          f"[{_ctrl_messages(c9.results)}]")
 
     short, long = figure10(cfg)
     print(f"fig10 prediction error: short {short.mean_abs_error:.3f}, "
@@ -127,22 +242,14 @@ def run_all_summary(args: argparse.Namespace) -> int:
     c11 = figure11(testbed_config(num_arrivals=args.arrivals, seed=args.seed))
     print(
         f"fig11 testbed: NEAT vs minLoad +{c11.improvement_percent('fair'):.1f}% "
-        f"(Fair), +{c11.improvement_percent('las'):.1f}% (LAS)"
+        f"(Fair), +{c11.improvement_percent('las'):.1f}% (LAS) "
+        f"[{_ctrl_messages({f'neat/{net}': c11.results[net]['neat'] for net in ('fair', 'las')})}]"
     )
     return 0
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-
-    if args.figure == "list":
-        for name in sorted(FIGURES):
-            print(f"{name:6s} {FIGURES[name]}")
-        return 0
-
-    if args.figure == "all":
-        return run_all_summary(args)
-
+def run_figure(args: argparse.Namespace, tele=None) -> int:
+    """Dispatch one figure (telemetry threaded when armed)."""
     if args.figure == "fig1":
         print(render_figure1())
         return 0
@@ -151,30 +258,32 @@ def main(argv=None) -> int:
         cfg = config_from_args(args, workload=args.workload or "datamining")
         if cfg.oversubscription == 1.0:
             cfg = replace(cfg, oversubscription=4.0)
-        outcome = figure3(args.network or "fair", cfg)
+        outcome = figure3(args.network or "fair", cfg, telemetry=tele)
         print(outcome.table())
         print(f"\noverall minDist/minLoad ratio: {outcome.overall_ratio():.2f}")
         return 0
 
     if args.figure == "fig5":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
-        outcome = run_flow_macro(network_policy="fair", config=cfg)
+        outcome = run_flow_macro(
+            network_policy="fair", config=cfg, telemetry=tele
+        )
     elif args.figure == "fig6":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
         outcome = run_flow_macro(
-            network_policy=args.network or "las", config=cfg
+            network_policy=args.network or "las", config=cfg, telemetry=tele
         )
     elif args.figure == "fig7":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
         cfg = replace(cfg, coflows=True)
-        result = figure7(args.network or "varys", cfg)
+        result = figure7(args.network or "varys", cfg, telemetry=tele)
         print(result.table())
         ccts = result.average_ccts()
         print("\nmean CCTs: " + ", ".join(f"{k}={v:.3f}s" for k, v in ccts.items()))
         return 0
     elif args.figure == "fig8":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
-        comparison = figure8(cfg)
+        comparison = figure8(cfg, telemetry=tele)
         fair, srpt = comparison.gaps()
         print(f"NEAT + Fair predictor : mean gap = {fair:.3f}")
         print(f"NEAT + SRPT predictor : mean gap = {srpt:.3f}")
@@ -182,13 +291,17 @@ def main(argv=None) -> int:
         return 0
     elif args.figure == "fig9":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
-        result = figure9(cfg, network_policy=args.network or "fair")
+        result = figure9(
+            cfg, network_policy=args.network or "fair", telemetry=tele
+        )
         for name, gap in result.average_gaps().items():
             print(f"{name:8s} mean gap = {gap:.3f}")
         return 0
     elif args.figure == "fig10":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
-        short, long = figure10(cfg, network_policy=args.network or "srpt")
+        short, long = figure10(
+            cfg, network_policy=args.network or "srpt", telemetry=tele
+        )
         for summary in (short, long):
             print(
                 f"{summary.label:5s} flows (n={summary.count}): "
@@ -198,7 +311,7 @@ def main(argv=None) -> int:
         return 0
     elif args.figure == "fig11":
         cfg = testbed_config(num_arrivals=args.arrivals, seed=args.seed)
-        result = figure11(cfg)
+        result = figure11(cfg, telemetry=tele)
         for net in ("fair", "las"):
             print(
                 f"{net.upper():5s} NEAT improvement over minLoad: "
@@ -217,6 +330,32 @@ def main(argv=None) -> int:
         f"minLoad, {outcome.improvement_over('mindist'):.2f}x vs minDist"
     )
     return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name in sorted(FIGURES):
+            print(f"{name:6s} {FIGURES[name]}")
+        return 0
+
+    if args.figure == "all":
+        return run_all_summary(args)
+
+    if args.timeline and args.timeline_interval <= 0:
+        parser.error("--timeline-interval must be positive")
+    try:
+        tele = telemetry_from_args(args)
+    except OSError as exc:
+        parser.error(f"cannot open --trace file: {exc}")
+    try:
+        rc = run_figure(args, tele)
+    finally:
+        if tele is not None:
+            emit_telemetry_outputs(tele, args)
+    return rc
 
 
 if __name__ == "__main__":

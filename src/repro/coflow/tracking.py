@@ -9,7 +9,7 @@ coflow's last flow completes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.coflow.coflow import Coflow, CoflowRecord
 from repro.errors import CoflowError
@@ -17,17 +17,39 @@ from repro.network.fabric import NetworkFabric
 from repro.network.flow import Flow, FlowRecord
 from repro.topology.base import LinkId, NodeId
 
+if TYPE_CHECKING:  # pragma: no cover - avoids a coflow<->telemetry cycle
+    from repro.telemetry import Telemetry
+
 
 class CoflowTracker:
     """Creates coflows, submits their flows, and records CCTs."""
 
-    def __init__(self, fabric: NetworkFabric) -> None:
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        *,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
         self._fabric = fabric
         self._records: List[CoflowRecord] = []
         self._open: Dict[int, Coflow] = {}
         self._next_id = 0
         self._listeners: List = []
         fabric.add_completion_listener(self._on_flow_done)
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._trace = telemetry.trace
+        reg = telemetry.registry
+        if reg.enabled:
+            self._ctr_submitted = reg.counter("coflow.coflows_submitted")
+            self._ctr_completed = reg.counter("coflow.coflows_completed")
+            self._hist_cct = reg.histogram("coflow.cct_seconds")
+        else:
+            self._ctr_submitted = None
+            self._ctr_completed = None
+            self._hist_cct = None
 
     def add_completion_listener(self, listener) -> None:
         """Register ``listener(coflow, record)`` fired at each coflow CCT."""
@@ -91,6 +113,19 @@ class CoflowTracker:
         """Mark the coflow complete-on-submission and, if all of its flows
         already finished (e.g. all were host-local), record it now."""
         coflow.seal()
+        if self._ctr_submitted is not None:
+            self._ctr_submitted.inc()
+        if self._trace.active:
+            self._trace.emit(
+                "coflow_arrival",
+                coflow.arrival_time,
+                {
+                    "coflow_id": coflow.coflow_id,
+                    "num_flows": len(coflow.flows),
+                    "total_size": coflow.total_size,
+                    "tag": coflow.tag,
+                },
+            )
         if coflow.finished:
             if coflow.completion_time is None:
                 coflow.completion_time = self._fabric.engine.now
@@ -132,5 +167,21 @@ class CoflowTracker:
             tag=coflow.tag,
         )
         self._records.append(record)
+        if self._ctr_completed is not None:
+            self._ctr_completed.inc()
+            self._hist_cct.observe(record.cct)
+        if self._trace.active:
+            self._trace.emit(
+                "coflow_completion",
+                record.completion_time,
+                {
+                    "coflow_id": record.coflow_id,
+                    "num_flows": record.num_flows,
+                    "total_size": record.total_size,
+                    "cct": record.cct,
+                    "optimal_cct": record.optimal_cct,
+                    "tag": record.tag,
+                },
+            )
         for listener in self._listeners:
             listener(coflow, record)

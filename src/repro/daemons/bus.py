@@ -10,11 +10,14 @@ hosts, node-state caching) are measurable.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.errors import DaemonError
 from repro.sim.engine import Engine
 from repro.topology.base import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a daemons<->telemetry cycle
+    from repro.telemetry import Telemetry
 
 Handler = Callable[[Any], Any]
 
@@ -22,17 +25,43 @@ Handler = Callable[[Any], Any]
 class MessageBus:
     """Registry of daemon endpoints with message/latency accounting."""
 
-    def __init__(self, engine: Engine, *, rtt: float = 0.0) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        rtt: float = 0.0,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
         """Args:
             engine: the simulation engine (used only for timestamps).
             rtt: control-plane round-trip time charged per call when
                 estimating placement latency.
+            telemetry: counts/traces every control message when enabled.
         """
         self._engine = engine
         self._rtt = rtt
         self._endpoints: Dict[NodeId, Handler] = {}
         self._messages_sent = 0
         self._calls = 0
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._trace = telemetry.trace
+        reg = telemetry.registry
+        if reg.enabled:
+            self._ctr_messages = reg.counter("bus.messages_sent")
+            self._ctr_calls = reg.counter("bus.calls")
+            self._timer = reg.timer("bus")
+        else:
+            self._ctr_messages = None
+            self._ctr_calls = None
+            self._timer = None
+
+    @property
+    def engine(self) -> Engine:
+        """The simulation engine the bus timestamps against."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Wiring
@@ -53,6 +82,21 @@ class MessageBus:
             raise DaemonError(f"no daemon registered at {host!r}")
         self._messages_sent += 2
         self._calls += 1
+        if self._trace.active:
+            self._trace.emit(
+                "bus_message",
+                self._engine.now,
+                {
+                    "host": host,
+                    "type": type(payload).__name__,
+                    "latency": self._rtt,
+                },
+            )
+        if self._ctr_messages is not None:
+            self._ctr_messages.inc(2)
+            self._ctr_calls.inc()
+            with self._timer.time():
+                return handler(payload)
         return handler(payload)
 
     # ------------------------------------------------------------------

@@ -13,7 +13,10 @@ prediction requests from the task placement daemon:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a daemons<->telemetry cycle
+    from repro.telemetry import Telemetry
 
 from repro.daemons.messages import (
     CoflowPredictionRequest,
@@ -42,6 +45,7 @@ class NetworkDaemon:
         *,
         coflow_predictor: Optional[CoflowCCTPredictor] = None,
         bin_boundaries: Optional[Sequence[float]] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         """Args:
             host: the node this daemon runs on.
@@ -51,11 +55,17 @@ class NetworkDaemon:
             coflow_predictor: CCT model for coflow placement requests.
             bin_boundaries: when given, predictions use the compressed
                 (histogram) state of §5.2 instead of exact per-flow state.
+            telemetry: accounts predictor wall time when enabled.
         """
         self._host = host
         self._fabric = fabric
         self._flow_predictor = flow_predictor
         self._coflow_predictor = coflow_predictor
+        self._timer_predict = (
+            telemetry.registry.timer("predictor")
+            if telemetry is not None and telemetry.registry.enabled
+            else None
+        )
         topo = fabric.topology
         self._uplink: Link = topo.host_uplink(host)
         self._downlink: Link = topo.host_downlink(host)
@@ -121,6 +131,12 @@ class NetworkDaemon:
 
     def predict_flow(self, size: float, direction: str = "in") -> PredictionReply:
         """Predicted FCT of a new flow on this node's edge link."""
+        if self._timer_predict is not None:
+            with self._timer_predict.time():
+                return self._predict_flow(size, direction)
+        return self._predict_flow(size, direction)
+
+    def _predict_flow(self, size: float, direction: str) -> PredictionReply:
         link = self._downlink if direction == "in" else self._uplink
         compressed = (
             self._compressed_down if direction == "in" else self._compressed_up
@@ -151,6 +167,14 @@ class NetworkDaemon:
             raise DaemonError(
                 f"daemon at {self._host!r} has no coflow predictor"
             )
+        if self._timer_predict is not None:
+            with self._timer_predict.time():
+                return self._predict_coflow(total_size, size_on_link, direction)
+        return self._predict_coflow(total_size, size_on_link, direction)
+
+    def _predict_coflow(
+        self, total_size: float, size_on_link: float, direction: str
+    ) -> PredictionReply:
         link = self._downlink if direction == "in" else self._uplink
         state = coflow_link_state(self._fabric, link.link_id)
         # Score with objective (2): the coflow's own CCT on this link plus

@@ -19,10 +19,13 @@ optimistically so back-to-back decisions see their own effects.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.daemons.bus import MessageBus
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a daemons<->telemetry cycle
+    from repro.telemetry import Telemetry
 from repro.daemons.messages import (
     CoflowPredictionRequest,
     FlowPredictionRequest,
@@ -36,13 +39,24 @@ from repro.topology.base import NodeId, Topology
 
 @dataclass
 class PlacementDecision:
-    """Outcome of one placement, with the evidence used to make it."""
+    """Outcome of one placement, with the evidence used to make it.
+
+    ``candidate_scores`` pairs each scored host with its predicted
+    completion time (the data behind ``host`` / ``predicted_time``);
+    ``kind`` distinguishes flow, coflow-constituent, and reducer
+    decisions; ``tag`` carries the task label for joining realized
+    completion times in the telemetry layer.
+    """
 
     host: NodeId
     predicted_time: float
     preferred_hosts: Tuple[NodeId, ...]
     queried_hosts: Tuple[NodeId, ...]
     used_fallback: bool
+    kind: str = "flow"
+    tag: str = ""
+    size: float = 0.0
+    candidate_scores: Tuple[Tuple[NodeId, float], ...] = field(default=())
 
 
 class TaskPlacementDaemon:
@@ -57,6 +71,7 @@ class TaskPlacementDaemon:
         use_node_state: bool = True,
         locality_hops: Optional[int] = None,
         include_source_link: bool = False,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         """Args:
             topology: for locality distances.
@@ -71,6 +86,8 @@ class TaskPlacementDaemon:
                 and the single-link serial model overestimates badly on a
                 shared source uplink (flows there are usually bottlenecked
                 at their own destinations and the newcomer backfills).
+            telemetry: mirrors every decision (with its full candidate
+                evidence) into the placement-decision log when enabled.
         """
         self._topology = topology
         self._bus = bus
@@ -80,6 +97,12 @@ class TaskPlacementDaemon:
         self._include_source_link = include_source_link
         self._node_state_cache: Dict[NodeId, float] = {}
         self._decisions: List[PlacementDecision] = []
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._decision_log = telemetry.decisions
+        self._engine = bus.engine
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,14 +181,20 @@ class TaskPlacementDaemon:
         host = pick_min(preferred, scores, self._rng)
         predicted = min(scores)
         self._note_placed(host, request.size)
-        self._decisions.append(
+        self._record_decision(
             PlacementDecision(
                 host=host,
                 predicted_time=predicted,
                 preferred_hosts=tuple(preferred),
                 queried_hosts=tuple(queried),
                 used_fallback=fallback,
-            )
+                kind="flow",
+                tag=request.tag,
+                size=request.size,
+                candidate_scores=tuple(zip(preferred, scores)),
+            ),
+            data_node=request.data_node,
+            candidates=request.candidates,
         )
         return host
 
@@ -178,6 +207,8 @@ class TaskPlacementDaemon:
         coflow_total: float,
         data_node: NodeId,
         candidates: Sequence[NodeId],
+        *,
+        tag: str = "",
     ) -> NodeId:
         """Place one constituent flow of a coflow (sequential heuristic).
 
@@ -212,14 +243,20 @@ class TaskPlacementDaemon:
             scores.append(reply.predicted_time)
         host = pick_min(preferred, scores, self._rng)
         self._note_placed(host, coflow_total)
-        self._decisions.append(
+        self._record_decision(
             PlacementDecision(
                 host=host,
                 predicted_time=min(scores),
                 preferred_hosts=tuple(preferred),
                 queried_hosts=tuple(queried),
                 used_fallback=fallback,
-            )
+                kind="coflow",
+                tag=tag,
+                size=flow_size,
+                candidate_scores=tuple(zip(preferred, scores)),
+            ),
+            data_node=data_node,
+            candidates=candidates,
         )
         return host
 
@@ -227,6 +264,8 @@ class TaskPlacementDaemon:
         self,
         sources: Sequence[Tuple[NodeId, float]],
         candidates: Sequence[NodeId],
+        *,
+        tag: str = "",
     ) -> NodeId:
         """Choose one destination for a many-to-one coflow (shuffle).
 
@@ -283,7 +322,50 @@ class TaskPlacementDaemon:
             scores.append(max(reply.predicted_time, bottleneck))
         host = pick_min(list(candidates), scores, self._rng)
         self._note_placed(host, total)
+        self._record_decision(
+            PlacementDecision(
+                host=host,
+                predicted_time=min(scores),
+                preferred_hosts=tuple(candidates),
+                queried_hosts=tuple(candidates),
+                used_fallback=False,
+                kind="reducer",
+                tag=tag,
+                size=total,
+                candidate_scores=tuple(zip(candidates, scores)),
+            ),
+            data_node=max(sources, key=lambda s: s[1])[0],
+            candidates=candidates,
+        )
         return host
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _record_decision(
+        self,
+        decision: PlacementDecision,
+        *,
+        data_node: NodeId,
+        candidates: Sequence[NodeId],
+    ) -> None:
+        """Keep the decision and mirror it into the telemetry log."""
+        self._decisions.append(decision)
+        if self._decision_log.active:
+            self._decision_log.record(
+                time=self._engine.now,
+                kind=decision.kind,
+                tag=decision.tag,
+                size=decision.size,
+                data_node=data_node,
+                candidates=candidates,
+                preferred=decision.preferred_hosts,
+                used_fallback=decision.used_fallback,
+                scores=decision.candidate_scores,
+                score_kind="predicted_time",
+                chosen=decision.host,
+                predicted_time=decision.predicted_time,
+            )
 
     # ------------------------------------------------------------------
     # Cache maintenance

@@ -54,6 +54,7 @@ def figure7(
     network_policy: str = "varys",
     config: MacroConfig = None,
     placements: Sequence[str] = DEFAULT_PLACEMENTS,
+    telemetry=None,
 ) -> CoflowOutcome:
     """Run Figure 7(a) (``"varys"``) or 7(b) (``"scf"``) on Hadoop coflows."""
     cfg = config if config is not None else MacroConfig(
@@ -71,5 +72,6 @@ def figure7(
         coflows=True,
         seed=cfg.seed,
         max_candidates=cfg.max_candidates,
+        telemetry=telemetry,
     )
     return CoflowOutcome(network_policy=network_policy, results=results)

@@ -63,6 +63,8 @@ class ComparativeOutcome:
 def figure3(
     network_policy: str,
     config: MacroConfig = None,
+    *,
+    telemetry=None,
 ) -> ComparativeOutcome:
     """Run Figure 3(a) (``network_policy="srpt"``) or 3(b) (``"fair"``).
 
@@ -80,6 +82,7 @@ def figure3(
         placements=["mindist", "minload"],
         seed=cfg.seed,
         max_candidates=cfg.max_candidates,
+        telemetry=telemetry,
     )
     return ComparativeOutcome(
         network_policy=network_policy,

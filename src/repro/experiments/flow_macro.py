@@ -79,6 +79,7 @@ def run_flow_macro(
     config: MacroConfig,
     placements: Sequence[str] = DEFAULT_PLACEMENTS,
     predictor: str = "fair",
+    telemetry=None,
 ) -> MacroOutcome:
     """Run one (network policy, workload) cell of Figures 5/6."""
     topology = config.build_topology()
@@ -91,6 +92,7 @@ def run_flow_macro(
         predictor=predictor,
         seed=config.seed,
         max_candidates=config.max_candidates,
+        telemetry=telemetry,
     )
     return MacroOutcome(
         network_policy=network_policy,
@@ -100,18 +102,22 @@ def run_flow_macro(
 
 
 def figure5(
-    workload: str = "hadoop", config: MacroConfig = None
+    workload: str = "hadoop", config: MacroConfig = None, *, telemetry=None
 ) -> MacroOutcome:
     """Figure 5: placement comparison under Fair (DCTCP)."""
     cfg = config if config is not None else MacroConfig(workload=workload)
     if cfg.workload != workload:
         cfg = replace(cfg, workload=workload)
-    return run_flow_macro(network_policy="fair", config=cfg)
+    return run_flow_macro(
+        network_policy="fair", config=cfg, telemetry=telemetry
+    )
 
 
 def figure6(
-    network_policy: str = "las", config: MacroConfig = None
+    network_policy: str = "las", config: MacroConfig = None, *, telemetry=None
 ) -> MacroOutcome:
     """Figure 6: Hadoop workload under LAS (a) or SRPT (b)."""
     cfg = config if config is not None else MacroConfig(workload="hadoop")
-    return run_flow_macro(network_policy=network_policy, config=cfg)
+    return run_flow_macro(
+        network_policy=network_policy, config=cfg, telemetry=telemetry
+    )

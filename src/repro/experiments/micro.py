@@ -41,7 +41,9 @@ class PredictorComparison:
         return abs(fair - srpt) / denom
 
 
-def figure8(config: MacroConfig = None) -> PredictorComparison:
+def figure8(
+    config: MacroConfig = None, *, telemetry=None
+) -> PredictorComparison:
     """NEAT under SRPT scheduling, predicting with Fair vs SRPT models."""
     cfg = config if config is not None else MacroConfig(workload="hadoop")
     topology = cfg.build_topology()
@@ -56,6 +58,7 @@ def figure8(config: MacroConfig = None) -> PredictorComparison:
             predictor=predictor,
             seed=cfg.seed,
             max_candidates=cfg.max_candidates,
+            telemetry=telemetry,
         )
     return PredictorComparison(
         fair_predictor=runs["fair"], srpt_predictor=runs["srpt"]
@@ -86,6 +89,7 @@ def figure9(
     config: MacroConfig = None,
     *,
     network_policy: str = "srpt",
+    telemetry=None,
 ) -> PreferredHostsOutcome:
     """NEAT vs minFCT vs minDist under SRPT (the paper's §6.3 setup)."""
     cfg = config if config is not None else MacroConfig(workload="hadoop")
@@ -98,6 +102,7 @@ def figure9(
         placements=["neat", "minfct", "mindist"],
         seed=cfg.seed,
         max_candidates=cfg.max_candidates,
+        telemetry=telemetry,
     )
     return PreferredHostsOutcome(results=results)
 
@@ -138,6 +143,7 @@ def figure10(
     *,
     network_policy: str = "srpt",
     split_size: float = None,
+    telemetry=None,
 ) -> Tuple[PredictionErrorSummary, PredictionErrorSummary]:
     """Prediction error for short flows vs long flows.
 
@@ -154,6 +160,7 @@ def figure10(
         placement="neat",
         seed=cfg.seed,
         max_candidates=cfg.max_candidates,
+        telemetry=telemetry,
     )
     pairs = prediction_errors(run)
     if not pairs:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.coflow.tracking import CoflowTracker
 from repro.coflow.policies.registry import make_coflow_allocator
@@ -28,6 +28,87 @@ from repro.sim.engine import Engine
 from repro.topology.base import NodeId, Topology
 from repro.workloads.noise import SizeEstimator
 from repro.workloads.traces import CoflowArrival, TaskArrival, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an experiments<->telemetry cycle
+    from repro.telemetry import Telemetry
+
+
+def _begin_run(
+    telemetry: Optional["Telemetry"],
+    fabric: NetworkFabric,
+    *,
+    placement: str,
+    network_policy: str,
+    tracker: Optional[CoflowTracker] = None,
+):
+    """Bind a run's context into the telemetry bundle.
+
+    Returns ``(telemetry, placement_timer, sampler)`` where ``telemetry``
+    is never None (the null bundle when disabled), ``placement_timer`` is
+    a wall-clock timer for the placement subsystem (or None), and
+    ``sampler`` is a :class:`TimelineSampler` when timeline collection was
+    requested.
+    """
+    if telemetry is None:
+        from repro.telemetry import NULL_TELEMETRY
+
+        telemetry = NULL_TELEMETRY
+    if telemetry.decisions.active:
+        telemetry.decisions.set_context(
+            placement=placement, network_policy=network_policy
+        )
+        if tracker is not None:
+            telemetry.decisions.bind_coflows(tracker)
+        else:
+            telemetry.decisions.bind(fabric)
+    if telemetry.trace.active:
+        telemetry.trace.emit(
+            "run_start",
+            fabric.engine.now,
+            {"placement": placement, "network_policy": network_policy},
+        )
+    timer = (
+        telemetry.registry.timer("placement")
+        if telemetry.registry.enabled
+        else None
+    )
+    sampler = None
+    if telemetry.timeline_interval is not None:
+        from repro.metrics.timeline import TimelineSampler
+
+        topo = fabric.topology
+        sampler = TimelineSampler(
+            fabric,
+            interval=telemetry.timeline_interval,
+            watch_links=[topo.host_downlink(h).link_id for h in topo.hosts],
+        )
+    return telemetry, timer, sampler
+
+
+def _end_run(
+    telemetry: "Telemetry",
+    fabric: NetworkFabric,
+    sampler,
+    *,
+    placement: str,
+    network_policy: str,
+    records_len: int,
+) -> None:
+    if sampler is not None:
+        telemetry.timelines.append(
+            (f"{placement}/{network_policy}", sampler.samples)
+        )
+    if telemetry.trace.active:
+        telemetry.trace.emit(
+            "run_end",
+            fabric.engine.now,
+            {
+                "placement": placement,
+                "network_policy": network_policy,
+                "records": records_len,
+                "events_processed": fabric.engine.events_processed,
+            },
+        )
 
 
 @dataclass
@@ -72,6 +153,7 @@ def replay_flow_trace(
     max_candidates: Optional[int] = None,
     horizon: Optional[float] = None,
     size_estimator: Optional[SizeEstimator] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> RunResult:
     """Replay a flow trace: place every task, run the network to empty.
 
@@ -94,13 +176,22 @@ def replay_flow_trace(
         size_estimator: when given, the *placement* layer sees
             ``estimator.estimate(size)`` while the network transfers the
             true size — the §7 flow-size-uncertainty model.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` bundle:
+            metrics, trace events, and the placement-decision log are all
+            recorded against this run.
     """
-    engine = Engine()
-    fabric = NetworkFabric(engine, topology, make_allocator(network_policy))
+    engine = Engine(telemetry=telemetry)
+    fabric = NetworkFabric(
+        engine, topology, make_allocator(network_policy), telemetry=telemetry
+    )
     place_rng = random.Random(seed)
     pool_rng = random.Random(seed + 7)
     policy = make_placement_policy(
-        placement, fabric, rng=place_rng, predictor=predictor
+        placement, fabric, rng=place_rng, predictor=predictor,
+        telemetry=telemetry,
+    )
+    tele, place_timer, sampler = _begin_run(
+        telemetry, fabric, placement=placement, network_policy=network_policy
     )
     hosts = topology.hosts
     predictions: Dict[str, float] = {}
@@ -125,7 +216,11 @@ def replay_flow_trace(
                 candidates=candidates,
                 tag=arrival.tag,
             )
-            host = policy.place(request)
+            if place_timer is not None:
+                with place_timer.time():
+                    host = policy.place(request)
+            else:
+                host = policy.place(request)
             policy.notify_placed(request, host)
             fabric.submit(arrival.data_node, host, arrival.size, tag=arrival.tag)
             daemon = getattr(policy, "daemon", None)
@@ -138,6 +233,14 @@ def replay_flow_trace(
             raise ConfigError("replay_flow_trace needs a flow trace")
         engine.schedule_at(arrival.time, make_arrival_callback(arrival))
     engine.run(until=horizon)
+    _end_run(
+        tele,
+        fabric,
+        sampler,
+        placement=placement,
+        network_policy=network_policy,
+        records_len=len(fabric.records),
+    )
 
     bus = getattr(policy, "bus", None)
     return RunResult(
@@ -163,17 +266,21 @@ def replay_coflow_trace(
     exclude_data_node: bool = True,
     max_candidates: Optional[int] = None,
     horizon: Optional[float] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> RunResult:
     """Replay a coflow trace under a coflow scheduling policy.
 
     Placement follows §5.1.2: each coflow's flows are placed sequentially
     in descending size order through the configured placement policy.
     """
-    engine = Engine()
+    engine = Engine(telemetry=telemetry)
     fabric = NetworkFabric(
-        engine, topology, make_coflow_allocator(network_policy)
+        engine,
+        topology,
+        make_coflow_allocator(network_policy),
+        telemetry=telemetry,
     )
-    tracker = CoflowTracker(fabric)
+    tracker = CoflowTracker(fabric, telemetry=telemetry)
     place_rng = random.Random(seed)
     pool_rng = random.Random(seed + 7)
     if coflow_predictor is None:
@@ -184,6 +291,14 @@ def replay_coflow_trace(
         rng=place_rng,
         predictor=predictor,
         coflow_predictor=coflow_predictor if placement == "neat" else None,
+        telemetry=telemetry,
+    )
+    tele, place_timer, sampler = _begin_run(
+        telemetry,
+        fabric,
+        placement=placement,
+        network_policy=network_policy,
+        tracker=tracker,
     )
     # The paper's minDist coflow adaptation keeps a coflow's flows in one
     # rack near the input data (Fig. 7 description).
@@ -201,17 +316,22 @@ def replay_coflow_trace(
             if max_candidates is not None and len(pool) > max_candidates:
                 pool = sorted(pool_rng.sample(pool, max_candidates))
             if rack_local is not None:
-                rack_local.place_coflow(
+                placer = lambda: rack_local.place_coflow(  # noqa: E731
                     tracker, arrival.transfers, pool, tag=arrival.tag
                 )
             else:
-                place_coflow_sequential(
+                placer = lambda: place_coflow_sequential(  # noqa: E731
                     policy,
                     tracker,
                     arrival.transfers,
                     pool,
                     tag=arrival.tag,
                 )
+            if place_timer is not None:
+                with place_timer.time():
+                    placer()
+            else:
+                placer()
         return on_arrival
 
     for arrival in trace.arrivals:
@@ -219,6 +339,14 @@ def replay_coflow_trace(
             raise ConfigError("replay_coflow_trace needs a coflow trace")
         engine.schedule_at(arrival.time, make_arrival_callback(arrival))
     engine.run(until=horizon)
+    _end_run(
+        tele,
+        fabric,
+        sampler,
+        placement=placement,
+        network_policy=network_policy,
+        records_len=len(tracker.records),
+    )
 
     bus = getattr(policy, "bus", None)
     return RunResult(

@@ -44,7 +44,9 @@ class TestbedOutcome:
         }
 
 
-def figure11(config: MacroConfig = None) -> TestbedOutcome:
+def figure11(
+    config: MacroConfig = None, *, telemetry=None
+) -> TestbedOutcome:
     """NEAT vs minLoad on the single-rack testbed under Fair and LAS."""
     cfg = config if config is not None else testbed_config()
     topology = build_testbed_topology()
@@ -57,5 +59,6 @@ def figure11(config: MacroConfig = None) -> TestbedOutcome:
             network_policy=network_policy,
             placements=["neat", "minload"],
             seed=cfg.seed,
+            telemetry=telemetry,
         )
     return TestbedOutcome(results=results)

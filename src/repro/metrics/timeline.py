@@ -100,8 +100,10 @@ class TimelineSampler:
                 links=links,
             )
         )
-        # Keep sampling only while there is traffic to observe.
-        if flows:
+        # Keep sampling while there is traffic to observe *or* scheduled
+        # work still to come (e.g. arrivals queued before the first flow
+        # starts); stop once the simulation is truly drained.
+        if flows or fabric.engine.pending_events > 0:
             fabric.engine.schedule(
                 self._interval, self._tick, label="timeline-sample"
             )

@@ -12,7 +12,7 @@ This module is the stand-in for the paper's ns2 substrate.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import FlowError
 from repro.network.flow import Flow, FlowId, FlowRecord
@@ -21,6 +21,9 @@ from repro.sim.engine import Engine
 from repro.sim.events import RECOMPUTE_PRIORITY, Event
 from repro.topology.base import LinkId, NodeId, Topology
 from repro.topology.routing import Router
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a network<->telemetry cycle
+    from repro.telemetry import Telemetry
 
 CompletionListener = Callable[[Flow, FlowRecord], None]
 
@@ -35,11 +38,27 @@ class NetworkFabric:
         allocator: RateAllocator,
         *,
         router: Optional[Router] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self._engine = engine
         self._topology = topology
         self._allocator = allocator
         self._router = router or Router(topology)
+        # Telemetry hooks, pre-bound so the disabled path costs one
+        # attribute check per event (NullMetricsRegistry hands back
+        # shared no-op metrics, but we avoid even those on hot paths).
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._trace = telemetry.trace
+        metrics_on = telemetry.registry.enabled
+        reg = telemetry.registry
+        self._ctr_submitted = reg.counter("fabric.flows_submitted") if metrics_on else None
+        self._ctr_completed = reg.counter("fabric.flows_completed") if metrics_on else None
+        self._ctr_recomputes = reg.counter("fabric.rate_recomputes") if metrics_on else None
+        self._hist_fct = reg.histogram("fabric.fct_seconds") if metrics_on else None
+        self._timer_alloc = reg.timer("allocator") if metrics_on else None
         self._capacities: Dict[LinkId, float] = {
             link.link_id: link.capacity for link in topology.links()
         }
@@ -161,6 +180,21 @@ class NetworkFabric:
         self._next_flow_id += 1
         if coflow is not None:
             coflow.attach_flow(flow)
+        if self._ctr_submitted is not None:
+            self._ctr_submitted.inc()
+        if self._trace.active:
+            self._trace.emit(
+                "flow_arrival",
+                self._engine.now,
+                {
+                    "flow_id": flow.flow_id,
+                    "src": src,
+                    "dst": dst,
+                    "size": size,
+                    "tag": tag,
+                    "local": flow.is_local,
+                },
+            )
         if flow.is_local:
             # Data is already on the destination host: finishes instantly.
             flow.advance(flow.remaining)
@@ -231,6 +265,21 @@ class NetworkFabric:
             coflow_id=flow.coflow.coflow_id if flow.coflow is not None else None,
         )
         self._records.append(record)
+        if self._ctr_completed is not None:
+            self._ctr_completed.inc()
+            self._hist_fct.observe(record.fct)
+        if self._trace.active:
+            self._trace.emit(
+                "flow_completion",
+                self._engine.now,
+                {
+                    "flow_id": flow.flow_id,
+                    "tag": flow.tag,
+                    "size": flow.size,
+                    "fct": record.fct,
+                    "optimal_fct": record.optimal_fct,
+                },
+            )
         if flow.coflow is not None:
             flow.coflow.note_flow_finished(flow, self._engine.now)
         for listener in self._listeners:
@@ -257,7 +306,18 @@ class NetworkFabric:
         if not flows:
             self._rates = {}
             return
-        self._rates = self._allocator.allocate(flows, self._capacities)
+        if self._ctr_recomputes is not None:
+            self._ctr_recomputes.inc()
+            with self._timer_alloc.time():
+                self._rates = self._allocator.allocate(flows, self._capacities)
+        else:
+            self._rates = self._allocator.allocate(flows, self._capacities)
+        if self._trace.active:
+            self._trace.emit(
+                "rate_recompute",
+                self._engine.now,
+                {"active_flows": len(flows)},
+            )
 
         next_dt = float("inf")
         for flow in flows:

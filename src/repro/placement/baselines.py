@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.network.fabric import NetworkFabric
 from repro.placement.base import PlacementPolicy, PlacementRequest, pick_min
@@ -27,7 +27,53 @@ def host_queued_bits(fabric: NetworkFabric, host: NodeId) -> float:
     return sum(f.remaining for f in fabric.flows_at_host(host))
 
 
-class MinLoadPolicy(PlacementPolicy):
+class _RecordsDecisions:
+    """Mixin: mirror baseline decisions into the telemetry decision log.
+
+    Baselines have no preferred-host filter, so ``preferred`` equals the
+    candidate set, and their scores are whatever they minimise (queued
+    bits, hops, predicted FCT, ...) as declared by ``score_kind``.
+    """
+
+    _SCORE_KIND = "score"
+
+    def _init_telemetry(
+        self, telemetry, fabric: Optional[NetworkFabric]
+    ) -> None:
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._decision_log = telemetry.decisions
+        self._engine = fabric.engine if fabric is not None else None
+
+    def _log_decision(
+        self,
+        request: PlacementRequest,
+        scores: Sequence[float],
+        chosen: NodeId,
+        *,
+        predicted_time: Optional[float] = None,
+    ) -> None:
+        if not self._decision_log.active:
+            return
+        self._decision_log.record(
+            time=self._engine.now if self._engine is not None else 0.0,
+            kind="flow",
+            tag=request.tag,
+            size=request.size,
+            data_node=request.data_node,
+            candidates=request.candidates,
+            preferred=request.candidates,
+            used_fallback=False,
+            scores=tuple(zip(request.candidates, scores)),
+            score_kind=self._SCORE_KIND,
+            chosen=chosen,
+            predicted_time=predicted_time,
+        )
+
+
+class MinLoadPolicy(_RecordsDecisions, PlacementPolicy):
     """Place on the candidate with the least network load.
 
     Args:
@@ -38,6 +84,7 @@ class MinLoadPolicy(PlacementPolicy):
     """
 
     name = "minload"
+    _SCORE_KIND = "queued_bits"
 
     def __init__(
         self,
@@ -45,12 +92,15 @@ class MinLoadPolicy(PlacementPolicy):
         rng: Optional[random.Random] = None,
         *,
         measure: str = "bits",
+        telemetry=None,
     ) -> None:
         if measure not in ("bits", "utilization"):
             raise ValueError(f"unknown load measure {measure!r}")
         self._fabric = fabric
         self._rng = rng
         self._measure = measure
+        self._SCORE_KIND = measure if measure != "bits" else "queued_bits"
+        self._init_telemetry(telemetry, fabric)
 
     def _load(self, host: NodeId) -> float:
         if self._measure == "bits":
@@ -65,21 +115,27 @@ class MinLoadPolicy(PlacementPolicy):
 
     def place(self, request: PlacementRequest) -> NodeId:
         scores = [self._load(host) for host in request.candidates]
-        return pick_min(request.candidates, scores, self._rng)
+        host = pick_min(request.candidates, scores, self._rng)
+        self._log_decision(request, scores, host)
+        return host
 
 
-class MinDistPolicy(PlacementPolicy):
+class MinDistPolicy(_RecordsDecisions, PlacementPolicy):
     """Place as close to the input data as possible (locality first)."""
 
     name = "mindist"
+    _SCORE_KIND = "hops"
 
     def __init__(
         self,
         fabric: NetworkFabric,
         rng: Optional[random.Random] = None,
+        *,
+        telemetry=None,
     ) -> None:
         self._fabric = fabric
         self._rng = rng
+        self._init_telemetry(telemetry, fabric)
 
     def place(self, request: PlacementRequest) -> NodeId:
         topo = self._fabric.topology
@@ -87,10 +143,12 @@ class MinDistPolicy(PlacementPolicy):
             float(topo.hop_distance(request.data_node, host))
             for host in request.candidates
         ]
-        return pick_min(request.candidates, scores, self._rng)
+        host = pick_min(request.candidates, scores, self._rng)
+        self._log_decision(request, scores, host)
+        return host
 
 
-class MinFCTPolicy(PlacementPolicy):
+class MinFCTPolicy(_RecordsDecisions, PlacementPolicy):
     """Greedy minimum-predicted-FCT with *no* node-state filter (Figure 9).
 
     Uses the same predictor as NEAT on the same edge links, but considers
@@ -100,16 +158,20 @@ class MinFCTPolicy(PlacementPolicy):
     """
 
     name = "minfct"
+    _SCORE_KIND = "predicted_time"
 
     def __init__(
         self,
         fabric: NetworkFabric,
         predictor: FlowFCTPredictor,
         rng: Optional[random.Random] = None,
+        *,
+        telemetry=None,
     ) -> None:
         self._fabric = fabric
         self._predictor = predictor
         self._rng = rng
+        self._init_telemetry(telemetry, fabric)
 
     def _predicted_fct(self, request: PlacementRequest, host: NodeId) -> float:
         if host == request.data_node:
@@ -127,16 +189,32 @@ class MinFCTPolicy(PlacementPolicy):
         scores = [
             self._predicted_fct(request, host) for host in request.candidates
         ]
-        return pick_min(request.candidates, scores, self._rng)
+        host = pick_min(request.candidates, scores, self._rng)
+        # minFCT scores *are* predicted FCTs, so its decisions join
+        # realized completion times and produce prediction errors too.
+        self._log_decision(
+            request, scores, host, predicted_time=min(scores)
+        )
+        return host
 
 
-class RandomPolicy(PlacementPolicy):
+class RandomPolicy(_RecordsDecisions, PlacementPolicy):
     """Uniform random placement (control)."""
 
     name = "random"
+    _SCORE_KIND = "random"
 
-    def __init__(self, rng: random.Random) -> None:
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        fabric: Optional[NetworkFabric] = None,
+        telemetry=None,
+    ) -> None:
         self._rng = rng
+        self._init_telemetry(telemetry, fabric)
 
     def place(self, request: PlacementRequest) -> NodeId:
-        return request.candidates[self._rng.randrange(len(request.candidates))]
+        host = request.candidates[self._rng.randrange(len(request.candidates))]
+        self._log_decision(request, [], host)
+        return host

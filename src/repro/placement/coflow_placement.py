@@ -66,7 +66,11 @@ def place_coflow_sequential(
             remaining_candidates = list(candidates)
         if cct_aware is not None:
             host = cct_aware(
-                size, coflow_total, data_node, tuple(remaining_candidates)
+                size,
+                coflow_total,
+                data_node,
+                tuple(remaining_candidates),
+                tag=tag,
             )
         else:
             request = PlacementRequest(

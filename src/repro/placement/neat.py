@@ -52,16 +52,22 @@ class NEATPolicy(PlacementPolicy):
     def place(self, request: PlacementRequest) -> NodeId:
         return self._daemon.place_flow(request)
 
-    def place_reducer(self, sources, candidates) -> NodeId:
+    def place_reducer(self, sources, candidates, *, tag: str = "") -> NodeId:
         """Many-to-one coflow placement (§5.1.2)."""
-        return self._daemon.place_reducer(sources, candidates)
+        return self._daemon.place_reducer(sources, candidates, tag=tag)
 
     def place_coflow_flow(
-        self, flow_size: float, coflow_total: float, data_node, candidates
+        self,
+        flow_size: float,
+        coflow_total: float,
+        data_node,
+        candidates,
+        *,
+        tag: str = "",
     ) -> NodeId:
         """CCT-aware placement of one flow of a coflow (§5.1.2)."""
         return self._daemon.place_coflow_flow(
-            flow_size, coflow_total, data_node, candidates
+            flow_size, coflow_total, data_node, candidates, tag=tag
         )
 
 
@@ -76,6 +82,7 @@ def build_neat(
     include_source_link: bool = False,
     bin_boundaries: Optional[Sequence[float]] = None,
     control_rtt: float = 0.0,
+    telemetry=None,
 ) -> NEATPolicy:
     """Instantiate NEAT's full control plane on ``fabric``.
 
@@ -91,13 +98,16 @@ def build_neat(
             score (off by default; see TaskPlacementDaemon).
         bin_boundaries: enable §5.2 compressed flow state with these bins.
         control_rtt: control-plane RTT used for latency accounting.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` threaded
+            into the bus (message tracing), daemons (predictor timing),
+            and the placement daemon (decision log).
     """
     from repro.daemons.bus import MessageBus
     from repro.daemons.network_daemon import NetworkDaemon
     from repro.daemons.placement_daemon import TaskPlacementDaemon
 
     engine = fabric.engine
-    bus = MessageBus(engine, rtt=control_rtt)
+    bus = MessageBus(engine, rtt=control_rtt, telemetry=telemetry)
     flow_pred = make_flow_predictor(predictor)
     coflow_pred = (
         make_coflow_predictor(coflow_predictor)
@@ -111,6 +121,7 @@ def build_neat(
             flow_pred,
             coflow_predictor=coflow_pred,
             bin_boundaries=bin_boundaries,
+            telemetry=telemetry,
         )
         bus.register(host, daemon.handle)
     placement = TaskPlacementDaemon(
@@ -120,6 +131,7 @@ def build_neat(
         use_node_state=use_node_state,
         locality_hops=locality_hops,
         include_source_link=include_source_link,
+        telemetry=telemetry,
     )
     return NEATPolicy(
         placement, bus, supports_coflow_prediction=coflow_pred is not None

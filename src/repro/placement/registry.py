@@ -26,12 +26,17 @@ def make_placement_policy(
     rng: Optional[random.Random] = None,
     predictor: str = "fair",
     coflow_predictor: Optional[str] = None,
+    telemetry=None,
 ) -> PlacementPolicy:
     """Instantiate a placement policy by name.
 
     Known names: ``neat``, ``neat-nofilter`` (daemon-based minFCT),
     ``neat-path`` (§7 full-path generalization), ``minfct`` (omniscient
     minFCT), ``minload``, ``mindist``, ``random``.
+
+    ``telemetry`` threads a :class:`~repro.telemetry.Telemetry` bundle
+    into the policy so placement decisions (and, for NEAT, bus traffic
+    and predictor timings) are recorded.
     """
     key = name.lower()
     if key == "neat":
@@ -40,6 +45,7 @@ def make_placement_policy(
             predictor=predictor,
             coflow_predictor=coflow_predictor,
             rng=rng,
+            telemetry=telemetry,
         )
     if key == "neat-nofilter":
         # NEAT's daemons and predictor but no preferred-host filter: the
@@ -51,20 +57,23 @@ def make_placement_policy(
             coflow_predictor=coflow_predictor,
             rng=rng,
             use_node_state=False,
+            telemetry=telemetry,
         )
     if key == "neat-path":
         # §7 generalization: per-link arbitrators, full-path objective.
         return PathAwareNEATPolicy(fabric, make_flow_predictor(predictor), rng)
     if key == "minfct":
-        return MinFCTPolicy(fabric, make_flow_predictor(predictor), rng)
+        return MinFCTPolicy(
+            fabric, make_flow_predictor(predictor), rng, telemetry=telemetry
+        )
     if key == "minload":
-        return MinLoadPolicy(fabric, rng)
+        return MinLoadPolicy(fabric, rng, telemetry=telemetry)
     if key == "mindist":
-        return MinDistPolicy(fabric, rng)
+        return MinDistPolicy(fabric, rng, telemetry=telemetry)
     if key == "random":
         if rng is None:
             raise ConfigError("random placement needs an rng")
-        return RandomPolicy(rng)
+        return RandomPolicy(rng, fabric=fabric, telemetry=telemetry)
     raise ConfigError(
         f"unknown placement policy {name!r}; known: neat, neat-nofilter, "
         "neat-path, minfct, minload, mindist, random"

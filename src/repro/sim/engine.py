@@ -8,11 +8,14 @@ workload generators) schedule callbacks through :meth:`Engine.schedule` /
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventCallback, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a sim<->telemetry cycle
+    from repro.telemetry import Telemetry
 
 
 class Engine:
@@ -28,12 +31,20 @@ class Engine:
         [1.0, 2.0]
     """
 
-    def __init__(self, *, start_time: float = 0.0, max_events: int = 50_000_000) -> None:
+    def __init__(
+        self,
+        *,
+        start_time: float = 0.0,
+        max_events: int = 50_000_000,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
         self._clock = SimClock(start_time)
         self._queue = EventQueue()
         self._max_events = max_events
         self._events_processed = 0
         self._running = False
+        self._telemetry = telemetry
+        self._events_reported = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -52,6 +63,11 @@ class Engine:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
+
+    @property
+    def heap_high_water(self) -> int:
+        """Most events ever simultaneously queued (memory pressure)."""
+        return self._queue.high_water
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -138,6 +154,30 @@ class Engine:
                 self._clock.advance_to(until)
         finally:
             self._running = False
+            if self._telemetry is not None and self._telemetry.enabled:
+                self._report_stats()
+
+    def _report_stats(self) -> None:
+        """Publish engine-level stats at the end of each :meth:`run`."""
+        tele = self._telemetry
+        delta = self._events_processed - self._events_reported
+        self._events_reported = self._events_processed
+        registry = tele.registry
+        if registry.enabled:
+            registry.counter("engine.events_processed").inc(delta)
+            registry.gauge("engine.heap_high_water").set_max(
+                self.heap_high_water
+            )
+        if tele.trace.active:
+            tele.trace.emit(
+                "engine_run",
+                self.now,
+                {
+                    "events_processed": self._events_processed,
+                    "heap_high_water": self.heap_high_water,
+                    "pending": self.pending_events,
+                },
+            )
 
     def __repr__(self) -> str:
         return (

@@ -58,9 +58,15 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._high_water = 0
 
     def __len__(self) -> int:
         return self._live
+
+    @property
+    def high_water(self) -> int:
+        """Most live events ever queued at once (heap pressure metric)."""
+        return self._high_water
 
     def __bool__(self) -> bool:
         return self._live > 0
@@ -85,6 +91,8 @@ class EventQueue:
         )
         heapq.heappush(self._heap, event)
         self._live += 1
+        if self._live > self._high_water:
+            self._high_water = self._live
         return event
 
     def pop(self) -> Optional[Event]:

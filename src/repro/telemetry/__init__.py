@@ -1,0 +1,162 @@
+"""End-to-end telemetry: metrics, structured tracing, explainability.
+
+One :class:`Telemetry` object threads through the whole stack (engine,
+fabric, bus, daemons, placement policies, experiment runner) and bundles
+the three observability channels:
+
+* :attr:`Telemetry.registry` — counters / gauges / histograms / timers
+  (:mod:`repro.telemetry.registry`);
+* :attr:`Telemetry.trace` — a structured JSONL event sink
+  (:mod:`repro.telemetry.trace`);
+* :attr:`Telemetry.decisions` — the placement-decision log with
+  realized-outcome joins (:mod:`repro.telemetry.decisions`).
+
+Everything defaults to shared no-op singletons, so components take
+``telemetry: Optional[Telemetry] = None`` and pay a single attribute
+check when telemetry is off (:data:`NULL_TELEMETRY`).
+
+Quickstart::
+
+    from repro.telemetry import create_telemetry
+    from repro.experiments import MacroConfig, replay_flow_trace
+
+    tele = create_telemetry(trace_path="/tmp/t.jsonl")
+    cfg = MacroConfig(num_arrivals=100)
+    topo = cfg.build_topology()
+    replay_flow_trace(cfg.build_trace(topo), topo, network_policy="fair",
+                      placement="neat", telemetry=tele)
+    tele.trace.close()
+    print(tele.decisions.error_summary())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.telemetry.decisions import (
+    NULL_DECISIONS,
+    DecisionLog,
+    DecisionRecord,
+)
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+)
+from repro.telemetry.trace import NULL_TRACE, JsonlTraceSink, TraceSink
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "create_telemetry",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "TraceSink",
+    "JsonlTraceSink",
+    "NULL_TRACE",
+    "DecisionLog",
+    "DecisionRecord",
+    "NULL_DECISIONS",
+    "render_report",
+]
+
+
+class Telemetry:
+    """Bundle of the three telemetry channels plus timeline config.
+
+    Attributes:
+        registry: metrics registry (no-op when telemetry is off).
+        trace: structured event sink (no-op when telemetry is off).
+        decisions: placement-decision log (no-op when telemetry is off).
+        timeline_interval: when set, the experiment runner attaches a
+            :class:`~repro.metrics.timeline.TimelineSampler` at this
+            sampling interval (seconds of sim time) to every replayed
+            fabric and appends ``(label, samples)`` to :attr:`timelines`.
+        timelines: collected ``(label, samples)`` pairs, one per run.
+    """
+
+    __slots__ = (
+        "registry",
+        "trace",
+        "decisions",
+        "timeline_interval",
+        "timelines",
+    )
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceSink] = None,
+        decisions: Optional[DecisionLog] = None,
+        timeline_interval: Optional[float] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.decisions = (
+            decisions if decisions is not None else NULL_DECISIONS
+        )
+        self.timeline_interval = timeline_interval
+        self.timelines: List[Tuple[str, Sequence]] = []
+
+    @property
+    def enabled(self) -> bool:
+        """True when any channel would actually record something."""
+        return (
+            self.registry.enabled
+            or self.trace.active
+            or self.decisions.active
+            or self.timeline_interval is not None
+        )
+
+    def close(self) -> None:
+        """Flush/close the trace sink (safe to call repeatedly)."""
+        self.trace.close()
+
+
+#: Shared disabled telemetry (the default everywhere; ``enabled`` False).
+NULL_TELEMETRY = Telemetry()
+
+
+def create_telemetry(
+    *,
+    trace_path: Optional[str] = None,
+    metrics: bool = True,
+    decisions: bool = True,
+    timeline_interval: Optional[float] = None,
+    wall_clock: bool = False,
+) -> Telemetry:
+    """Convenience factory for a fully armed :class:`Telemetry`.
+
+    Args:
+        trace_path: write a JSONL trace here (omit for no trace file).
+        metrics: collect counters/gauges/histograms/timers.
+        decisions: collect the placement-decision log.
+        timeline_interval: attach fabric timeline samplers at this
+            interval (seconds of simulation time).
+        wall_clock: stamp trace records with wall time (breaks
+            byte-identical determinism; ``wall*`` fields only).
+    """
+    sink: Optional[TraceSink] = (
+        JsonlTraceSink(trace_path, wall_clock=wall_clock)
+        if trace_path is not None
+        else None
+    )
+    return Telemetry(
+        registry=MetricsRegistry() if metrics else None,
+        trace=sink,
+        decisions=DecisionLog(trace=sink) if decisions else None,
+        timeline_interval=timeline_interval,
+    )
+
+
+from repro.telemetry.report import render_report  # noqa: E402  (cycle-free tail import)

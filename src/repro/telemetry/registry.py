@@ -1,0 +1,295 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms, timers.
+
+The registry is the quantitative half of the telemetry layer
+(:mod:`repro.telemetry`): subsystems record *how much* happened (flows
+completed, rate recomputes, control messages) and *how long* it took
+(wall-clock per subsystem via :class:`Timer`), while the trace sink
+(:mod:`repro.telemetry.trace`) records *what* happened event by event.
+
+Metrics carry two time dimensions:
+
+* **sim-time** values (FCTs, latencies) are observed into histograms —
+  they are deterministic and safe to assert on in tests;
+* **wall-time** values accumulate in timers — they are measurement-only
+  and never enter the deterministic trace.
+
+Disabled telemetry must cost (almost) nothing, so every class has a
+no-op twin and :data:`NULL_REGISTRY` hands out shared no-op instances;
+hot call sites additionally pre-bind their metric objects and guard on
+:attr:`MetricsRegistry.enabled` so the disabled path is a single
+attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import percentile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+
+class Counter:
+    """Monotonically increasing count (e.g. ``fabric.flows_completed``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. ``engine.heap_high_water``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the maximum over all writes (high-water marks)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Distribution of observed values (count/sum always; raw values up
+    to ``max_samples`` for percentile summaries)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_values", "_cap")
+
+    def __init__(self, name: str, *, max_samples: int = 100_000) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._values: List[float] = []
+        self._cap = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._values) < self._cap:
+            self._values.append(value)
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": percentile(self._values, 50),
+            "p95": percentile(self._values, 95),
+        }
+
+
+class _TimerSpan:
+    """One timed section (context manager handed out by :meth:`Timer.time`)."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        timer = self._timer
+        timer.calls += 1
+        timer.wall_seconds += time.perf_counter() - self._start
+
+
+class Timer:
+    """Accumulated wall-clock time of one subsystem (profiling hook).
+
+    Nested timers each accumulate their own *inclusive* time: the
+    ``placement`` timer includes the ``bus`` calls it makes, which in
+    turn include ``predictor`` work.
+    """
+
+    __slots__ = ("name", "calls", "wall_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.wall_seconds = 0.0
+
+    def time(self) -> _TimerSpan:
+        return _TimerSpan(self)
+
+
+# ----------------------------------------------------------------------
+# No-op twins (shared singletons; every method is a cheap pass)
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def time(self) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+
+class MetricsRegistry:
+    """Namespace of metrics, created on first use, JSON-exportable."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors (get-or-create; names are dotted, e.g. "bus.messages")
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe snapshot of every metric."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+            "timers": {
+                name: {"calls": t.calls, "wall_seconds": t.wall_seconds}
+                for name, t in sorted(self._timers.items())
+            },
+        }
+
+    def write_json(
+        self, path: str, *, extra: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Write the snapshot (plus optional ``extra`` keys) to ``path``."""
+        payload = dict(self.as_dict())
+        if extra:
+            payload.update(extra)
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True, default=str)
+            fp.write("\n")
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: hands out shared no-op metrics."""
+
+    enabled = False
+
+    _COUNTER = _NullCounter("null")
+    _GAUGE = _NullGauge("null")
+    _HISTOGRAM = _NullHistogram("null")
+    _TIMER = _NullTimer("null")
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return self._HISTOGRAM
+
+    def timer(self, name: str) -> Timer:
+        return self._TIMER
+
+
+#: Shared disabled registry (the default everywhere).
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,120 @@
+"""Human-readable telemetry report.
+
+Renders one text block from a :class:`~repro.telemetry.Telemetry`
+bundle: counters, gauges, per-subsystem wall-clock profile, histogram
+summaries, placement-decision accuracy, and sampled link utilisation
+from any attached timeline samplers.  This is the report the CLI prints
+after a figure run with ``--trace`` / ``--metrics-out`` / ``--timeline``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.stats import mean
+
+__all__ = ["render_report"]
+
+#: Subsystem timers, outermost first (each includes the ones below it).
+_PROFILE_ORDER = ("placement", "bus", "predictor", "allocator")
+
+
+def _fmt(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_report(telemetry) -> str:
+    """Render the telemetry bundle as an aligned text report."""
+    lines: List[str] = ["telemetry report", "================"]
+
+    snapshot = telemetry.registry.as_dict() if telemetry.registry.enabled \
+        else {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+
+    counters = snapshot["counters"]
+    if counters:
+        lines += ["", "counters"]
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {_fmt(value)}")
+
+    gauges = snapshot["gauges"]
+    if gauges:
+        lines += ["", "gauges"]
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {_fmt(value)}")
+
+    timers = snapshot["timers"]
+    if timers:
+        lines += ["", "wall-time profile (inclusive; placement > bus > predictor)"]
+        ordered = [n for n in _PROFILE_ORDER if n in timers]
+        ordered += [n for n in sorted(timers) if n not in _PROFILE_ORDER]
+        width = max(len(name) for name in ordered)
+        for name in ordered:
+            info = timers[name]
+            lines.append(
+                f"  {name:<{width}}  {info['wall_seconds'] * 1e3:10.3f} ms"
+                f"  over {info['calls']} calls"
+            )
+
+    histograms = snapshot["histograms"]
+    if histograms:
+        lines += ["", "histograms"]
+        for name, summary in histograms.items():
+            if summary.get("count", 0) == 0:
+                lines.append(f"  {name}: empty")
+                continue
+            lines.append(
+                f"  {name}: n={summary['count']}"
+                f" mean={_fmt(summary['mean'])}"
+                f" p50={_fmt(summary['p50'])}"
+                f" p95={_fmt(summary['p95'])}"
+                f" max={_fmt(summary['max'])}"
+            )
+
+    if telemetry.decisions.active:
+        summary = telemetry.decisions.error_summary()
+        lines += ["", "placement decisions"]
+        lines.append(
+            f"  recorded={summary['decisions']}"
+            f" joined={summary['joined']}"
+            f" with_error={summary['with_error']}"
+        )
+        if "mean_abs_error" in summary:
+            lines.append(
+                "  prediction error:"
+                f" mean|err|={summary['mean_abs_error']:.3f}"
+                f" median={summary['median_error']:+.3f}"
+                f" p95|err|={summary['p95_abs_error']:.3f}"
+            )
+
+    if telemetry.timelines:
+        lines += ["", "link utilisation (sampled timelines)"]
+        for label, samples in telemetry.timelines:
+            if not samples:
+                lines.append(f"  {label}: no samples")
+                continue
+            utils = [
+                util
+                for sample in samples
+                for util, _bits in sample.links.values()
+            ]
+            peak_flows = max(s.active_flows for s in samples)
+            if utils:
+                lines.append(
+                    f"  {label}: samples={len(samples)}"
+                    f" mean_util={mean(utils):.3f}"
+                    f" peak_util={max(utils):.3f}"
+                    f" peak_active_flows={peak_flows}"
+                )
+            else:
+                lines.append(
+                    f"  {label}: samples={len(samples)}"
+                    f" peak_active_flows={peak_flows} (no links watched)"
+                )
+
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Structured JSONL trace sink for DES lifecycle events.
+
+Every line is one JSON object with at least ``event`` (the record type)
+and ``t`` (simulation time).  Producers emit through
+:meth:`TraceSink.emit`, which is a no-op on the shared
+:data:`NULL_TRACE`; hot paths additionally guard on
+:attr:`TraceSink.active` so a disabled trace costs one attribute read.
+
+Determinism contract: with wall-clock stamping off (the default), two
+runs from the same seed produce **byte-identical** trace files.  Any
+field carrying wall-clock data must be named with a ``wall`` prefix so
+readers (and the determinism tests) can strip it.
+
+Event vocabulary produced by the stack:
+
+========================  ====================================================
+``run_start``/``run_end``  one replay's boundaries (placement, network policy)
+``flow_arrival``           fabric ingress: id, src/dst, size, tag
+``flow_completion``        fabric egress: fct, optimal fct, gap
+``rate_recompute``         allocator invocation: active flow count
+``coflow_arrival``         sealed coflow: width, total bits
+``coflow_completion``      cct, optimal cct
+``bus_message``            control-plane round trip: host, type, rtt
+``placement_decision``     candidates, preferred set, per-candidate scores
+``decision_outcome``       realized completion joined back to the decision
+``engine_run``             events processed, heap high-water mark
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import IO, Mapping, Optional, Union
+
+__all__ = ["TraceSink", "JsonlTraceSink", "NULL_TRACE"]
+
+
+def _json_safe(value):
+    """Replace non-finite floats (JSON has no inf/nan) with strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class TraceSink:
+    """Base sink: discards everything (also serves as the null sink)."""
+
+    active = False
+
+    def emit(
+        self,
+        event: str,
+        sim_time: float,
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record one event at ``sim_time`` with extra ``fields``."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Shared disabled sink (the default everywhere).
+NULL_TRACE = TraceSink()
+
+
+class JsonlTraceSink(TraceSink):
+    """Writes one JSON object per line to a file or file-like object.
+
+    Args:
+        target: path to (over)write, or an open text file object.
+        wall_clock: also stamp every record with ``wall`` (unix seconds).
+            Off by default so traces are byte-identical across same-seed
+            runs; when on, determinism holds *modulo* ``wall*`` fields.
+    """
+
+    active = True
+
+    def __init__(
+        self, target: Union[str, IO[str]], *, wall_clock: bool = False
+    ) -> None:
+        if isinstance(target, str):
+            self._fp: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_fp = True
+        else:
+            self._fp = target
+            self._owns_fp = False
+        self._wall_clock = wall_clock
+        self._events_written = 0
+        self._closed = False
+
+    @property
+    def events_written(self) -> int:
+        return self._events_written
+
+    def emit(
+        self,
+        event: str,
+        sim_time: float,
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if self._closed:
+            return
+        record = {"event": event, "t": sim_time}
+        if self._wall_clock:
+            record["wall"] = time.time()
+        if fields:
+            for key, value in fields.items():
+                record[key] = _json_safe(value)
+        self._fp.write(json.dumps(record, separators=(",", ":")))
+        self._fp.write("\n")
+        self._events_written += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_fp:
+            self._fp.close()
+        else:
+            self._fp.flush()

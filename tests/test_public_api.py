@@ -55,6 +55,13 @@ PUBLIC_SYMBOLS = {
         "figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
         "repeat_flow_macro",
     ],
+    "repro.telemetry": [
+        "Telemetry", "NULL_TELEMETRY", "create_telemetry",
+        "MetricsRegistry", "NullMetricsRegistry", "NULL_REGISTRY",
+        "Counter", "Gauge", "Histogram", "Timer",
+        "TraceSink", "JsonlTraceSink", "NULL_TRACE",
+        "DecisionLog", "DecisionRecord", "NULL_DECISIONS", "render_report",
+    ],
 }
 
 

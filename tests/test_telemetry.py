@@ -1,0 +1,387 @@
+"""Telemetry layer tests: registry, trace, decisions, determinism, CLI.
+
+The determinism contract is the load-bearing guarantee: two replays from
+the same seed must produce byte-identical JSONL traces (with wall-clock
+stamping off; modulo ``wall*`` fields when it is on).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.experiments.config import MacroConfig
+from repro.experiments.runner import replay_coflow_trace, replay_flow_trace
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    DecisionLog,
+    JsonlTraceSink,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Telemetry,
+    create_telemetry,
+    render_report,
+)
+
+
+def small_config(**overrides) -> MacroConfig:
+    defaults = dict(
+        pods=2, racks_per_pod=2, hosts_per_rack=4,
+        num_arrivals=60, workload="hadoop", seed=11,
+    )
+    defaults.update(overrides)
+    return MacroConfig(**defaults)
+
+
+def replay_small(telemetry=None, *, placement="neat", config=None):
+    cfg = config if config is not None else small_config()
+    topo = cfg.build_topology()
+    trace = cfg.build_trace(topo)
+    return replay_flow_trace(
+        trace, topo, network_policy="fair", placement=placement,
+        seed=cfg.seed, max_candidates=6, telemetry=telemetry,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(3.0)
+        reg.gauge("g").set_max(1.0)  # lower: ignored
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("h").observe(v)
+        snap = reg.as_dict()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 3.0
+        assert snap["histograms"]["h"]["count"] == 3
+        assert snap["histograms"]["h"]["mean"] == pytest.approx(2.0)
+
+    def test_timer_accumulates(self):
+        reg = MetricsRegistry()
+        t = reg.timer("work")
+        with t.time():
+            pass
+        with t.time():
+            pass
+        assert t.calls == 2
+        assert t.wall_seconds >= 0.0
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(5)
+        path = tmp_path / "m.json"
+        reg.write_json(str(path), extra={"note": {"k": 1}})
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["x"] == 5
+        assert payload["note"] == {"k": 1}
+
+    def test_null_registry_is_shared_noop(self):
+        reg = NullMetricsRegistry()
+        assert not reg.enabled
+        c = reg.counter("a")
+        c.inc(100)
+        assert c.value == 0.0
+        assert reg.counter("b") is c  # shared singleton
+        with reg.timer("t").time():
+            pass
+        assert reg.timer("t").calls == 0
+
+
+# ----------------------------------------------------------------------
+# Trace sink
+# ----------------------------------------------------------------------
+class TestTraceSink:
+    def test_jsonl_lines(self):
+        buf = io.StringIO()
+        sink = JsonlTraceSink(buf)
+        sink.emit("ev", 1.5, {"a": 1, "inf": float("inf")})
+        sink.close()
+        rec = json.loads(buf.getvalue())
+        assert rec == {"event": "ev", "t": 1.5, "a": 1, "inf": "inf"}
+        assert sink.events_written == 1
+
+    def test_wall_clock_fields_are_prefixed(self):
+        buf = io.StringIO()
+        sink = JsonlTraceSink(buf, wall_clock=True)
+        sink.emit("ev", 0.0)
+        sink.close()
+        rec = json.loads(buf.getvalue())
+        wall_keys = [k for k in rec if k.startswith("wall")]
+        assert wall_keys == ["wall"]
+        assert rec["wall"] == pytest.approx(time.time(), abs=60)
+
+    def test_null_trace_discards(self):
+        assert not NULL_TELEMETRY.trace.active
+        NULL_TELEMETRY.trace.emit("ev", 0.0, {"x": 1})  # no error, no output
+
+
+# ----------------------------------------------------------------------
+# Decision log
+# ----------------------------------------------------------------------
+class TestDecisionLog:
+    def record_one(self, log, tag="t1", score_kind="predicted_time"):
+        return log.record(
+            time=0.0, kind="flow", tag=tag, size=100.0, data_node="h0",
+            candidates=("h1", "h2"), preferred=("h1",), used_fallback=False,
+            scores=(("h1", 2.0), ("h2", 3.0)), score_kind=score_kind,
+            chosen="h1", predicted_time=2.0,
+        )
+
+    def test_join_computes_relative_error(self):
+        log = DecisionLog()
+        rec = self.record_one(log)
+        log.note_completed("t1", 3.0, 3.0)
+        assert rec.realized_time == 3.0
+        assert rec.error == pytest.approx(0.5)
+        summary = log.error_summary()
+        assert summary["decisions"] == 1
+        assert summary["joined"] == 1
+        assert summary["mean_abs_error"] == pytest.approx(0.5)
+
+    def test_non_time_scores_never_join(self):
+        log = DecisionLog()
+        rec = self.record_one(log, score_kind="queued_bits")
+        log.note_completed("t1", 3.0, 3.0)
+        assert rec.realized_time is None
+
+    def test_set_context_clears_pending(self):
+        log = DecisionLog()
+        rec = self.record_one(log)
+        log.set_context(placement="minload", network_policy="fair")
+        log.note_completed("t1", 3.0, 3.0)  # stale tag from previous run
+        assert rec.realized_time is None
+
+
+# ----------------------------------------------------------------------
+# End-to-end: replay with telemetry armed
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_flow_replay_records_everything(self):
+        buf = io.StringIO()
+        sink = JsonlTraceSink(buf)
+        tele = Telemetry(
+            registry=MetricsRegistry(),
+            trace=sink,
+            decisions=DecisionLog(trace=sink),
+        )
+        run = replay_small(tele)
+        tele.close()
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert {"run_start", "flow_arrival", "flow_completion",
+                "rate_recompute", "bus_message", "placement_decision",
+                "decision_outcome", "engine_run", "run_end"} <= kinds
+
+        decisions = [e for e in events if e["event"] == "placement_decision"]
+        assert len(decisions) == 60
+        sample = decisions[0]
+        assert sample["candidates"] and sample["chosen"] in sample["candidates"]
+        assert set(sample["scores"]) == set(sample["preferred"])
+        assert sample["score_kind"] == "predicted_time"
+
+        outcomes = [e for e in events if e["event"] == "decision_outcome"]
+        assert len(outcomes) == 60  # every flow completes and joins
+        assert all(o["realized"] is not None for o in outcomes)
+        assert any(o["error"] is not None for o in outcomes)
+
+        counters = tele.registry.as_dict()["counters"]
+        assert counters["fabric.flows_completed"] == 60
+        assert counters["bus.messages_sent"] == run.control_messages
+        assert tele.registry.as_dict()["timers"]["placement"]["calls"] == 60
+        summary = tele.decisions.error_summary()
+        assert summary["joined"] == summary["decisions"] == 60
+
+    def test_coflow_replay_records_coflow_events(self):
+        buf = io.StringIO()
+        sink = JsonlTraceSink(buf)
+        tele = Telemetry(
+            registry=MetricsRegistry(),
+            trace=sink,
+            decisions=DecisionLog(trace=sink),
+        )
+        cfg = small_config(coflows=True, num_arrivals=20)
+        topo = cfg.build_topology()
+        trace = cfg.build_trace(topo)
+        replay_coflow_trace(
+            trace, topo, network_policy="varys", placement="neat",
+            seed=cfg.seed, max_candidates=6, telemetry=tele,
+        )
+        tele.close()
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        arrivals = [e for e in events if e["event"] == "coflow_arrival"]
+        completions = [e for e in events if e["event"] == "coflow_completion"]
+        assert len(arrivals) == 20
+        assert len(completions) == 20
+        assert all(c["cct"] >= 0 for c in completions)
+        # every constituent decision of a coflow joins that coflow's CCT
+        summary = tele.decisions.error_summary()
+        assert summary["joined"] == summary["decisions"] > 0
+
+    def test_baseline_decisions_are_recorded_too(self):
+        tele = Telemetry(decisions=DecisionLog())
+        replay_small(tele, placement="minload")
+        recs = tele.decisions.records
+        assert len(recs) == 60
+        assert recs[0].score_kind == "queued_bits"
+        assert recs[0].placement == "minload"
+
+    def test_timeline_collection(self):
+        tele = Telemetry(timeline_interval=0.02)
+        replay_small(tele)
+        assert len(tele.timelines) == 1
+        label, samples = tele.timelines[0]
+        assert label == "neat/fair"
+        # sampler must survive the gap before the first arrival and keep
+        # sampling until the fabric drains
+        assert len(samples) >= 2
+        assert any(s.active_flows > 0 for s in samples)
+
+    def test_report_renders(self):
+        tele = create_telemetry()
+        replay_small(tele)
+        text = render_report(tele)
+        assert "telemetry report" in text
+        assert "placement" in text and "allocator" in text
+        assert "prediction error" in text
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def trace_once(self, *, wall_clock=False) -> str:
+        buf = io.StringIO()
+        sink = JsonlTraceSink(buf, wall_clock=wall_clock)
+        tele = Telemetry(trace=sink, decisions=DecisionLog(trace=sink))
+        replay_small(tele)
+        tele.close()
+        return buf.getvalue()
+
+    def test_same_seed_traces_are_byte_identical(self):
+        assert self.trace_once() == self.trace_once()
+
+    def test_wall_clock_breaks_only_wall_fields(self):
+        def strip_wall(text: str) -> list:
+            out = []
+            for line in text.splitlines():
+                rec = json.loads(line)
+                out.append(
+                    {k: v for k, v in rec.items() if not k.startswith("wall")}
+                )
+            return out
+
+        a = self.trace_once(wall_clock=True)
+        b = self.trace_once(wall_clock=True)
+        assert strip_wall(a) == strip_wall(b)
+        assert all("wall" in json.loads(line) for line in a.splitlines())
+
+
+# ----------------------------------------------------------------------
+# Disabled overhead
+# ----------------------------------------------------------------------
+class TestDisabledOverhead:
+    def test_noop_primitives_are_cheap(self):
+        """The disabled path is attribute checks and shared no-ops."""
+        tele = NULL_TELEMETRY
+        n = 50_000
+        start = time.perf_counter()
+        for _ in range(n):
+            if tele.trace.active:  # pragma: no cover - disabled
+                tele.trace.emit("x", 0.0)
+        elapsed = time.perf_counter() - start
+        # generous bound: ~50k guard checks must stay well under 50ms
+        assert elapsed < 0.5
+
+    def test_disabled_run_not_slower_than_enabled(self):
+        """telemetry=None must cost no more than a fully armed run.
+
+        The true pre-telemetry baseline is gone, so the executable check
+        is: the disabled path (guards only) stays within 5% of the
+        enabled path (guards plus actual recording) on a small macro
+        run — if disabled ever exceeded enabled, the guards themselves
+        would be broken.  min-of-N timing to suppress scheduler noise.
+        """
+        def timed(telemetry_factory, repeats=3) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                tele = telemetry_factory()
+                start = time.perf_counter()
+                replay_small(tele)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        disabled = timed(lambda: None)
+        enabled = timed(
+            lambda: Telemetry(
+                registry=MetricsRegistry(), decisions=DecisionLog()
+            )
+        )
+        assert disabled <= enabled * 1.05 + 0.02
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_fig5_trace_and_metrics(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        timeline_path = tmp_path / "tl.json"
+        rc = main([
+            "fig5", "--arrivals", "30", "--hosts-per-rack", "4",
+            "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--timeline", str(timeline_path),
+            "--timeline-interval", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "wall-time profile" in out
+        assert "link utilisation" in out
+
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        decisions = [e for e in events if e["event"] == "placement_decision"]
+        outcomes = [e for e in events if e["event"] == "decision_outcome"]
+        assert decisions and outcomes
+        assert all(
+            {"candidates", "scores", "chosen", "predicted"} <= set(d)
+            for d in decisions
+        )
+        assert all({"realized", "error"} <= set(o) for o in outcomes)
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["fabric.flows_completed"] > 0
+        assert metrics["placement_decisions"]["joined"] > 0
+
+        timeline = json.loads(timeline_path.read_text())
+        labels = [t["label"] for t in timeline["timelines"]]
+        assert labels == ["neat/fair", "minload/fair", "mindist/fair"]
+        assert all(t["samples"] for t in timeline["timelines"])
+
+    def test_bad_observability_flags_error_cleanly(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["fig5", "--trace", str(tmp_path / "no" / "dir" / "t.jsonl")])
+        assert exc.value.code == 2
+        assert "cannot open --trace" in capsys.readouterr().err
+
+        with pytest.raises(SystemExit) as exc:
+            main(["fig5", "--timeline", str(tmp_path / "tl.json"),
+                  "--timeline-interval", "0"])
+        assert exc.value.code == 2
+        assert "must be positive" in capsys.readouterr().err
