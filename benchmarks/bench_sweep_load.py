@@ -4,31 +4,46 @@ Not a single paper figure, but the mechanism behind all of them: at low
 load placement barely matters (every host is near-idle); as load grows,
 fair-sharing contention explodes and network-aware placement pays off.
 The paper's "up to 3.7x" headline lives at the loaded end of this curve.
+
+The sweep runs as a campaign — one cell per load level through
+:func:`repro.campaign.run_campaign` — so it parallelises across
+``REPRO_BENCH_JOBS`` workers while producing the exact numbers the old
+serial loop did (campaign cells are byte-deterministic).
 """
 
 from __future__ import annotations
 
+import os
+
 from common import emit, macro_config
 
-from repro.experiments.flow_macro import run_flow_macro
+from repro.campaign import MacroSummary, flow_grid, run_campaign
 from repro.metrics.report import format_table
 
 LOADS = (0.3, 0.5, 0.7, 0.8)
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def _run():
+    campaign = flow_grid(
+        name="bench-sweep-load",
+        base_config=macro_config(workload="websearch", num_arrivals=800),
+        seeds=[macro_config().seed],
+        loads=LOADS,
+    )
+    report = run_campaign(campaign, jobs=JOBS)
+    assert not report.quarantined, report.failure_report()
     rows = []
-    for load in LOADS:
-        cfg = macro_config(workload="websearch", load=load, num_arrivals=800)
-        outcome = run_flow_macro(network_policy="fair", config=cfg)
-        gaps = outcome.average_gaps()
+    for load, outcome in zip(LOADS, report.outcomes):
+        summary = MacroSummary(outcome.payload)
+        gaps = summary.average_gaps()
         rows.append(
             (
                 load,
                 gaps["neat"],
                 gaps["minload"],
                 gaps["mindist"],
-                outcome.improvement_over("minload"),
+                summary.improvement_over("minload"),
             )
         )
     return rows

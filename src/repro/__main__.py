@@ -10,6 +10,8 @@ Examples::
     python -m repro fig11
     python -m repro fig5 --trace /tmp/t.jsonl --metrics-out /tmp/m.json
     python -m repro fig7 --timeline /tmp/timeline.json
+    python -m repro all --jobs 4
+    python -m repro run --seeds 1,2,3 --networks fair,las --loads 0.5,0.7 --jobs 4
 """
 
 from __future__ import annotations
@@ -47,9 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(FIGURES) + ["list", "all"],
+        choices=sorted(FIGURES) + ["list", "all", "run"],
         help="which figure to reproduce ('list' enumerates, 'all' runs a "
-             "fast one-line-per-figure summary)",
+             "fast one-line-per-figure summary, 'run' executes a "
+             "seed x network x load campaign sweep)",
     )
     parser.add_argument("--workload", default=None,
                         help="websearch | datamining | hadoop")
@@ -90,6 +93,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--wall-clock", action="store_true",
         help="stamp trace records with wall time (breaks byte-identical "
              "trace determinism)",
+    )
+    camp = parser.add_argument_group(
+        "campaign execution",
+        "parallelism and result caching for 'all' and 'run' (parallel and "
+        "serial execution produce byte-identical results)",
+    )
+    camp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for campaign cells (default: %(default)s; "
+             "1 runs serially in-process)",
+    )
+    camp.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="content-addressed result cache directory; already-computed "
+             "cells are served from it (default: %(default)s)",
+    )
+    camp.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell, and do not write the cache",
+    )
+    camp.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any cell exceeding this wall-clock budget "
+             "(needs --jobs > 1)",
+    )
+    camp.add_argument(
+        "--cell-retries", type=int, default=1, metavar="N",
+        help="extra attempts for a crashed/timed-out cell before it is "
+             "quarantined (default: %(default)s)",
+    )
+    sweep = parser.add_argument_group(
+        "campaign sweep ('run' only)",
+        "grid axes; placements are compared within each cell on a shared "
+        "trace so comparisons stay paired",
+    )
+    sweep.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="explicit seed axis (comma-separated ints)",
+    )
+    sweep.add_argument(
+        "--repetitions", type=int, default=3, metavar="N",
+        help="derive this many seeds from --seed when --seeds is not "
+             "given (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--networks", default=None, metavar="P1,P2,...",
+        help="network policy axis (default: --network, else fair)",
+    )
+    sweep.add_argument(
+        "--loads", default=None, metavar="L1,L2,...",
+        help="load axis (default: --load)",
+    )
+    sweep.add_argument(
+        "--placements", default="neat,minload,mindist", metavar="P1,P2,...",
+        help="placement policies compared in every cell "
+             "(default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--coflows", action="store_true",
+        help="sweep coflow traces (networks then name coflow schedulers, "
+             "e.g. varys/scf)",
     )
     return parser
 
@@ -169,83 +233,87 @@ def config_from_args(args: argparse.Namespace, **overrides) -> MacroConfig:
     return replace(base, **overrides) if overrides else base
 
 
-def _ctrl_messages(results) -> str:
-    """Render per-placement control-plane message counts for one figure.
+def _progress(line: str) -> None:
+    """Per-cell campaign progress (stderr, so stdout stays parseable)."""
+    print(line, file=sys.stderr, flush=True)
 
-    ``results`` maps placement name -> RunResult; only daemon-based
-    policies send bus messages, so zero-count entries are omitted.
-    """
-    counts = {
-        name: r.control_messages
-        for name, r in results.items()
-        if r.control_messages
-    }
-    if not counts:
-        return "ctrl msgs: 0"
-    return "ctrl msgs: " + ", ".join(
-        f"{name}={count}" for name, count in counts.items()
-    )
+
+def cache_from_args(args: argparse.Namespace):
+    """The CLI's result cache, or None under ``--no-cache``."""
+    if args.no_cache:
+        return None
+    from repro.campaign import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _csv(text, convert=str):
+    return [convert(part) for part in text.split(",") if part.strip()]
 
 
 def run_all_summary(args: argparse.Namespace) -> int:
-    """One line per figure at a reduced scale (a few minutes total)."""
-    from repro.experiments.motivating import EXPECTED_FIGURE1, figure1_table
+    """One line per figure at a reduced scale (a few minutes total).
+
+    Runs as a ten-cell campaign: ``--jobs`` parallelises the figures and
+    the content-addressed cache makes re-runs (near-)instant.
+    """
+    from repro.campaign import build_all_campaign, run_campaign
 
     cfg = config_from_args(args, workload="hadoop")
-
-    rows = figure1_table()
-    exact = all(
-        abs(r.completion_time - EXPECTED_FIGURE1[(r.network_policy, r.placement)][0])
-        < 1e-6
-        for r in rows
+    campaign = build_all_campaign(
+        cfg, arrivals=args.arrivals, seed=args.seed
     )
-    print(f"fig1  motivating example: {'EXACT match' if exact else 'MISMATCH'}")
-
-    c3 = figure3("fair", replace(cfg, workload="datamining",
-                                 oversubscription=max(args.oversubscription, 4.0)))
-    print(f"fig3  minDist/minLoad overall FCT ratio under Fair: "
-          f"{c3.overall_ratio():.2f} "
-          f"[{_ctrl_messages({'mindist': c3.mindist, 'minload': c3.minload})}]")
-
-    for net, label in (("fair", "fig5"), ("las", "fig6a"), ("srpt", "fig6b")):
-        outcome = run_flow_macro(network_policy=net, config=cfg)
-        print(
-            f"{label:5s} {net.upper():4s}: NEAT "
-            f"{outcome.improvement_over('minload'):.2f}x vs minLoad, "
-            f"{outcome.improvement_over('mindist'):.2f}x vs minDist "
-            f"[{_ctrl_messages(outcome.results)}]"
-        )
-
-    c7 = figure7("varys", replace(cfg, coflows=True,
-                                  num_arrivals=max(100, args.arrivals // 4)))
-    ccts = c7.average_ccts()
-    print(
-        f"fig7  Varys coflows: mean CCT neat={ccts['neat']:.3f}s "
-        f"minload={ccts['minload']:.3f}s mindist={ccts['mindist']:.3f}s "
-        f"[{_ctrl_messages(c7.results)}]"
+    cache = cache_from_args(args)
+    report = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.cell_timeout,
+        retries=args.cell_retries,
+        progress=_progress,
     )
-
-    c8 = figure8(cfg)
-    print(f"fig8  Fair-vs-SRPT predictor relative difference: "
-          f"{c8.relative_difference():.2f} "
-          f"[{_ctrl_messages({'neat-fair': c8.fair_predictor, 'neat-srpt': c8.srpt_predictor})}]")
-
-    c9 = figure9(cfg, network_policy="fair")
-    print(f"fig9  minFCT degradation without node states (Fair): "
-          f"{c9.minfct_degradation() * 100:.0f}% "
-          f"[{_ctrl_messages(c9.results)}]")
-
-    short, long = figure10(cfg)
-    print(f"fig10 prediction error: short {short.mean_abs_error:.3f}, "
-          f"long {long.mean_abs_error:.3f} (mean |err|)")
-
-    c11 = figure11(testbed_config(num_arrivals=args.arrivals, seed=args.seed))
-    print(
-        f"fig11 testbed: NEAT vs minLoad +{c11.improvement_percent('fair'):.1f}% "
-        f"(Fair), +{c11.improvement_percent('las'):.1f}% (LAS) "
-        f"[{_ctrl_messages({f'neat/{net}': c11.results[net]['neat'] for net in ('fair', 'las')})}]"
-    )
+    for outcome in report.outcomes:
+        if outcome.payload is not None:
+            print(outcome.payload["line"])
+    print(f"cache: {report.cache_stats}")
+    failures = report.failure_report()
+    if failures:
+        print(failures, file=sys.stderr)
+        return 1
     return 0
+
+
+def run_campaign_cli(args: argparse.Namespace) -> int:
+    """``repro run``: a declarative seed x network x load sweep."""
+    from repro.campaign import flow_grid, render_campaign_report, run_campaign
+
+    base = config_from_args(args)
+    seeds = _csv(args.seeds, int) if args.seeds else None
+    networks = (
+        _csv(args.networks)
+        if args.networks
+        else [args.network or ("varys" if args.coflows else "fair")]
+    )
+    campaign = flow_grid(
+        name="cli-sweep",
+        base_config=base,
+        seeds=seeds,
+        repetitions=None if seeds else args.repetitions,
+        network_policies=networks,
+        loads=_csv(args.loads, float) if args.loads else None,
+        placements=tuple(_csv(args.placements)),
+        coflows=args.coflows,
+    )
+    report = run_campaign(
+        campaign,
+        jobs=args.jobs,
+        cache=cache_from_args(args),
+        timeout=args.cell_timeout,
+        retries=args.cell_retries,
+        progress=_progress,
+    )
+    print(render_campaign_report(report))
+    return 1 if report.quarantined else 0
 
 
 def run_figure(args: argparse.Namespace, tele=None) -> int:
@@ -341,8 +409,14 @@ def main(argv=None) -> int:
             print(f"{name:6s} {FIGURES[name]}")
         return 0
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     if args.figure == "all":
         return run_all_summary(args)
+
+    if args.figure == "run":
+        return run_campaign_cli(args)
 
     if args.timeline and args.timeline_interval <= 0:
         parser.error("--timeline-interval must be positive")

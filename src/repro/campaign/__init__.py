@@ -1,0 +1,72 @@
+"""Parallel simulation-campaign orchestration with result caching.
+
+The campaign layer turns independent simulation runs — seed x placement
+policy x network policy x load x figure — into a declarative
+:class:`~repro.campaign.spec.Campaign` of
+:class:`~repro.campaign.spec.RunSpec` cells executed on a supervised
+process pool (:func:`~repro.campaign.executor.run_campaign`), with a
+content-addressed on-disk result cache
+(:class:`~repro.campaign.cache.ResultCache`) keyed by the canonical hash
+of each cell's full configuration.
+
+Guarantees the rest of the repo builds on:
+
+* **byte-identity** — ``jobs=N`` and ``jobs=1`` produce byte-identical
+  payloads (cells are pure functions of their spec; report order is
+  cell order, never completion order);
+* **cache correctness** — a payload is reused only when every
+  content-defining config field (and the package version) matches;
+* **supervision** — per-cell timeouts, bounded retries on fresh
+  workers, and quarantine with a failure report instead of a sunk
+  campaign.
+
+Quickstart::
+
+    from repro.campaign import ResultCache, flow_grid, run_campaign
+    from repro.experiments import MacroConfig
+
+    campaign = flow_grid(
+        base_config=MacroConfig(num_arrivals=200),
+        seeds=[1, 2], network_policies=["fair"], loads=[0.5, 0.7],
+    )
+    report = run_campaign(
+        campaign, jobs=4, cache=ResultCache(".repro-cache"),
+    )
+    print(render_campaign_report(report))
+"""
+
+from repro.campaign.aggregate import (
+    MacroSummary,
+    grid_aggregates,
+    render_campaign_report,
+)
+from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.executor import (
+    CampaignReport,
+    CellOutcome,
+    execute_cell,
+    run_campaign,
+)
+from repro.campaign.figures import build_all_campaign
+from repro.campaign.hashing import canonical_json, content_hash, spec_key
+from repro.campaign.spec import Campaign, RunSpec, derive_seeds, flow_grid
+
+__all__ = [
+    "Campaign",
+    "RunSpec",
+    "flow_grid",
+    "derive_seeds",
+    "canonical_json",
+    "content_hash",
+    "spec_key",
+    "CacheStats",
+    "ResultCache",
+    "CampaignReport",
+    "CellOutcome",
+    "execute_cell",
+    "run_campaign",
+    "MacroSummary",
+    "grid_aggregates",
+    "render_campaign_report",
+    "build_all_campaign",
+]

@@ -1,0 +1,155 @@
+"""Campaign-level aggregation: fold per-cell payloads into one report.
+
+A campaign's workers each return a small deterministic payload; this
+module is the single place that turns those payloads back into the
+objects and tables the rest of the repo speaks: :class:`MacroSummary`
+(duck-compatible with
+:class:`~repro.experiments.flow_macro.MacroOutcome` for the aggregate
+consumers), per-axis tail-latency aggregates, and the rendered text
+report with merged telemetry totals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from repro.campaign.executor import CampaignReport
+    from repro.experiments.repetitions import Aggregate
+
+
+class MacroSummary:
+    """A macro cell's payload wearing the ``MacroOutcome`` interface.
+
+    Campaign workers cannot ship full flow-record lists back through the
+    cache, so aggregate consumers (``repeat_flow_macro`` and friends)
+    get this thin adapter over the per-placement summary statistics.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        if "per_placement" not in payload:
+            raise ConfigError(
+                "MacroSummary needs a macro cell payload "
+                "(missing 'per_placement')"
+            )
+        self.payload = payload
+
+    @property
+    def network_policy(self) -> str:
+        return self.payload["network_policy"]
+
+    @property
+    def per_placement(self) -> Dict[str, Dict[str, float]]:
+        return self.payload["per_placement"]
+
+    def average_gaps(self) -> Dict[str, float]:
+        return {
+            name: stats["average_gap"]
+            for name, stats in self.per_placement.items()
+        }
+
+    def afcts(self) -> Dict[str, float]:
+        return {
+            name: stats["mean_completion"]
+            for name, stats in self.per_placement.items()
+        }
+
+    def improvement_over(
+        self, baseline: str, *, metric: str = "gap"
+    ) -> float:
+        values = self.average_gaps() if metric == "gap" else self.afcts()
+        neat = values["neat"]
+        if neat <= 0:
+            return float("inf")
+        return values[baseline] / neat
+
+
+def grid_aggregates(
+    report: "CampaignReport",
+) -> Dict[Tuple[str, float], Dict[str, "Aggregate"]]:
+    """Aggregate each (network policy, load) group's gaps across seeds.
+
+    Returns ``{(network_policy, load): {placement: Aggregate}}`` with
+    mean, stdev, and the p50/p95/p99 tail percentiles per placement.
+    Failed (quarantined) cells are simply absent from their group.
+    """
+    from repro.experiments.repetitions import aggregate
+
+    grouped: Dict[Tuple[str, float], Dict[str, List[float]]] = {}
+    for outcome in report.completed:
+        payload = outcome.payload
+        if payload is None or "per_placement" not in payload:
+            continue
+        key = (payload["network_policy"], payload["load"])
+        per_placement = grouped.setdefault(key, {})
+        for name, stats in payload["per_placement"].items():
+            per_placement.setdefault(name, []).append(stats["average_gap"])
+    return {
+        key: {
+            name: aggregate(values)
+            for name, values in sorted(per_placement.items())
+        }
+        for key, per_placement in grouped.items()
+    }
+
+
+def render_campaign_report(
+    report: "CampaignReport", *, title: Optional[str] = None
+) -> str:
+    """Text report: aggregate table, cache totals, quarantine section."""
+    from repro.metrics.report import format_table
+
+    lines: List[str] = []
+    name = title if title is not None else report.campaign.name
+    lines.append(
+        f"campaign {name}: {len(report.completed)}/{len(report.outcomes)} "
+        f"cells completed with jobs={report.jobs} "
+        f"in {report.wall_seconds:.1f}s"
+    )
+    lines.append(f"cache: {report.cache_stats}")
+
+    grid = grid_aggregates(report)
+    if grid:
+        rows = []
+        for (net, load), per_placement in sorted(grid.items()):
+            for placement, agg in per_placement.items():
+                rows.append(
+                    [
+                        net,
+                        f"{load:g}",
+                        placement,
+                        f"{agg.mean:.3f} ± {agg.stdev:.3f}",
+                        f"{agg.p50:.3f}",
+                        f"{agg.p95:.3f}",
+                        f"{agg.p99:.3f}",
+                        str(agg.count),
+                    ]
+                )
+        lines.append("")
+        lines.append(
+            format_table(
+                [
+                    "network", "load", "placement", "gap mean ± stdev",
+                    "p50", "p95", "p99", "seeds",
+                ],
+                rows,
+            )
+        )
+
+    merged = report.merged_metrics()
+    counters = merged.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("merged counters (all cells):")
+        for metric, value in sorted(counters.items()):
+            lines.append(f"  {metric} = {value:g}")
+
+    failures = report.failure_report()
+    if failures:
+        lines.append("")
+        lines.append(failures)
+    return "\n".join(lines)

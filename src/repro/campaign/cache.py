@@ -1,0 +1,113 @@
+"""Content-addressed on-disk result cache for campaign cells.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — two-level sharding keeps a big
+campaign from piling thousands of files into one directory.  Writes are
+atomic (temp file + ``os.replace``) so a killed worker can never leave a
+truncated blob behind, and a corrupt blob (e.g. a partial write from an
+older, non-atomic tool) is treated as a miss and deleted rather than
+poisoning every future run.
+
+The blob bytes are the payload's canonical JSON, so ``lookup`` returns a
+dict whose re-encoding is byte-identical to what ``store`` was given —
+cache hits cannot perturb a campaign's byte-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.campaign.hashing import canonical_json
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write accounting for one executor pass."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def __str__(self) -> str:
+        return f"hits={self.hits} misses={self.misses} writes={self.writes}"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON blob store rooted at one directory."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def lookup(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the cached payload for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            # Corrupt or unreadable blob: drop it and recompute.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, object]) -> None:
+        """Atomically persist one payload under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = canonical_json(payload)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        """Number of cached blobs on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached blob; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for blob in self.root.glob("??/*.json"):
+            try:
+                blob.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,428 @@
+"""Supervised campaign execution: process pool, cache, retries, quarantine.
+
+:func:`run_campaign` executes every cell of a :class:`Campaign` and
+returns a :class:`CampaignReport` whose outcomes are ordered by *cell
+index*, never by completion order — so a parallel run reports exactly
+what a serial run reports.
+
+Supervision model (the part a bare ``ProcessPoolExecutor.map`` lacks):
+
+* **cache short-circuit** — cells whose content hash is already in the
+  :class:`~repro.campaign.cache.ResultCache` never reach a worker;
+* **per-cell timeout** — a cell that exceeds ``timeout`` wall seconds is
+  killed with its worker (the whole pool is torn down and rebuilt, the
+  only way to reclaim a truly hung ``ProcessPoolExecutor`` worker);
+* **bounded retry with a fresh worker** — timed-out and crashed cells
+  are requeued up to ``retries`` extra attempts; innocent cells that
+  were merely in flight during a pool teardown are requeued without
+  consuming an attempt;
+* **quarantine** — a cell that exhausts its attempts is reported as
+  failed (with its last error) instead of sinking the campaign;
+* **serial fallback** — ``jobs=1``, or a platform where process pools
+  cannot start, runs every cell in-process (timeouts cannot be enforced
+  without a second process and are ignored there).
+
+Cells must be *pure*: everything they need rides in the
+:class:`~repro.campaign.spec.RunSpec`, and their payload must be
+JSON-safe and deterministic (no wall-clock values), which is what makes
+both the cache and the parallel/serial byte-identity guarantee sound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.hashing import spec_key
+from repro.campaign.spec import Campaign, RunSpec
+from repro.metrics.stats import afct, average_gap
+
+#: Supervisor poll interval (wall seconds) while futures are in flight.
+_TICK = 0.1
+
+
+# ----------------------------------------------------------------------
+# Cell execution (runs inside the worker process)
+# ----------------------------------------------------------------------
+def _metrics_snapshot(registry) -> Dict[str, object]:
+    """The deterministic slice of a run's metrics.
+
+    Timers hold wall-clock seconds, which differ run to run; everything
+    else in the registry is derived from simulated time and is exactly
+    reproducible, so only timers are dropped from cached payloads.
+    """
+    snapshot = registry.as_dict()
+    snapshot.pop("timers", None)
+    return snapshot
+
+
+def _macro_payload(spec: RunSpec) -> Dict[str, object]:
+    """Run one flow/coflow placement-comparison cell."""
+    from repro.experiments.runner import compare_policies
+    from repro.telemetry import MetricsRegistry, Telemetry
+
+    registry = MetricsRegistry()
+    telemetry = Telemetry(registry=registry)
+    cfg = spec.config
+    topology = cfg.build_topology()
+    trace = cfg.build_trace(topology)
+    results = compare_policies(
+        trace,
+        topology,
+        network_policy=spec.network_policy,
+        placements=list(spec.placements),
+        coflows=spec.kind == "coflow_macro",
+        predictor=spec.predictor,
+        seed=cfg.seed,
+        max_candidates=cfg.max_candidates,
+        telemetry=telemetry,
+    )
+    per_placement = {
+        name: {
+            "average_gap": average_gap(r.records),
+            "mean_completion": afct(r.records),
+            "num_records": len(r.records),
+            "control_messages": r.control_messages,
+            "events_processed": r.events_processed,
+            "sim_duration": r.sim_duration,
+        }
+        for name, r in results.items()
+    }
+    return {
+        "kind": spec.kind,
+        "network_policy": spec.network_policy,
+        "workload": cfg.workload,
+        "load": cfg.load,
+        "seed": cfg.seed,
+        "per_placement": per_placement,
+        "metrics": _metrics_snapshot(registry),
+    }
+
+
+def execute_cell(spec: RunSpec) -> Dict[str, object]:
+    """Execute one cell and return its deterministic JSON payload.
+
+    This is the default ``cell_fn`` — a module-level function so the
+    process pool can pickle it by reference.
+    """
+    if spec.kind in ("flow_macro", "coflow_macro"):
+        return _macro_payload(spec)
+    from repro.campaign.figures import execute_figure
+
+    return execute_figure(spec)
+
+
+# ----------------------------------------------------------------------
+# Outcomes and the campaign-level report
+# ----------------------------------------------------------------------
+@dataclass
+class CellOutcome:
+    """What happened to one cell."""
+
+    index: int
+    spec: RunSpec
+    status: str  # "ok" | "cached" | "failed"
+    payload: Optional[Dict[str, object]] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class CampaignReport:
+    """Every cell's outcome, in cell order, plus campaign-level totals."""
+
+    campaign: Campaign
+    outcomes: List[CellOutcome]
+    jobs: int
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    wall_seconds: float = 0.0
+
+    @property
+    def completed(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status in ("ok", "cached")]
+
+    @property
+    def quarantined(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    def payloads(self) -> List[Optional[Dict[str, object]]]:
+        """Payloads aligned with ``campaign.cells`` (None where failed)."""
+        return [o.payload for o in self.outcomes]
+
+    def merged_metrics(self) -> Dict[str, object]:
+        """All per-run metric registries folded into one snapshot."""
+        from repro.telemetry.registry import merge_snapshots
+
+        return merge_snapshots(
+            o.payload["metrics"]
+            for o in self.completed
+            if o.payload is not None and "metrics" in o.payload
+        )
+
+    def failure_report(self) -> str:
+        """Human-readable quarantine report (empty string when clean)."""
+        bad = self.quarantined
+        if not bad:
+            return ""
+        lines = [f"{len(bad)} of {len(self.outcomes)} cells quarantined:"]
+        for o in bad:
+            lines.append(
+                f"  cell {o.index} [{o.spec.describe()}] after "
+                f"{o.attempts} attempt(s): {o.error}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Supervised execution
+# ----------------------------------------------------------------------
+def _kill_pool(pool) -> None:
+    """Tear a pool down even when a worker is wedged.
+
+    ``shutdown(cancel_futures=True)`` alone never interrupts a running
+    task, so the worker processes are terminated directly; touching
+    ``_processes`` is the only handle the stdlib exposes for that.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in processes:
+        proc.join(timeout=5)
+
+
+def _run_serial(
+    work: Sequence,
+    cell_fn: Callable,
+    retries: int,
+    record: Callable,
+) -> None:
+    for index, spec, attempts in work:
+        error: Optional[str] = None
+        while True:
+            start = time.perf_counter()
+            try:
+                payload = cell_fn(spec)
+            except Exception as exc:  # noqa: BLE001 - quarantine, don't sink
+                attempts += 1
+                error = f"error: {exc!r}"
+                if attempts >= 1 + retries:
+                    record(index, spec, "failed", None, attempts, error, 0.0)
+                    break
+                continue
+            record(
+                index,
+                spec,
+                "ok",
+                payload,
+                attempts + 1,
+                None,
+                time.perf_counter() - start,
+            )
+            break
+
+
+def _run_pool(
+    work: Sequence,
+    cell_fn: Callable,
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    record: Callable,
+) -> bool:
+    """Pool-based supervised execution; False if no pool could start."""
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    def make_pool():
+        return ProcessPoolExecutor(max_workers=jobs)
+
+    try:
+        pool = make_pool()
+    except (ImportError, NotImplementedError, OSError, ValueError):
+        return False
+
+    pending = deque(work)  # (index, spec, attempts)
+    in_flight: Dict[object, list] = {}  # future -> [idx, spec, att, started]
+
+    def fail_or_requeue(index, spec, attempts, reason) -> None:
+        attempts += 1
+        if attempts >= 1 + retries:
+            record(index, spec, "failed", None, attempts, reason, 0.0)
+        else:
+            pending.append((index, spec, attempts))
+
+    try:
+        while pending or in_flight:
+            while pending and len(in_flight) < jobs:
+                index, spec, attempts = pending.popleft()
+                future = pool.submit(cell_fn, spec)
+                in_flight[future] = [index, spec, attempts, None]
+            done, _ = wait(
+                set(in_flight), timeout=_TICK, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            pool_broken = False
+            for future in done:
+                index, spec, attempts, started = in_flight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    wall = now - started if started is not None else 0.0
+                    record(
+                        index, spec, "ok", future.result(), attempts + 1,
+                        None, wall,
+                    )
+                elif isinstance(exc, BrokenProcessPool):
+                    pool_broken = True
+                    fail_or_requeue(
+                        index, spec, attempts,
+                        "crash: worker process died (BrokenProcessPool)",
+                    )
+                else:
+                    fail_or_requeue(index, spec, attempts, f"error: {exc!r}")
+            if pool_broken:
+                # Every other in-flight future is doomed too; cells that
+                # had started share the blame window (we cannot tell who
+                # crashed), queued-only cells get their attempt back.
+                for future, entry in in_flight.items():
+                    index, spec, attempts, started = entry
+                    if started is not None:
+                        fail_or_requeue(
+                            index, spec, attempts,
+                            "crash: worker process died (BrokenProcessPool)",
+                        )
+                    else:
+                        pending.append((index, spec, attempts))
+                in_flight.clear()
+                _kill_pool(pool)
+                pool = make_pool()
+                continue
+            timed_out = []
+            for future, entry in in_flight.items():
+                if entry[3] is None and future.running():
+                    entry[3] = now
+                if (
+                    timeout is not None
+                    and entry[3] is not None
+                    and now - entry[3] > timeout
+                ):
+                    timed_out.append(future)
+            if timed_out:
+                # Killing one hung worker means rebuilding the pool;
+                # innocent in-flight cells are requeued free of charge.
+                for future, entry in in_flight.items():
+                    index, spec, attempts, _started = entry
+                    if future in timed_out:
+                        fail_or_requeue(
+                            index, spec, attempts,
+                            f"timeout: exceeded {timeout:g}s wall clock",
+                        )
+                    else:
+                        pending.append((index, spec, attempts))
+                in_flight.clear()
+                _kill_pool(pool)
+                pool = make_pool()
+    finally:
+        _kill_pool(pool)
+    return True
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cell_fn: Callable[[RunSpec], Dict[str, object]] = execute_cell,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Execute every cell of ``campaign`` under supervision.
+
+    Args:
+        campaign: the cell grid to run.
+        jobs: worker processes; 1 (or an unavailable pool) runs serially
+            in-process.
+        cache: content-addressed result cache; hits skip execution and
+            successful cells are stored back.
+        cell_fn: the cell implementation (module-level, picklable);
+            overridable for tests and custom campaign kinds.
+        timeout: per-cell wall-clock budget in seconds (pool mode only).
+        retries: extra attempts for a timed-out/crashed/raising cell
+            before it is quarantined.
+        progress: optional line sink (e.g. ``print``) for per-cell
+            progress as results land.
+    """
+    started = time.perf_counter()
+    total = len(campaign.cells)
+    outcomes: Dict[int, CellOutcome] = {}
+    done_count = 0
+
+    def record(index, spec, status, payload, attempts, error, wall) -> None:
+        nonlocal done_count
+        outcome = CellOutcome(
+            index=index,
+            spec=spec,
+            status=status,
+            payload=payload,
+            attempts=attempts,
+            error=error,
+            wall_seconds=wall,
+        )
+        outcomes[index] = outcome
+        done_count += 1
+        if status == "ok" and cache is not None:
+            cache.store(key_for(index), payload)
+        if progress is not None:
+            tag = {"ok": "done", "cached": "cached", "failed": "FAILED"}[
+                status
+            ]
+            suffix = f" ({error})" if error else ""
+            progress(
+                f"[{done_count}/{total}] {tag:6s} {spec.describe()}{suffix}"
+            )
+
+    keys: Dict[int, str] = {}
+
+    def key_for(index: int) -> str:
+        key = keys.get(index)
+        if key is None:
+            key = keys[index] = spec_key(campaign.cells[index])
+        return key
+
+    work = []
+    for index, spec in enumerate(campaign.cells):
+        if cache is not None:
+            hit = cache.lookup(key_for(index))
+            if hit is not None:
+                record(index, spec, "cached", hit, 0, None, 0.0)
+                continue
+        work.append((index, spec, 0))
+
+    if work:
+        ran_in_pool = False
+        if jobs > 1:
+            ran_in_pool = _run_pool(
+                work, cell_fn, jobs, timeout, retries, record
+            )
+            if not ran_in_pool and progress is not None:
+                progress(
+                    "process pool unavailable; falling back to serial "
+                    "in-process execution"
+                )
+        if not ran_in_pool:
+            _run_serial(work, cell_fn, retries, record)
+
+    report = CampaignReport(
+        campaign=campaign,
+        outcomes=[outcomes[i] for i in range(total)],
+        jobs=jobs,
+        cache_stats=cache.stats if cache is not None else CacheStats(),
+        wall_seconds=time.perf_counter() - started,
+    )
+    return report

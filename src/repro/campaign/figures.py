@@ -1,0 +1,201 @@
+"""The ``repro all`` figure summary as campaign cells.
+
+Each cell reproduces one figure at the summary scale and returns its
+one-line verdict as a deterministic payload, so the full-suite replay
+(nine figures, ten lines) parallelises across workers and is served from
+the content-addressed cache on re-runs.  The lines are byte-for-byte the
+ones the serial ``repro all`` has always printed; only *when* they are
+computed changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.campaign.spec import Campaign, RunSpec
+from repro.errors import ConfigError
+from repro.experiments.config import MacroConfig, testbed_config
+
+
+def ctrl_messages(results) -> str:
+    """Render per-placement control-plane message counts for one figure.
+
+    ``results`` maps placement name -> RunResult; only daemon-based
+    policies send bus messages, so zero-count entries are omitted.
+    """
+    counts = {
+        name: r.control_messages
+        for name, r in results.items()
+        if r.control_messages
+    }
+    if not counts:
+        return "ctrl msgs: 0"
+    return "ctrl msgs: " + ", ".join(
+        f"{name}={count}" for name, count in counts.items()
+    )
+
+
+def _fig1(spec: RunSpec) -> str:
+    from repro.experiments.motivating import EXPECTED_FIGURE1, figure1_table
+
+    rows = figure1_table()
+    exact = all(
+        abs(
+            r.completion_time
+            - EXPECTED_FIGURE1[(r.network_policy, r.placement)][0]
+        )
+        < 1e-6
+        for r in rows
+    )
+    return f"fig1  motivating example: {'EXACT match' if exact else 'MISMATCH'}"
+
+
+def _fig3(spec: RunSpec) -> str:
+    from repro.experiments.comparative import figure3
+
+    outcome = figure3(spec.network_policy, spec.config)
+    return (
+        f"fig3  minDist/minLoad overall FCT ratio under Fair: "
+        f"{outcome.overall_ratio():.2f} "
+        f"[{ctrl_messages({'mindist': outcome.mindist, 'minload': outcome.minload})}]"
+    )
+
+
+def _flow_line(spec: RunSpec) -> str:
+    from repro.experiments.flow_macro import run_flow_macro
+
+    label = {"fair": "fig5", "las": "fig6a", "srpt": "fig6b"}[
+        spec.network_policy
+    ]
+    outcome = run_flow_macro(
+        network_policy=spec.network_policy, config=spec.config
+    )
+    return (
+        f"{label:5s} {spec.network_policy.upper():4s}: NEAT "
+        f"{outcome.improvement_over('minload'):.2f}x vs minLoad, "
+        f"{outcome.improvement_over('mindist'):.2f}x vs minDist "
+        f"[{ctrl_messages(outcome.results)}]"
+    )
+
+
+def _fig7(spec: RunSpec) -> str:
+    from repro.experiments.coflow_macro import figure7
+
+    outcome = figure7(spec.network_policy, spec.config)
+    ccts = outcome.average_ccts()
+    return (
+        f"fig7  Varys coflows: mean CCT neat={ccts['neat']:.3f}s "
+        f"minload={ccts['minload']:.3f}s mindist={ccts['mindist']:.3f}s "
+        f"[{ctrl_messages(outcome.results)}]"
+    )
+
+
+def _fig8(spec: RunSpec) -> str:
+    from repro.experiments.micro import figure8
+
+    outcome = figure8(spec.config)
+    return (
+        f"fig8  Fair-vs-SRPT predictor relative difference: "
+        f"{outcome.relative_difference():.2f} "
+        f"[{ctrl_messages({'neat-fair': outcome.fair_predictor, 'neat-srpt': outcome.srpt_predictor})}]"
+    )
+
+
+def _fig9(spec: RunSpec) -> str:
+    from repro.experiments.micro import figure9
+
+    outcome = figure9(spec.config, network_policy=spec.network_policy)
+    return (
+        f"fig9  minFCT degradation without node states (Fair): "
+        f"{outcome.minfct_degradation() * 100:.0f}% "
+        f"[{ctrl_messages(outcome.results)}]"
+    )
+
+
+def _fig10(spec: RunSpec) -> str:
+    from repro.experiments.micro import figure10
+
+    short, long = figure10(spec.config)
+    return (
+        f"fig10 prediction error: short {short.mean_abs_error:.3f}, "
+        f"long {long.mean_abs_error:.3f} (mean |err|)"
+    )
+
+
+def _fig11(spec: RunSpec) -> str:
+    from repro.experiments.testbed import figure11
+
+    outcome = figure11(spec.config)
+    return (
+        f"fig11 testbed: NEAT vs minLoad "
+        f"+{outcome.improvement_percent('fair'):.1f}% (Fair), "
+        f"+{outcome.improvement_percent('las'):.1f}% (LAS) "
+        f"[{ctrl_messages({f'neat/{net}': outcome.results[net]['neat'] for net in ('fair', 'las')})}]"
+    )
+
+
+_FIGURE_CELLS: Dict[str, Callable[[RunSpec], str]] = {
+    "fig1": _fig1,
+    "fig3": _fig3,
+    "fig5": _flow_line,
+    "fig6a": _flow_line,
+    "fig6b": _flow_line,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+}
+
+
+def execute_figure(spec: RunSpec) -> Dict[str, object]:
+    """Run one summary figure cell and return its verdict line."""
+    runner = _FIGURE_CELLS.get(spec.figure or "")
+    if runner is None:
+        raise ConfigError(f"unknown figure cell {spec.figure!r}")
+    return {"figure": spec.figure, "line": runner(spec)}
+
+
+def build_all_campaign(base: MacroConfig, *, arrivals: int, seed: int) -> Campaign:
+    """The ``repro all`` summary as a ten-cell campaign.
+
+    ``base`` is the CLI-derived Hadoop-workload config; per-figure
+    config transforms mirror what the serial summary always used, so the
+    resulting lines are unchanged.
+    """
+
+    def cell(figure: str, config: MacroConfig, network: str) -> RunSpec:
+        return RunSpec(
+            kind="figure",
+            config=config,
+            network_policy=network,
+            figure=figure,
+            label=figure,
+        )
+
+    fig3_cfg = replace(
+        base,
+        workload="datamining",
+        oversubscription=max(base.oversubscription, 4.0),
+    )
+    fig7_cfg = replace(
+        base, coflows=True, num_arrivals=max(100, arrivals // 4)
+    )
+    cells = (
+        cell("fig1", base, "fair"),
+        cell("fig3", fig3_cfg, "fair"),
+        cell("fig5", base, "fair"),
+        cell("fig6a", base, "las"),
+        cell("fig6b", base, "srpt"),
+        cell("fig7", fig7_cfg, "varys"),
+        cell("fig8", base, "srpt"),
+        cell("fig9", base, "fair"),
+        cell("fig10", base, "srpt"),
+        cell(
+            "fig11",
+            testbed_config(num_arrivals=arrivals, seed=seed),
+            "fair",
+        ),
+    )
+    return Campaign(name="repro-all", cells=cells)

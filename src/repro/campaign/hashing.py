@@ -1,0 +1,76 @@
+"""Content addressing for campaign cells.
+
+A cell's cache key is the SHA-256 of its *canonical JSON* — sorted keys,
+compact separators, round-trip-exact floats — combined with the package
+version, so any change to any config field (or to the package itself)
+forces a recompute while a pure re-run hits the cache.  The same
+canonical encoding also serialises cached payloads, which is what makes
+"parallel and serial produce byte-identical results" testable: two
+payloads agree iff their canonical JSON bytes agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Optional
+
+import repro
+from repro.campaign.spec import RunSpec
+from repro.errors import ConfigError
+
+
+def _canonical_default(obj: object) -> object:
+    """JSON fallback for the structured types campaign specs carry."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if isinstance(obj, tuple):
+        return list(obj)
+    raise TypeError(
+        f"{type(obj).__name__} is not canonically JSON-serialisable"
+    )
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: one value, one byte string.
+
+    ``json.dumps`` already emits the shortest round-trip ``repr`` for
+    floats, so a payload that has been through ``json.loads`` re-encodes
+    to identical bytes — cache round-trips are lossless.  Non-finite
+    floats are rejected: they would not survive a JSON round-trip.
+    """
+    text = json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+        default=_canonical_default,
+    )
+    return text
+
+
+def content_hash(obj: object) -> str:
+    """SHA-256 hex digest of an object's canonical JSON."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def spec_key(spec: RunSpec, *, version: Optional[str] = None) -> str:
+    """The cache key of one cell: hash(canonical spec + package version)."""
+    if not isinstance(spec, RunSpec):
+        raise ConfigError(f"spec_key wants a RunSpec, got {type(spec)!r}")
+    if any(
+        isinstance(v, float) and not math.isfinite(v)
+        for v in dataclasses.asdict(spec.config).values()
+    ):
+        raise ConfigError("config with non-finite floats cannot be hashed")
+    return content_hash(
+        {
+            "spec": spec.canonical_dict(),
+            "version": version if version is not None else repro.__version__,
+        }
+    )

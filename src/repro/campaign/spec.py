@@ -1,0 +1,170 @@
+"""Declarative simulation campaigns: grids of independent run cells.
+
+A :class:`RunSpec` is one fully-determined simulation cell — everything
+needed to reproduce it lives in the spec (config, policies, seed), so a
+cell can execute in any process, in any order, and yield byte-identical
+results.  A :class:`Campaign` is an ordered tuple of cells; the order is
+the *reporting* order and never affects any cell's outcome.
+
+Seeds are derived deterministically from a base seed with the same FNV
+hash the simulator's :class:`~repro.sim.randomness.RandomStreams` uses
+(:func:`derive_seeds`), so a campaign built from ``base_seed`` is stable
+across processes and Python versions — the precondition for parallel and
+serial execution agreeing byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.experiments.config import MacroConfig
+from repro.sim.randomness import hash_seed
+
+#: Cell kinds the executor knows how to run.
+KINDS = ("flow_macro", "coflow_macro", "figure")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation run (a single campaign cell).
+
+    Attributes:
+        kind: ``"flow_macro"`` (Figures 5/6 style placement comparison),
+            ``"coflow_macro"`` (Figure 7 style), or ``"figure"`` (one of
+            the ``repro all`` summary cells).
+        config: the complete :class:`MacroConfig` for the run — the seed
+            lives here, so one spec is one exact simulation.
+        network_policy: flow or coflow scheduling policy name.
+        placements: placement policies compared within the cell (they
+            share the cell's trace, keeping comparisons paired).
+        predictor: FCT predictor for NEAT/minFCT.
+        figure: figure id (``"fig5"``…) when ``kind == "figure"``.
+        label: human-readable display name; *excluded* from the content
+            hash so relabelling never invalidates the cache.
+    """
+
+    kind: str
+    config: MacroConfig
+    network_policy: str = "fair"
+    placements: Tuple[str, ...] = ("neat", "minload", "mindist")
+    predictor: str = "fair"
+    figure: Optional[str] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown RunSpec kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if (self.kind == "figure") != (self.figure is not None):
+            raise ConfigError(
+                "RunSpec.figure must be set exactly when kind == 'figure'"
+            )
+        if not self.placements:
+            raise ConfigError("RunSpec needs at least one placement policy")
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """The content-defining fields (label omitted), JSON-safe."""
+        return {
+            "kind": self.kind,
+            "config": asdict(self.config),
+            "network_policy": self.network_policy,
+            "placements": list(self.placements),
+            "predictor": self.predictor,
+            "figure": self.figure,
+        }
+
+    def describe(self) -> str:
+        """Short display name (the label when set, axes otherwise)."""
+        if self.label:
+            return self.label
+        if self.kind == "figure":
+            return str(self.figure)
+        return (
+            f"{self.kind} net={self.network_policy} "
+            f"load={self.config.load:g} seed={self.config.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """An ordered grid of independent cells plus a display name."""
+
+    name: str
+    cells: Tuple[RunSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ConfigError(f"campaign {self.name!r} has no cells")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def derive_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` deterministic child seeds from one base seed.
+
+    Uses the same cross-process-stable FNV derivation as
+    :func:`repro.sim.randomness.hash_seed`, folded to 31 bits so the
+    seeds stay friendly to every RNG and JSON consumer.
+    """
+    if count < 1:
+        raise ConfigError("need at least one derived seed")
+    return [
+        hash_seed(base_seed, f"campaign-rep:{i}") & 0x7FFFFFFF
+        for i in range(count)
+    ]
+
+
+def flow_grid(
+    *,
+    name: str = "flow-grid",
+    base_config: MacroConfig,
+    seeds: Optional[Sequence[int]] = None,
+    repetitions: Optional[int] = None,
+    network_policies: Sequence[str] = ("fair",),
+    loads: Optional[Sequence[float]] = None,
+    placements: Sequence[str] = ("neat", "minload", "mindist"),
+    predictor: str = "fair",
+    coflows: bool = False,
+) -> Campaign:
+    """Build a seed x network-policy x load campaign grid.
+
+    Exactly one of ``seeds`` (explicit) or ``repetitions`` (derived from
+    ``base_config.seed`` via :func:`derive_seeds`) selects the seed axis.
+    Placements are compared *within* each cell so every comparison stays
+    paired on a shared trace.  Cell order is the nested loop
+    seed -> network -> load, which fixes the reporting order.
+    """
+    if (seeds is None) == (repetitions is None):
+        raise ConfigError("give exactly one of seeds= or repetitions=")
+    if seeds is None:
+        seeds = derive_seeds(base_config.seed, repetitions)
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    if not network_policies:
+        raise ConfigError("need at least one network policy")
+    load_axis = tuple(loads) if loads is not None else (base_config.load,)
+    if not load_axis:
+        raise ConfigError("need at least one load")
+    kind = "coflow_macro" if coflows else "flow_macro"
+    cells = []
+    for seed in seeds:
+        for net in network_policies:
+            for load in load_axis:
+                cfg = replace(
+                    base_config, seed=seed, load=load, coflows=coflows
+                )
+                cells.append(
+                    RunSpec(
+                        kind=kind,
+                        config=cfg,
+                        network_policy=net,
+                        placements=tuple(placements),
+                        predictor=predictor,
+                        label=f"seed={seed} net={net} load={load:g}",
+                    )
+                )
+    return Campaign(name=name, cells=tuple(cells))

@@ -62,10 +62,10 @@ class MacroOutcome:
             "average_gaps": self.average_gaps(),
             "afcts": self.afcts(),
             "improvement_vs_minload": self.improvement_over("minload")
-            if "minload" in self.results
+            if {"neat", "minload"} <= self.results.keys()
             else None,
             "improvement_vs_mindist": self.improvement_over("mindist")
-            if "mindist" in self.results
+            if {"neat", "mindist"} <= self.results.keys()
             else None,
             "num_records": {
                 name: len(r.records) for name, r in self.results.items()

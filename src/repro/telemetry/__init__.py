@@ -46,6 +46,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullMetricsRegistry,
     Timer,
+    merge_snapshots,
 )
 from repro.telemetry.trace import NULL_TRACE, JsonlTraceSink, TraceSink
 
@@ -66,6 +67,7 @@ __all__ = [
     "DecisionLog",
     "DecisionRecord",
     "NULL_DECISIONS",
+    "merge_snapshots",
     "render_report",
 ]
 

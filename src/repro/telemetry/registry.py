@@ -36,6 +36,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_REGISTRY",
+    "merge_snapshots",
 ]
 
 
@@ -293,3 +294,63 @@ class NullMetricsRegistry(MetricsRegistry):
 
 #: Shared disabled registry (the default everywhere).
 NULL_REGISTRY = NullMetricsRegistry()
+
+
+def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
+    """Fold several :meth:`MetricsRegistry.as_dict` snapshots into one.
+
+    The campaign orchestrator runs each cell with its own registry (in
+    its own process); this merges the exported snapshots into one
+    campaign-level view: counters sum, gauges keep the maximum
+    (high-water semantics), timers sum calls and wall seconds, and
+    histograms combine ``count``/``mean``/``min``/``max`` exactly.
+    Sample-based percentiles (p50/p95) cannot be merged from summaries
+    and are therefore omitted from merged histograms.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    timers: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+        for name, stats in snapshot.get("timers", {}).items():
+            into = timers.setdefault(
+                name, {"calls": 0, "wall_seconds": 0.0}
+            )
+            into["calls"] += stats.get("calls", 0)
+            into["wall_seconds"] += stats.get("wall_seconds", 0.0)
+        for name, summary in snapshot.get("histograms", {}).items():
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            into = histograms.get(name)
+            if into is None:
+                histograms[name] = {
+                    "count": count,
+                    "total": summary["mean"] * count,
+                    "min": summary["min"],
+                    "max": summary["max"],
+                }
+            else:
+                into["count"] += count
+                into["total"] += summary["mean"] * count
+                into["min"] = min(into["min"], summary["min"])
+                into["max"] = max(into["max"], summary["max"])
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: {
+                "count": h["count"],
+                "mean": h["total"] / h["count"],
+                "min": h["min"],
+                "max": h["max"],
+            }
+            for name, h in sorted(histograms.items())
+        },
+        "timers": dict(sorted(timers.items())),
+    }

@@ -145,16 +145,23 @@ class TestCLI:
         assert main(["fig11", "--arrivals", "120"]) == 0
         assert "improvement over minLoad" in capsys.readouterr().out
 
-    def test_all_summary_small(self, capsys):
-        assert main([
+    def test_all_summary_small(self, capsys, tmp_path):
+        argv = [
             "all", "--arrivals", "60", "--hosts-per-rack", "4",
-            "--pods", "1",
-        ]) == 0
+            "--pods", "1", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
         out = capsys.readouterr().out
         assert "fig1  motivating example: EXACT match" in out
         for token in ("fig3", "fig5", "fig6a", "fig6b", "fig7", "fig8",
                       "fig9", "fig10", "fig11"):
             assert token in out
+        assert "misses=10" in out
+        # An immediate re-run is served entirely from the cache.
+        assert main(argv) == 0
+        rerun = capsys.readouterr().out
+        assert "hits=10" in rerun and "misses=0" in rerun
+        assert "fig11" in rerun
 
     def test_fig6_network_override(self, capsys):
         assert main([

@@ -55,6 +55,14 @@ PUBLIC_SYMBOLS = {
         "figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
         "repeat_flow_macro",
     ],
+    "repro.campaign": [
+        "Campaign", "RunSpec", "flow_grid", "derive_seeds",
+        "canonical_json", "content_hash", "spec_key",
+        "ResultCache", "CacheStats",
+        "run_campaign", "execute_cell", "CampaignReport", "CellOutcome",
+        "MacroSummary", "grid_aggregates", "render_campaign_report",
+        "build_all_campaign",
+    ],
     "repro.telemetry": [
         "Telemetry", "NULL_TELEMETRY", "create_telemetry",
         "MetricsRegistry", "NullMetricsRegistry", "NULL_REGISTRY",
