@@ -88,6 +88,12 @@ class CoflowAllocator(RateAllocator):
 
     name = "coflow-abstract"
 
+    #: MADD couples a coflow's flows across *disjoint* links (every member's
+    #: rate is remaining/Gamma, and Gamma is the coflow-wide bottleneck), so
+    #: the allocation does not decompose over link-sharing components: the
+    #: fabric must always recompute globally for coflow policies.
+    incremental_safe = False
+
     @abstractmethod
     def priority_key(
         self,

@@ -98,6 +98,11 @@ class CoflowFairAllocator(RateAllocator):
 
     name = "coflow-fair"
 
+    #: Coflow-proportional splitting couples flows across disjoint links
+    #: (sibling rates move together via R_c), so scoped recomputes are
+    #: unsound; the fabric always recomputes globally.
+    incremental_safe = False
+
     def allocate(
         self,
         flows: Sequence[Flow],

@@ -154,6 +154,8 @@ def replay_flow_trace(
     horizon: Optional[float] = None,
     size_estimator: Optional[SizeEstimator] = None,
     telemetry: Optional["Telemetry"] = None,
+    incremental: Optional[bool] = None,
+    shadow_verify: bool = False,
 ) -> RunResult:
     """Replay a flow trace: place every task, run the network to empty.
 
@@ -179,10 +181,20 @@ def replay_flow_trace(
         telemetry: optional :class:`~repro.telemetry.Telemetry` bundle:
             metrics, trace events, and the placement-decision log are all
             recorded against this run.
+        incremental: scope rate recomputes to the dirty sharing component
+            (default: whatever the allocator declares safe); ``False``
+            forces the full-recompute reference path.
+        shadow_verify: run the full allocator side-by-side with every
+            scoped recompute and raise on any rate divergence.
     """
     engine = Engine(telemetry=telemetry)
     fabric = NetworkFabric(
-        engine, topology, make_allocator(network_policy), telemetry=telemetry
+        engine,
+        topology,
+        make_allocator(network_policy),
+        telemetry=telemetry,
+        incremental=incremental,
+        shadow_verify=shadow_verify,
     )
     place_rng = random.Random(seed)
     pool_rng = random.Random(seed + 7)

@@ -3,18 +3,44 @@
 :class:`NetworkFabric` couples the rate allocator (scheduling policy) to the
 discrete-event engine.  Rates are recomputed whenever the set of flows
 changes (arrival or completion) and whenever the allocator reports an
-internal change point (LAS attained-service crossings); between recomputes
-every flow progresses linearly at its assigned rate, so completions are
-exact in the fluid model.
+internal change point (LAS attained-service and SRPT remaining-size
+crossings); between recomputes every flow progresses linearly at its
+assigned rate, so completions are exact in the fluid model.
+
+Rate recomputation is *incremental* by default: an event dirties only the
+links its flow touches, the dirty set is expanded to the connected
+component of the flow-link sharing graph (flows sharing a dirty link drag
+their other links in), and the allocator runs on that component alone.
+Because every allocator couples flows exclusively through shared-link
+capacities, the allocation problem decomposes exactly over sharing
+components: links outside the component keep their cached rates and their
+flows' completion events stay untouched.  ``incremental=False`` keeps the
+same event machinery but hands the allocator the full active set on every
+recompute — the reference oracle the differential test harness compares
+against — and ``shadow_verify=True`` runs that full allocator side by side
+with the scoped one, asserting rate-map equality at every recompute.
+
+Allocators whose priorities couple flows across *disjoint* links (the
+coflow policies: MADD spreads a coflow's progress over all its flows) set
+``incremental_safe = False`` and always receive the full active set.
 
 This module is the stand-in for the paper's ns2 substrate.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.errors import FlowError
+from repro.errors import FlowError, ShadowVerifyError
 from repro.network.flow import Flow, FlowId, FlowRecord
 from repro.network.policies.base import RATE_EPSILON, RateAllocator
 from repro.sim.engine import Engine
@@ -26,6 +52,29 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a network<->telemetry cycle
     from repro.telemetry import Telemetry
 
 CompletionListener = Callable[[Flow, FlowRecord], None]
+
+#: Absolute slack allowed between the scoped and the shadow (full) rate for
+#: one flow before ``shadow_verify`` raises.  Scoped and full allocations
+#: perform identical float arithmetic per component, so any real
+#: decomposition violation shows up far above this.
+SHADOW_TOLERANCE = 1e-6
+
+
+class _AllocScope:
+    """One connected component of the flow-link sharing graph.
+
+    Tracks the component's membership as of its last recompute plus the
+    allocator change-point (hint) event scheduled for it, so a later
+    recompute that swallows the component can invalidate exactly that
+    event and nothing else.
+    """
+
+    __slots__ = ("flow_ids", "links", "hint_event")
+
+    def __init__(self, flow_ids: Tuple[FlowId, ...], links: Set[LinkId]) -> None:
+        self.flow_ids = flow_ids
+        self.links = links
+        self.hint_event: Optional[Event] = None
 
 
 class NetworkFabric:
@@ -39,11 +88,22 @@ class NetworkFabric:
         *,
         router: Optional[Router] = None,
         telemetry: Optional["Telemetry"] = None,
+        incremental: Optional[bool] = None,
+        shadow_verify: bool = False,
     ) -> None:
         self._engine = engine
         self._topology = topology
         self._allocator = allocator
         self._router = router or Router(topology)
+        if incremental and not allocator.incremental_safe:
+            raise FlowError(
+                f"allocator {allocator.name!r} couples flows beyond shared "
+                "links and cannot be scoped; use incremental=False"
+            )
+        if incremental is None:
+            incremental = allocator.incremental_safe
+        self._incremental = bool(incremental)
+        self._shadow_verify = bool(shadow_verify)
         # Telemetry hooks, pre-bound so the disabled path costs one
         # attribute check per event (NullMetricsRegistry hands back
         # shared no-op metrics, but we avoid even those on hot paths).
@@ -56,7 +116,11 @@ class NetworkFabric:
         reg = telemetry.registry
         self._ctr_submitted = reg.counter("fabric.flows_submitted") if metrics_on else None
         self._ctr_completed = reg.counter("fabric.flows_completed") if metrics_on else None
-        self._ctr_recomputes = reg.counter("fabric.rate_recomputes") if metrics_on else None
+        self._ctr_full = reg.counter("fabric.recompute.full") if metrics_on else None
+        self._ctr_scoped = reg.counter("fabric.recompute.scoped") if metrics_on else None
+        self._hist_component = (
+            reg.histogram("fabric.recompute.component_flows") if metrics_on else None
+        )
         self._hist_fct = reg.histogram("fabric.fct_seconds") if metrics_on else None
         self._timer_alloc = reg.timer("allocator") if metrics_on else None
         self._capacities: Dict[LinkId, float] = {
@@ -68,8 +132,12 @@ class NetworkFabric:
         self._by_link: Dict[LinkId, Dict[FlowId, Flow]] = {}
         self._by_host: Dict[NodeId, Dict[FlowId, Flow]] = {}
         self._rates: Dict[FlowId, float] = {}
-        self._last_sync = engine.now
-        self._pending_event: Optional[Event] = None
+        # Per-flow progress bookkeeping: the time each flow's (remaining,
+        # attained) pair was last brought up to date.  Progress is applied
+        # lazily — untouched components pay nothing per foreign event.
+        self._synced_at: Dict[FlowId, float] = {}
+        self._completion_events: Dict[FlowId, Event] = {}
+        self._scope_of: Dict[FlowId, _AllocScope] = {}
         self._records: List[FlowRecord] = []
         self._listeners: List[CompletionListener] = []
         self._arrival_listeners: List[Callable[[Flow], None]] = []
@@ -95,24 +163,37 @@ class NetworkFabric:
         return self._allocator
 
     @property
+    def incremental(self) -> bool:
+        """Whether recomputes are scoped to the dirty sharing component."""
+        return self._incremental
+
+    @property
     def records(self) -> Sequence[FlowRecord]:
         """Completion records, in completion order."""
         return tuple(self._records)
 
     def active_flows(self) -> List[Flow]:
         """Currently active flows (progress synced to *now*)."""
-        self._sync_progress()
+        now = self._engine.now
+        for flow in self._active.values():
+            self._sync_flow(flow, now)
         return list(self._active.values())
 
     def flows_on_link(self, link_id: LinkId) -> List[Flow]:
         """Active flows whose path crosses ``link_id`` (progress synced)."""
-        self._sync_progress()
-        return list(self._by_link.get(link_id, {}).values())
+        now = self._engine.now
+        members = self._by_link.get(link_id, {})
+        for flow in members.values():
+            self._sync_flow(flow, now)
+        return list(members.values())
 
     def flows_at_host(self, host: NodeId) -> List[Flow]:
         """Active flows sourced at or destined to ``host``."""
-        self._sync_progress()
-        return list(self._by_host.get(host, {}).values())
+        now = self._engine.now
+        members = self._by_host.get(host, {})
+        for flow in members.values():
+            self._sync_flow(flow, now)
+        return list(members.values())
 
     def current_rate(self, flow: Flow) -> float:
         """The flow's instantaneous allocated rate (bits/sec)."""
@@ -120,8 +201,12 @@ class NetworkFabric:
 
     def link_queued_bits(self, link_id: LinkId) -> float:
         """Total remaining bits of flows crossing ``link_id``."""
-        self._sync_progress()
-        return sum(f.remaining for f in self._by_link.get(link_id, {}).values())
+        now = self._engine.now
+        total = 0.0
+        for flow in self._by_link.get(link_id, {}).values():
+            self._sync_flow(flow, now)
+            total += flow.remaining
+        return total
 
     def link_rate_utilization(self, link_id: LinkId) -> float:
         """Fraction of the link's capacity currently allocated."""
@@ -200,15 +285,16 @@ class NetworkFabric:
             flow.advance(flow.remaining)
             self._finish_flow(flow)
             return flow
-        self._sync_progress()
         self._active[flow.flow_id] = flow
+        self._synced_at[flow.flow_id] = self._engine.now
         for link_id in flow.path:
             self._by_link.setdefault(link_id, {})[flow.flow_id] = flow
         self._by_host.setdefault(flow.src, {})[flow.flow_id] = flow
         self._by_host.setdefault(flow.dst, {})[flow.flow_id] = flow
+        self._allocator.note_arrival(flow)
         for listener in self._arrival_listeners:
             listener(flow)
-        self._reallocate()
+        self._recompute(flow.path)
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -228,28 +314,40 @@ class NetworkFabric:
             )
         if flow.flow_id not in self._active:
             raise FlowError(f"flow {flow.flow_id} is not active")
-        self._sync_progress()
-        del self._active[flow.flow_id]
-        self._rates.pop(flow.flow_id, None)
-        for link_id in flow.path:
-            self._by_link[link_id].pop(flow.flow_id, None)
-        self._by_host[flow.src].pop(flow.flow_id, None)
-        self._by_host[flow.dst].pop(flow.flow_id, None)
-        self._reallocate()
+        self._drop_flow(flow)
+        self._recompute(flow.path)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals: progress bookkeeping
     # ------------------------------------------------------------------
-    def _sync_progress(self) -> None:
-        """Apply linear progress since the last rate computation."""
-        now = self._engine.now
-        dt = now - self._last_sync
+    def _sync_flow(self, flow: Flow, now: float) -> None:
+        """Apply linear progress to one flow since its last sync."""
+        flow_id = flow.flow_id
+        dt = now - self._synced_at[flow_id]
         if dt > 0:
-            for flow_id, flow in self._active.items():
-                rate = self._rates.get(flow_id, 0.0)
-                if rate > RATE_EPSILON:
-                    flow.advance(rate * dt)
-        self._last_sync = now
+            rate = self._rates.get(flow_id, 0.0)
+            if rate > RATE_EPSILON:
+                flow.advance(rate * dt)
+            self._synced_at[flow_id] = now
+
+    def _drop_flow(self, flow: Flow) -> None:
+        """Remove a flow from every index (completion or cancellation)."""
+        flow_id = flow.flow_id
+        del self._active[flow_id]
+        self._rates.pop(flow_id, None)
+        self._synced_at.pop(flow_id, None)
+        event = self._completion_events.pop(flow_id, None)
+        if event is not None:
+            self._engine.cancel(event)
+        scope = self._scope_of.pop(flow_id, None)
+        if scope is not None and scope.hint_event is not None:
+            self._engine.cancel(scope.hint_event)
+            scope.hint_event = None
+        for link_id in flow.path:
+            self._by_link[link_id].pop(flow_id, None)
+        self._by_host[flow.src].pop(flow_id, None)
+        self._by_host[flow.dst].pop(flow_id, None)
+        self._allocator.note_removal(flow)
 
     def _finish_flow(self, flow: Flow) -> None:
         flow.completion_time = self._engine.now
@@ -285,61 +383,251 @@ class NetworkFabric:
         for listener in self._listeners:
             listener(flow, record)
 
-    def _collect_finished(self) -> None:
-        finished = [f for f in self._active.values() if f.finished]
-        for flow in finished:
-            del self._active[flow.flow_id]
-            self._rates.pop(flow.flow_id, None)
-            for link_id in flow.path:
-                self._by_link[link_id].pop(flow.flow_id, None)
-            self._by_host[flow.src].pop(flow.flow_id, None)
-            self._by_host[flow.dst].pop(flow.flow_id, None)
-            self._finish_flow(flow)
+    # ------------------------------------------------------------------
+    # Internals: dirty-component expansion
+    # ------------------------------------------------------------------
+    def _expand_component(
+        self, dirty_links: Sequence[LinkId]
+    ) -> Tuple[List[Flow], Set[LinkId]]:
+        """Connected component(s) of the sharing graph touching the dirty
+        links: flows on a dirty link drag their other links in, and so on.
 
-    def _reallocate(self) -> None:
-        """Recompute rates and schedule the next fabric event."""
-        self._collect_finished()
-        flows = list(self._active.values())
-        if self._pending_event is not None:
-            self._engine.cancel(self._pending_event)
-            self._pending_event = None
-        if not flows:
-            self._rates = {}
-            return
-        if self._ctr_recomputes is not None:
-            self._ctr_recomputes.inc()
-            with self._timer_alloc.time():
-                self._rates = self._allocator.allocate(flows, self._capacities)
+        Deterministic: traversal follows the insertion-ordered link
+        indexes, and the result is sorted by flow id.
+        """
+        comp_flows: Dict[FlowId, Flow] = {}
+        comp_links: Set[LinkId] = set()
+        frontier: List[LinkId] = []
+        for link_id in dirty_links:
+            if link_id not in comp_links:
+                comp_links.add(link_id)
+                frontier.append(link_id)
+        while frontier:
+            link_id = frontier.pop()
+            for flow_id, flow in self._by_link.get(link_id, {}).items():
+                if flow_id in comp_flows:
+                    continue
+                comp_flows[flow_id] = flow
+                for other in flow.path:
+                    if other not in comp_links:
+                        comp_links.add(other)
+                        frontier.append(other)
+        flows = [comp_flows[fid] for fid in sorted(comp_flows)]
+        return flows, comp_links
+
+    def _split_scopes(self, flows: Sequence[Flow]) -> List[Tuple[List[Flow], Set[LinkId]]]:
+        """Partition ``flows`` into connected sharing components.
+
+        A recompute set can be internally disconnected (a completion may
+        have been the only bridge between two halves), and change-point
+        hints must be tracked per true component so a later event in one
+        half cannot invalidate the other half's hint.
+        """
+        pending: Dict[FlowId, Flow] = {f.flow_id: f for f in flows}
+        components: List[Tuple[List[Flow], Set[LinkId]]] = []
+        while pending:
+            seed_id = next(iter(pending))
+            seed = pending.pop(seed_id)
+            members: Dict[FlowId, Flow] = {seed_id: seed}
+            links: Set[LinkId] = set()
+            frontier: List[LinkId] = list(seed.path)
+            links.update(seed.path)
+            while frontier:
+                link_id = frontier.pop()
+                for flow_id in self._by_link.get(link_id, {}):
+                    flow = pending.pop(flow_id, None)
+                    if flow is None:
+                        continue
+                    members[flow_id] = flow
+                    for other in flow.path:
+                        if other not in links:
+                            links.add(other)
+                            frontier.append(other)
+            components.append(
+                ([members[fid] for fid in sorted(members)], links)
+            )
+        return components
+
+    # ------------------------------------------------------------------
+    # Internals: rate recomputation
+    # ------------------------------------------------------------------
+    def _recompute(self, dirty_links: Optional[Sequence[LinkId]]) -> None:
+        """Recompute rates for the component touching ``dirty_links``.
+
+        ``None`` means everything is dirty (used by allocators that are
+        not ``incremental_safe``).  In ``incremental=False`` mode the
+        component is still expanded (it defines the sync scope and the
+        trace payload) but the allocator runs on the full active set; the
+        two modes perform identical float arithmetic per component, which
+        is what makes their outputs byte-comparable.
+        """
+        now = self._engine.now
+        if dirty_links is None or not self._allocator.incremental_safe:
+            comp_flows = [self._active[fid] for fid in sorted(self._active)]
+            comp_links = {
+                link_id
+                for link_id, members in self._by_link.items()
+                if members
+            }
         else:
-            self._rates = self._allocator.allocate(flows, self._capacities)
+            comp_flows, comp_links = self._expand_component(dirty_links)
+
+        # Invalidate the hints of every scope this recompute supersedes.
+        for flow in comp_flows:
+            scope = self._scope_of.pop(flow.flow_id, None)
+            if scope is not None and scope.hint_event is not None:
+                self._engine.cancel(scope.hint_event)
+                scope.hint_event = None
+
+        for flow in comp_flows:
+            self._sync_flow(flow, now)
+
+        survivors: List[Flow] = []
+        for flow in comp_flows:
+            if flow.finished:
+                self._drop_flow(flow)
+                self._finish_flow(flow)
+            else:
+                survivors.append(flow)
+        component_size = len(comp_flows)
+        comp_flows = survivors
+        if not comp_flows:
+            return
+
+        scoped = self._incremental
+        if scoped:
+            scope_flows = comp_flows
+            capacities: Dict[LinkId, float] = {
+                link_id: self._capacities[link_id]
+                for link_id in sorted(comp_links)
+            }
+            if self._ctr_scoped is not None:
+                self._ctr_scoped.inc()
+        else:
+            scope_flows = [self._active[fid] for fid in sorted(self._active)]
+            capacities = self._capacities
+            if self._ctr_full is not None:
+                self._ctr_full.inc()
+        if self._hist_component is not None:
+            self._hist_component.observe(component_size)
+
+        if self._timer_alloc is not None:
+            with self._timer_alloc.time():
+                rates = self._allocator.allocate(scope_flows, capacities)
+        else:
+            rates = self._allocator.allocate(scope_flows, capacities)
+
         if self._trace.active:
             self._trace.emit(
                 "rate_recompute",
-                self._engine.now,
-                {"active_flows": len(flows)},
+                now,
+                {
+                    "active_flows": len(self._active),
+                    "component_flows": component_size,
+                    "component_links": len(comp_links),
+                },
             )
 
-        next_dt = float("inf")
-        for flow in flows:
-            rate = self._rates.get(flow.flow_id, 0.0)
-            if rate > RATE_EPSILON:
-                next_dt = min(next_dt, flow.remaining / rate)
-        hint = self._allocator.next_change_hint(flows, self._rates)
-        if hint is not None and hint > 0:
-            next_dt = min(next_dt, hint)
-        if next_dt == float("inf"):
+        comp_ids = {flow.flow_id for flow in comp_flows}
+        progressed = False
+        for flow in scope_flows:
+            flow_id = flow.flow_id
+            new_rate = rates.get(flow_id, 0.0)
+            old_rate = self._rates.get(flow_id, 0.0)
+            if flow_id in comp_ids:
+                if new_rate > RATE_EPSILON:
+                    progressed = True
+                self._rates[flow_id] = new_rate
+                if new_rate != old_rate or (
+                    new_rate > RATE_EPSILON
+                    and flow_id not in self._completion_events
+                ):
+                    self._reschedule_completion(flow, new_rate, now)
+            elif new_rate != old_rate:
+                # Full-mode reference only: the global allocator moved a
+                # flow outside the dirty component.  Apply it faithfully —
+                # a scoped run cannot see this, so the differential
+                # harness flags any policy for which it ever happens.
+                self._sync_flow(flow, now)
+                self._rates[flow_id] = new_rate
+                self._reschedule_completion(flow, new_rate, now)
+        if not progressed:
             raise FlowError(
                 "no flow is making progress; allocator "
                 f"{self._allocator.name!r} is not work-conserving"
             )
-        self._pending_event = self._engine.schedule(
-            max(next_dt, 0.0),
-            self._on_step,
-            priority=RECOMPUTE_PRIORITY,
-            label="fabric-step",
-        )
 
-    def _on_step(self) -> None:
-        self._pending_event = None
-        self._sync_progress()
-        self._reallocate()
+        if self._shadow_verify and scoped:
+            self._verify_against_full(now)
+
+        # Re-scope the recomputed flows into true sharing components and
+        # schedule each component's next allocator change point.
+        for members, links in self._split_scopes(comp_flows):
+            scope = _AllocScope(tuple(f.flow_id for f in members), links)
+            hint = self._allocator.next_change_hint(members, self._rates)
+            if hint is not None and 0 < hint < float("inf"):
+                scope.hint_event = self._engine.schedule(
+                    hint,
+                    lambda s=scope: self._on_hint(s),
+                    priority=RECOMPUTE_PRIORITY,
+                    label="fabric-hint",
+                )
+            for flow in members:
+                self._scope_of[flow.flow_id] = scope
+
+    def _reschedule_completion(self, flow: Flow, rate: float, now: float) -> None:
+        flow_id = flow.flow_id
+        event = self._completion_events.pop(flow_id, None)
+        if event is not None:
+            self._engine.cancel(event)
+        if rate > RATE_EPSILON:
+            self._completion_events[flow_id] = self._engine.schedule(
+                max(flow.remaining / rate, 0.0),
+                lambda f=flow: self._on_completion(f),
+                priority=RECOMPUTE_PRIORITY,
+                label="fabric-completion",
+            )
+
+    def _on_completion(self, flow: Flow) -> None:
+        self._completion_events.pop(flow.flow_id, None)
+        if flow.flow_id not in self._active:  # pragma: no cover - defensive
+            return
+        # The event time is authoritative: it was scheduled at exactly
+        # remaining/rate under a rate that has not changed since (any
+        # change reschedules).  Whatever residue float time arithmetic
+        # leaves is dust — clamp it, or a sub-ulp reschedule could fire
+        # at this same timestamp forever.
+        self._sync_flow(flow, self._engine.now)
+        if not flow.finished:
+            flow.advance(flow.remaining)
+        self._recompute(flow.path)
+
+    def _on_hint(self, scope: _AllocScope) -> None:
+        scope.hint_event = None
+        live = [fid for fid in scope.flow_ids if fid in self._active]
+        if not live:  # pragma: no cover - defensive
+            return
+        self._recompute(tuple(scope.links))
+
+    def _verify_against_full(self, now: float) -> None:
+        """Shadow oracle: the full allocator over all flows must agree
+        with the spliced scoped rate map."""
+        reference = self._allocator.allocate(
+            [self._active[fid] for fid in sorted(self._active)],
+            self._capacities,
+        )
+        mismatches: List[str] = []
+        for flow_id in sorted(self._active):
+            scoped_rate = self._rates.get(flow_id, 0.0)
+            full_rate = reference.get(flow_id, 0.0)
+            if abs(scoped_rate - full_rate) > SHADOW_TOLERANCE:
+                mismatches.append(
+                    f"flow {flow_id}: scoped={scoped_rate!r} full={full_rate!r}"
+                )
+        if mismatches:
+            detail = "; ".join(mismatches[:5])
+            raise ShadowVerifyError(
+                f"scoped allocation diverged from full recompute at "
+                f"t={now!r} under {self._allocator.name!r} "
+                f"({len(mismatches)} flows): {detail}"
+            )

@@ -13,7 +13,7 @@ crossing it still has demand, matching the paper's §4.1 assumption.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.network.flow import Flow, FlowId
 from repro.topology.base import LinkId
@@ -28,6 +28,15 @@ class RateAllocator(ABC):
     #: Short policy name, e.g. ``"fair"``; used by registries and reports.
     name: str = "abstract"
 
+    #: Whether the allocation decomposes exactly over connected components
+    #: of the flow-link sharing graph: the rates of a component depend only
+    #: on that component's flows and links.  True for every policy that
+    #: couples flows exclusively through shared-link capacities (fair,
+    #: fcfs, las, srpt); False for coflow policies, where MADD spreads one
+    #: coflow's progress across flows on *disjoint* links.  The fabric only
+    #: scopes recomputes to the dirty component when this is True.
+    incremental_safe: bool = False
+
     @abstractmethod
     def allocate(
         self,
@@ -37,7 +46,9 @@ class RateAllocator(ABC):
         """Return a rate (bits/sec) for every flow in ``flows``.
 
         Flows with an empty path (host-local transfers) should not be passed
-        in; the fabric completes them immediately.
+        in; the fabric completes them immediately.  Must be side-effect free
+        with respect to the flows and any allocator state: the fabric's
+        ``shadow_verify`` mode replays allocations out of band.
         """
 
     def next_change_hint(
@@ -48,10 +59,131 @@ class RateAllocator(ABC):
         """Seconds until the allocation would change *absent any arrival or
         completion*, or ``None`` if it would not.
 
-        Most policies' priority order is stable between events; LAS
-        overrides this to report attained-service crossings.
+        Most policies' priority order is stable between events; LAS and
+        SRPT override this to report attained-service / remaining-size
+        crossings.
         """
         return None
+
+    def note_arrival(self, flow: Flow) -> None:
+        """Fabric hook: ``flow`` entered the network.
+
+        Stateful allocators (persistent per-link member lists, sorted
+        arrival indexes) maintain their caches here instead of rebuilding
+        from scratch each :meth:`allocate` call.  Default: no-op.
+        """
+
+    def note_removal(self, flow: Flow) -> None:
+        """Fabric hook: ``flow`` left the network (completed or cancelled).
+
+        Default: no-op; see :meth:`note_arrival`.
+        """
+
+
+class LinkMembershipMixin:
+    """Reusable per-link member lists, maintained via the fabric hooks.
+
+    Policies whose change-point detection walks flows link by link (LAS,
+    SRPT) inherit this instead of rebuilding a ``link -> flows`` map on
+    every hint call.  The lists stay *nearly* sorted between recomputes,
+    so the in-place re-sort in :func:`earliest_adjacent_crossing` is close
+    to linear.  When the allocator is used standalone (no fabric hooks),
+    the tracker is simply empty and callers fall back to an ephemeral map.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._link_members: Dict[LinkId, List[Flow]] = {}
+        self._tracked_flows = 0
+
+    def note_arrival(self, flow: Flow) -> None:
+        for link_id in flow.path:
+            self._link_members.setdefault(link_id, []).append(flow)
+        self._tracked_flows += 1
+
+    def note_removal(self, flow: Flow) -> None:
+        for link_id in flow.path:
+            members = self._link_members.get(link_id)
+            if members is not None:
+                try:
+                    members.remove(flow)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._tracked_flows = max(0, self._tracked_flows - 1)
+
+    def _members_on(self, link_id: LinkId) -> Optional[List[Flow]]:
+        """The tracked (persistent) member list for one link, if tracking."""
+        if self._tracked_flows == 0:
+            return None
+        return self._link_members.get(link_id)
+
+
+def earliest_adjacent_crossing(
+    flows: Sequence[Flow],
+    rates: Mapping[FlowId, float],
+    *,
+    key: Callable[[Flow], float],
+    velocity: Callable[[float], float],
+    tolerance: float,
+    members_on: Optional[Callable[[LinkId], Optional[List[Flow]]]] = None,
+) -> Optional[float]:
+    """Earliest time two flows sharing a link swap priority-key order.
+
+    For linear trajectories the first crossing is always between flows
+    adjacent in key order on some shared link, so per link we sort by
+    ``key`` and check adjacent pairs.  ``velocity(rate)`` maps a flow's
+    rate to its key's time derivative (``+rate`` for attained service,
+    ``-rate`` for remaining size); a pair converges when the lower-keyed
+    flow's key grows toward the upper's.  Pairs within ``tolerance`` are
+    already one priority group and are skipped.
+
+    ``members_on`` supplies persistent per-link member lists (see
+    :class:`LinkMembershipMixin`); they are sorted in place, which keeps
+    repeat calls nearly linear.  Without it an ephemeral map is built from
+    ``flows``.
+    """
+    link_ids: List[LinkId] = []
+    seen: set = set()
+    for flow in flows:
+        for link_id in flow.path:
+            if link_id not in seen:
+                seen.add(link_id)
+                link_ids.append(link_id)
+
+    lists: Dict[LinkId, List[Flow]] = {}
+    missing: set = set()
+    for link_id in link_ids:
+        members = members_on(link_id) if members_on is not None else None
+        if members is None:
+            missing.add(link_id)
+            lists[link_id] = []
+        else:
+            lists[link_id] = members
+    if missing:
+        for flow in flows:
+            for link_id in flow.path:
+                if link_id in missing:
+                    lists[link_id].append(flow)
+
+    best: Optional[float] = None
+    for link_id in link_ids:
+        members = lists[link_id]
+        if len(members) < 2:
+            continue
+        members.sort(key=lambda f: (key(f), f.flow_id))
+        for lower, upper in zip(members, members[1:]):
+            gap = key(upper) - key(lower)
+            if gap <= tolerance:
+                continue  # already one priority group
+            closing = velocity(rates.get(lower.flow_id, 0.0)) - velocity(
+                rates.get(upper.flow_id, 0.0)
+            )
+            if closing <= RATE_EPSILON:
+                continue  # not converging
+            dt = gap / closing
+            if best is None or dt < best:
+                best = dt
+    return best
 
 
 def water_fill(

@@ -18,13 +18,18 @@ class FairAllocator(RateAllocator):
     """Max-min fair sharing across all flows (DCTCP / Fair)."""
 
     name = "fair"
+    incremental_safe = True
 
     def allocate(
         self,
         flows: Sequence[Flow],
         capacities: Mapping[LinkId, float],
     ) -> Dict[FlowId, float]:
+        # Canonical flow-id order makes the allocation invariant to the
+        # caller's input permutation: water-fill's epsilon tie-break on
+        # near-equal bottleneck shares is otherwise input-order sensitive.
+        ordered = sorted(flows, key=lambda f: f.flow_id)
         residual: Dict[LinkId, float] = dict(capacities)
         rates: Dict[FlowId, float] = {}
-        water_fill(flows, residual, rates)
+        water_fill(ordered, residual, rates)
         return rates

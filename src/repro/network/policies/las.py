@@ -6,19 +6,20 @@ a newly arrived flow runs alone until its attained service catches up with
 the next-lowest attained flow, after which they progress together.
 
 Because the priority key (attained bits) evolves *between* events, LAS is
-the one policy whose allocation can change with no arrival or completion.
+a policy whose allocation can change with no arrival or completion.
 :meth:`LASAllocator.next_change_hint` computes the earliest attained-service
 crossing so the fabric can re-allocate exactly then.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.network.flow import Flow, FlowId
 from repro.network.policies.base import (
-    RATE_EPSILON,
+    LinkMembershipMixin,
     RateAllocator,
+    earliest_adjacent_crossing,
     greedy_priority_fill,
     group_by_key,
 )
@@ -28,10 +29,11 @@ from repro.topology.base import LinkId
 ATTAINED_TIE_TOLERANCE = 1.0
 
 
-class LASAllocator(RateAllocator):
+class LASAllocator(LinkMembershipMixin, RateAllocator):
     """Strict least-attained-service priority (LAS / L2DCT)."""
 
     name = "las"
+    incremental_safe = True
 
     def allocate(
         self,
@@ -49,30 +51,15 @@ class LASAllocator(RateAllocator):
     ) -> Optional[float]:
         """Earliest time a lower-attained flow catches a higher-attained one.
 
-        For linear trajectories the first crossing is always between flows
-        that are adjacent in attained order on some shared link, so per link
-        we sort by attained and check adjacent pairs.
+        Attained service grows at the flow's rate, so a pair converges when
+        the lower-attained flow is transmitting faster.  Uses the tracked
+        per-link member lists when attached to a fabric.
         """
-        by_link: Dict[LinkId, List[Flow]] = {}
-        for flow in flows:
-            for link_id in flow.path:
-                by_link.setdefault(link_id, []).append(flow)
-
-        best: Optional[float] = None
-        for members in by_link.values():
-            if len(members) < 2:
-                continue
-            members.sort(key=lambda f: (f.attained, f.flow_id))
-            for lower, upper in zip(members, members[1:]):
-                gap = upper.attained - lower.attained
-                if gap <= ATTAINED_TIE_TOLERANCE:
-                    continue  # already one group
-                closing = rates.get(lower.flow_id, 0.0) - rates.get(
-                    upper.flow_id, 0.0
-                )
-                if closing <= RATE_EPSILON:
-                    continue  # not converging
-                dt = gap / closing
-                if best is None or dt < best:
-                    best = dt
-        return best
+        return earliest_adjacent_crossing(
+            flows,
+            rates,
+            key=lambda f: f.attained,
+            velocity=lambda rate: rate,
+            tolerance=ATTAINED_TIE_TOLERANCE,
+            members_on=self._members_on,
+        )

@@ -3,24 +3,37 @@
 Flows with smaller remaining size strictly preempt larger ones; equal
 remaining sizes are tie-broken by arrival time (the paper's FCFS tie rule)
 and, if they also arrived together, share fairly.
+
+Like LAS, the priority key (remaining bits) evolves between events: a
+large flow transmitting at full rate can drop below a stalled smaller
+flow's remaining size.  :meth:`SRPTAllocator.next_change_hint` reports the
+earliest such remaining-size crossing so the fabric re-allocates exactly
+then instead of letting the stale order persist until the next arrival or
+completion.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.network.flow import Flow, FlowId
-from repro.network.policies.base import RateAllocator, greedy_priority_fill
+from repro.network.policies.base import (
+    LinkMembershipMixin,
+    RateAllocator,
+    earliest_adjacent_crossing,
+    greedy_priority_fill,
+)
 from repro.topology.base import LinkId
 
 #: Two remaining sizes within this many bits count as a tie.
 SIZE_TIE_TOLERANCE = 1.0
 
 
-class SRPTAllocator(RateAllocator):
+class SRPTAllocator(LinkMembershipMixin, RateAllocator):
     """Strict smallest-remaining-first priority (SRPT / PASE)."""
 
     name = "srpt"
+    incremental_safe = True
 
     def allocate(
         self,
@@ -44,3 +57,25 @@ class SRPTAllocator(RateAllocator):
                     continue
             groups.append([flow])
         return greedy_priority_fill(groups, capacities)
+
+    def next_change_hint(
+        self,
+        flows: Sequence[Flow],
+        rates: Mapping[FlowId, float],
+    ) -> Optional[float]:
+        """Earliest time a larger-remaining flow undercuts a smaller one.
+
+        Remaining size shrinks at the flow's rate, so a pair converges
+        when the larger-remaining flow is transmitting faster.  Crossings
+        within the tie tolerance are not tracked (sub-bit fidelity).  No
+        event storm is possible: once an order swap is applied, the
+        faster flow holds the higher priority, so the pair diverges.
+        """
+        return earliest_adjacent_crossing(
+            flows,
+            rates,
+            key=lambda f: f.remaining,
+            velocity=lambda rate: -rate,
+            tolerance=SIZE_TIE_TOLERANCE,
+            members_on=self._members_on,
+        )

@@ -51,14 +51,29 @@ class Event:
         self.cancelled = True
 
 
+#: Compact the heap (drop cancelled garbage) only once it holds at least
+#: this many entries; below that the lazy-skip in :meth:`EventQueue.pop`
+#: is cheaper than rebuilding.
+COMPACTION_MIN_SIZE = 64
+
+
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of :class:`Event` objects.
+
+    Cancelled events are skipped lazily on pop; when they outnumber the
+    live events (per-flow completion events are rescheduled on every rate
+    change, so cancellations are the common case) the heap is compacted in
+    one linear pass.  Compaction cannot change pop order: events are
+    totally ordered by ``(time, priority, seq)``, so any valid heap over
+    the same live set yields the same sequence.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
         self._high_water = 0
+        self._compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -115,5 +130,19 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def note_cancelled(self) -> None:
-        """Account for an externally cancelled event (keeps ``len`` honest)."""
+        """Account for an externally cancelled event (keeps ``len`` honest).
+
+        Triggers a compaction when cancelled garbage outnumbers the live
+        events in a sufficiently large heap.
+        """
         self._live = max(0, self._live - 1)
+        garbage = len(self._heap) - self._live
+        if garbage > self._live and len(self._heap) >= COMPACTION_MIN_SIZE:
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._compactions += 1
+
+    @property
+    def compactions(self) -> int:
+        """Number of garbage-collection passes performed on the heap."""
+        return self._compactions

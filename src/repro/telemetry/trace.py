@@ -17,7 +17,8 @@ Event vocabulary produced by the stack:
 ``run_start``/``run_end``  one replay's boundaries (placement, network policy)
 ``flow_arrival``           fabric ingress: id, src/dst, size, tag
 ``flow_completion``        fabric egress: fct, optimal fct, gap
-``rate_recompute``         allocator invocation: active flow count
+``rate_recompute``         allocator invocation: active flow count plus the
+                           dirty sharing-component size (flows and links)
 ``coflow_arrival``         sealed coflow: width, total bits
 ``coflow_completion``      cct, optimal cct
 ``bus_message``            control-plane round trip: host, type, rtt

@@ -1,0 +1,233 @@
+"""Property-based tests for the four flow-level RateAllocators.
+
+Hypothesis generates random flow/link scenarios and checks the invariants
+every allocator must uphold regardless of input:
+
+* **feasibility** — no link's allocated rates exceed its capacity;
+* **work conservation** — every flow is bottlenecked somewhere: at least
+  one link on its path is (float-)saturated, so no rate can be raised
+  without breaking feasibility;
+* **max-min (Fair)** — each flow has a saturated link on which its rate
+  is maximal, the water-level characterisation of max-min fairness;
+* **priority dominance (FCFS/LAS/SRPT)** — with a single contended link
+  and well-separated priority keys, the top-priority flow takes the full
+  capacity and everyone else gets zero;
+* **permutation invariance** — the allocation is a function of the flow
+  *set*, not the order the caller lists it in (bit-for-bit, which the
+  incremental fabric's splicing relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.flow import Flow
+from repro.network.policies.registry import make_allocator
+
+ALLOCATOR_NAMES = ("fair", "fcfs", "las", "srpt")
+
+#: Feasibility slack: absolute bits/sec of float dust tolerated per link.
+CAPACITY_SLACK = 1e-3
+
+SETTINGS = dict(max_examples=60, deadline=None, derandomize=True)
+
+LINK_POOL = ("l0", "l1", "l2", "l3", "l4")
+
+
+@st.composite
+def scenarios(draw) -> Tuple[List[Flow], Dict[str, float]]:
+    """A random set of flows over a random set of capacitated links.
+
+    Sizes/attained are drawn so every flow stays clear of the completion
+    epsilon, and keys (arrival, attained, remaining) vary freely.
+    """
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    links = LINK_POOL[:n_links]
+    capacities = {
+        link: draw(st.floats(min_value=1e6, max_value=1e9)) for link in links
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows: List[Flow] = []
+    for flow_id in range(n_flows):
+        indexes = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=min(3, n_links),
+                unique=True,
+            )
+        )
+        size = draw(st.floats(min_value=1e4, max_value=1e10))
+        flow = Flow(
+            flow_id=flow_id,
+            src="s",
+            dst="d",
+            size=size,
+            path=tuple(links[i] for i in indexes),
+            arrival_time=draw(st.floats(min_value=0.0, max_value=100.0)),
+        )
+        flow.advance(size * draw(st.floats(min_value=0.0, max_value=0.9)))
+        flows.append(flow)
+    return flows, capacities
+
+
+def link_usage(flows, rates) -> Dict[str, float]:
+    used: Dict[str, float] = {}
+    for flow in flows:
+        rate = rates.get(flow.flow_id, 0.0)
+        for link_id in flow.path:
+            used[link_id] = used.get(link_id, 0.0) + rate
+    return used
+
+
+@given(scenarios())
+@settings(**SETTINGS)
+def test_capacity_never_exceeded(scenario):
+    flows, capacities = scenario
+    for name in ALLOCATOR_NAMES:
+        rates = make_allocator(name).allocate(flows, capacities)
+        assert set(rates) == {f.flow_id for f in flows}
+        assert all(rate >= 0.0 for rate in rates.values()), name
+        for link_id, used in link_usage(flows, rates).items():
+            assert used <= capacities[link_id] + CAPACITY_SLACK, (
+                f"{name}: link {link_id} over capacity"
+            )
+
+
+@given(scenarios())
+@settings(**SETTINGS)
+def test_work_conservation(scenario):
+    """No flow's rate can be raised: each has a saturated path link."""
+    flows, capacities = scenario
+    for name in ALLOCATOR_NAMES:
+        rates = make_allocator(name).allocate(flows, capacities)
+        used = link_usage(flows, rates)
+        for flow in flows:
+            saturated = any(
+                used.get(link_id, 0.0)
+                >= capacities[link_id] * (1.0 - 1e-9) - CAPACITY_SLACK
+                for link_id in flow.path
+            )
+            assert saturated, (
+                f"{name}: flow {flow.flow_id} rate={rates[flow.flow_id]} "
+                "has slack on every path link (not work-conserving)"
+            )
+
+
+@given(scenarios())
+@settings(**SETTINGS)
+def test_fair_max_min_water_level(scenario):
+    """Max-min characterisation: every flow has a saturated link where no
+    other flow receives a (meaningfully) higher rate."""
+    flows, capacities = scenario
+    rates = make_allocator("fair").allocate(flows, capacities)
+    used = link_usage(flows, rates)
+    on_link: Dict[str, List[Flow]] = {}
+    for flow in flows:
+        for link_id in flow.path:
+            on_link.setdefault(link_id, []).append(flow)
+    for flow in flows:
+        my_rate = rates[flow.flow_id]
+        ok = False
+        for link_id in flow.path:
+            if used[link_id] < capacities[link_id] * (1.0 - 1e-9) - CAPACITY_SLACK:
+                continue  # not this flow's bottleneck
+            peak = max(rates[f.flow_id] for f in on_link[link_id])
+            if my_rate >= peak - CAPACITY_SLACK:
+                ok = True
+                break
+        assert ok, (
+            f"fair: flow {flow.flow_id} rate={my_rate} is below the water "
+            "level on every saturated link of its path"
+        )
+
+
+@st.composite
+def single_link_contention(draw):
+    """Flows contending on one shared link with well-separated priority
+    keys (gaps far beyond every tie tolerance), so strict priority has an
+    unambiguous winner."""
+    n_flows = draw(st.integers(min_value=2, max_value=6))
+    capacity = draw(st.floats(min_value=1e6, max_value=1e9))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10_000),
+            min_size=n_flows,
+            max_size=n_flows,
+            unique=True,
+        )
+    )
+    arrivals = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=n_flows,
+            max_size=n_flows,
+            unique=True,
+        )
+    )
+    attained_steps = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=n_flows,
+            max_size=n_flows,
+            unique=True,
+        )
+    )
+    flows = []
+    for flow_id in range(n_flows):
+        # Unique integers scaled to 1e6-bit quanta: arrival, attained and
+        # (since sizes are unique too) remaining keys are all pairwise
+        # separated by gaps far beyond the 1-bit tie tolerances.  Sizes
+        # are offset above the attained range so remaining stays positive.
+        size = (sizes[flow_id] + 10_001) * 1e6
+        flow = Flow(
+            flow_id=flow_id,
+            src="s",
+            dst="d",
+            size=size,
+            path=("shared",),
+            arrival_time=float(arrivals[flow_id]),
+        )
+        flow.advance(attained_steps[flow_id] * 1e6)
+        flows.append(flow)
+    return flows, {"shared": capacity}
+
+
+def _priority_key(name: str, flow: Flow):
+    if name == "fcfs":
+        return (flow.arrival_time, flow.flow_id)
+    if name == "las":
+        return (flow.attained, flow.flow_id)
+    return (flow.remaining, flow.arrival_time, flow.flow_id)
+
+
+@given(single_link_contention(), st.sampled_from(("fcfs", "las", "srpt")))
+@settings(**SETTINGS)
+def test_priority_dominance_on_shared_link(scenario, name):
+    flows, capacities = scenario
+    rates = make_allocator(name).allocate(flows, capacities)
+    winner = min(flows, key=lambda f: _priority_key(name, f))
+    for flow in flows:
+        if flow.flow_id == winner.flow_id:
+            assert rates[flow.flow_id] >= capacities["shared"] - CAPACITY_SLACK
+        else:
+            assert rates[flow.flow_id] <= CAPACITY_SLACK, (
+                f"{name}: flow {flow.flow_id} leaks rate past the "
+                f"higher-priority flow {winner.flow_id}"
+            )
+
+
+@given(scenarios(), st.randoms(use_true_random=False))
+@settings(**SETTINGS)
+def test_permutation_invariance(scenario, rng):
+    """Bit-for-bit identical allocation under any input ordering."""
+    flows, capacities = scenario
+    shuffled = list(flows)
+    rng.shuffle(shuffled)
+    for name in ALLOCATOR_NAMES:
+        allocator = make_allocator(name)
+        baseline = allocator.allocate(flows, capacities)
+        permuted = allocator.allocate(shuffled, capacities)
+        assert baseline == permuted, f"{name}: allocation depends on input order"

@@ -1,0 +1,86 @@
+"""Golden regression test pinning the paper's Figure 1 anchor numbers.
+
+Figure 1 is the motivating example the whole reproduction hangs off: task
+R placed at node1 vs node3 under FCFS/Fair/SRPT, with analytic completion
+times (25, 15, 5 and 9 seconds) and total-completion-time increases (25,
+25, 15 vs 9, 13, 9 seconds).  This test pins each cell to the analytic
+value as literals — independently of ``EXPECTED_FIGURE1`` — so an
+allocator refactor that silently shifts the numbers cannot also shift the
+oracle it is checked against.
+
+Tolerance note: the harness injects R at t=1e-9 (strictly after the three
+existing flows start, as in the paper's narrative), so every measured
+value sits within ~1e-9 s of the analytic one.  ``abs=1e-6`` pins them to
+six decimal places while tolerating that arrival offset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivating import (
+    EXPECTED_FIGURE1,
+    figure1_table,
+)
+
+#: The analytic Figure 1 values, restated as literals: (policy, placement)
+#: -> (R's completion time, increase in total completion time), seconds.
+GOLDEN = {
+    ("fcfs", "node1"): (25.0, 25.0),
+    ("fcfs", "node3"): (9.0, 9.0),
+    ("fair", "node1"): (15.0, 25.0),
+    ("fair", "node3"): (9.0, 13.0),
+    ("srpt", "node1"): (5.0, 15.0),
+    ("srpt", "node3"): (9.0, 9.0),
+}
+
+TOL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def table():
+    return {
+        (row.network_policy, row.placement): (
+            row.completion_time,
+            row.total_increase,
+        )
+        for row in figure1_table()
+    }
+
+
+@pytest.mark.parametrize("cell", sorted(GOLDEN))
+def test_figure1_cell_matches_analytic_value(table, cell):
+    fct, increase = table[cell]
+    want_fct, want_increase = GOLDEN[cell]
+    assert fct == pytest.approx(want_fct, abs=TOL)
+    assert increase == pytest.approx(want_increase, abs=TOL)
+
+
+def test_figure1_total_increase_ratios(table):
+    """The paper's headline ratios: network-aware placement (node3) cuts
+    the total-completion-time increase by 25/9 under FCFS, 25/13 under
+    Fair, and 15/9 under SRPT."""
+    for policy, want_ratio in (
+        ("fcfs", 25.0 / 9.0),
+        ("fair", 25.0 / 13.0),
+        ("srpt", 15.0 / 9.0),
+    ):
+        _, inc_node1 = table[(policy, "node1")]
+        _, inc_node3 = table[(policy, "node3")]
+        assert inc_node1 / inc_node3 == pytest.approx(want_ratio, abs=1e-6)
+
+
+def test_figure1_node3_is_never_worse(table):
+    """Placement at node3 dominates node1 for every policy, in both R's
+    own completion time and the induced total increase."""
+    for policy in ("fcfs", "fair", "srpt"):
+        fct1, inc1 = table[(policy, "node1")]
+        fct3, inc3 = table[(policy, "node3")]
+        assert inc3 <= inc1 + TOL
+        assert fct3 <= max(fct1, 9.0) + TOL
+
+
+def test_expected_figure1_constant_unchanged():
+    """The library's published constant must stay in lockstep with the
+    analytic goldens (it feeds render_figure1 and the README table)."""
+    assert EXPECTED_FIGURE1 == GOLDEN

@@ -1,0 +1,287 @@
+"""Differential harness for incremental (scoped) rate allocation.
+
+The incremental engine's correctness rests on the decomposition claim:
+every ``incremental_safe`` allocator couples flows only through shared
+link capacities, so re-allocating the dirty sharing component and
+splicing its rates into the cached global map is exactly the global
+allocation.  These tests check that claim end-to-end:
+
+* the scoped fabric and the full-recompute reference produce
+  **byte-identical** FCT/CCT logs and JSONL traces over a
+  seed x policy x workload matrix;
+* ``shadow_verify`` (the full allocator replayed at every scoped
+  recompute) stays silent over long runs, including a ``slow``-marked
+  soak on the 160-host Clos;
+* coflow allocators, whose MADD coupling violates the decomposition,
+  are refused by ``incremental=True`` and default to full recomputes.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.policies.registry import make_coflow_allocator
+from repro.errors import FlowError
+from repro.experiments.runner import replay_flow_trace
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.sim.engine import Engine
+from repro.telemetry import JsonlTraceSink, MetricsRegistry, Telemetry
+from repro.topology.fabrics import single_switch, three_tier_clos
+from repro.workloads import generate_flow_trace, make_distribution
+
+POLICIES = ("fair", "fcfs", "las", "srpt")
+WORKLOADS = ("websearch", "hadoop")
+SEEDS = (11, 23)
+
+
+def small_clos():
+    return three_tier_clos(pods=2, racks_per_pod=2, hosts_per_rack=5)
+
+
+def run_replay(topo, *, policy, workload, seed, incremental, placement="minload"):
+    """One replay; returns (records, trace_bytes, recompute_counters)."""
+    trace = generate_flow_trace(
+        hosts=topo.hosts,
+        distribution=make_distribution(workload),
+        load=0.6,
+        edge_capacity=1e9,
+        num_arrivals=80,
+        seed=seed,
+    )
+    buf = io.StringIO()
+    telemetry = Telemetry(registry=MetricsRegistry(), trace=JsonlTraceSink(buf))
+    run = replay_flow_trace(
+        trace,
+        topo,
+        network_policy=policy,
+        placement=placement,
+        incremental=incremental,
+        telemetry=telemetry,
+    )
+    telemetry.close()
+    counters = telemetry.registry.as_dict()["counters"]
+    recompute = {
+        "full": counters.get("fabric.recompute.full", 0.0),
+        "scoped": counters.get("fabric.recompute.scoped", 0.0),
+    }
+    return run.records, buf.getvalue(), recompute
+
+
+# ----------------------------------------------------------------------
+# The differential matrix: byte-identical logs and traces
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "policy,workload,seed",
+    list(itertools.product(POLICIES, WORKLOADS, SEEDS)),
+)
+def test_incremental_matches_full_recompute(policy, workload, seed):
+    topo = small_clos()
+    scoped_records, scoped_trace, scoped_ctr = run_replay(
+        topo, policy=policy, workload=workload, seed=seed, incremental=True
+    )
+    full_records, full_trace, full_ctr = run_replay(
+        topo, policy=policy, workload=workload, seed=seed, incremental=False
+    )
+    # Same completions, same times, same order — byte for byte.
+    assert scoped_records == full_records
+    # The JSONL traces (arrivals, completions, rate_recompute payloads,
+    # placement decisions) must also be identical: the execution mode is
+    # run metadata, never trace content.
+    assert scoped_trace == full_trace
+    # The split counters prove each mode took its intended path.
+    assert scoped_ctr["scoped"] > 0 and scoped_ctr["full"] == 0
+    assert full_ctr["full"] > 0 and full_ctr["scoped"] == 0
+    assert scoped_ctr["scoped"] == full_ctr["full"]
+
+
+def test_incremental_matches_full_with_coflow_attached_flows():
+    """CCTs under a flow-level policy: coflow membership is measurement
+    only (CCT = last member completion), so scoping must preserve it."""
+
+    def run(incremental):
+        engine = Engine()
+        fabric = NetworkFabric(
+            engine,
+            single_switch(8),
+            make_allocator("srpt"),
+            incremental=incremental,
+        )
+        hosts = list(fabric.topology.hosts)
+        coflows = []
+        for c_idx in range(4):
+            coflow = Coflow(coflow_id=c_idx, arrival_time=c_idx * 0.4)
+            coflows.append(coflow)
+            for f_idx in range(3):
+                src = hosts[(c_idx + f_idx) % 8]
+                dst = hosts[(c_idx + f_idx + 3) % 8]
+                size = 1e8 * (1 + c_idx) + 2e7 * f_idx
+                engine.schedule_at(
+                    c_idx * 0.4,
+                    lambda s=src, d=dst, z=size, c=coflow: fabric.submit(
+                        s, d, z, coflow=c
+                    ),
+                )
+            engine.schedule_at(c_idx * 0.4, coflows[-1].seal)
+        engine.run()
+        return (
+            fabric.records,
+            [c.completion_time for c in coflows],
+        )
+
+    scoped_records, scoped_ccts = run(True)
+    full_records, full_ccts = run(False)
+    assert scoped_records == full_records
+    assert scoped_ccts == full_ccts
+    assert all(cct is not None for cct in scoped_ccts)
+
+
+def test_cancellation_differential():
+    """Mid-run cancellations dirty the component like completions do."""
+
+    def run(incremental):
+        engine = Engine()
+        fabric = NetworkFabric(
+            engine,
+            single_switch(6),
+            make_allocator("fair"),
+            incremental=incremental,
+        )
+        hosts = list(fabric.topology.hosts)
+        doomed = []
+        for i in range(10):
+            src, dst = hosts[i % 6], hosts[(i + 2) % 6]
+            engine.schedule_at(
+                0.05 * i,
+                lambda s=src, d=dst, z=5e8 + 1e7 * i, keep=(i % 3 != 0): (
+                    doomed.append(fabric.submit(s, d, z))
+                    if not keep
+                    else fabric.submit(s, d, z)
+                ),
+            )
+        engine.schedule_at(
+            0.6,
+            lambda: [
+                fabric.cancel_flow(f)
+                for f in doomed
+                if f.flow_id in {x.flow_id for x in fabric.active_flows()}
+            ],
+        )
+        engine.run()
+        return fabric.records
+
+    assert run(True) == run(False)
+
+
+# ----------------------------------------------------------------------
+# Shadow verification
+# ----------------------------------------------------------------------
+def test_shadow_verify_quick():
+    """Small-Clos shadow run: every scoped recompute is checked against
+    the full allocator in-line and must agree."""
+    topo = small_clos()
+    for policy in POLICIES:
+        trace = generate_flow_trace(
+            hosts=topo.hosts,
+            distribution=make_distribution("websearch"),
+            load=0.7,
+            edge_capacity=1e9,
+            num_arrivals=60,
+            seed=5,
+        )
+        run = replay_flow_trace(
+            trace,
+            topo,
+            network_policy=policy,
+            placement="minload",
+            incremental=True,
+            shadow_verify=True,
+        )
+        assert len(run.records) == len(trace)
+
+
+@pytest.mark.slow
+def test_shadow_verify_soak_clos():
+    """Long shadow-verified run on the paper's 160-host Clos macro cell.
+
+    Locality-aware placement keeps most sharing components rack-local,
+    which is exactly the regime where scoped recomputes diverge first if
+    the dirty-set expansion under-reaches.
+    """
+    topo = three_tier_clos()  # 160 hosts
+    for placement, seed in (("mindist", 1), ("minload", 2)):
+        trace = generate_flow_trace(
+            hosts=topo.hosts,
+            distribution=make_distribution("websearch"),
+            load=0.7,
+            edge_capacity=1e9,
+            num_arrivals=600,
+            seed=seed,
+        )
+        run = replay_flow_trace(
+            trace,
+            topo,
+            network_policy="srpt",
+            placement=placement,
+            incremental=True,
+            shadow_verify=True,
+        )
+        assert len(run.records) == len(trace)
+
+
+# ----------------------------------------------------------------------
+# Coflow allocators: excluded from scoping
+# ----------------------------------------------------------------------
+def test_coflow_allocator_refuses_incremental():
+    engine = Engine()
+    with pytest.raises(FlowError):
+        NetworkFabric(
+            engine,
+            single_switch(4),
+            make_coflow_allocator("scf"),
+            incremental=True,
+        )
+
+
+def test_coflow_allocator_defaults_to_full_recompute():
+    engine = Engine()
+    fabric = NetworkFabric(engine, single_switch(4), make_coflow_allocator("scf"))
+    assert fabric.incremental is False
+    flow_fabric = NetworkFabric(engine, single_switch(4), make_allocator("fair"))
+    assert flow_fabric.incremental is True
+
+
+# ----------------------------------------------------------------------
+# Trace payload of rate_recompute
+# ----------------------------------------------------------------------
+def test_rate_recompute_trace_reports_component_size():
+    import json
+
+    buf = io.StringIO()
+    telemetry = Telemetry(trace=JsonlTraceSink(buf))
+    engine = Engine(telemetry=telemetry)
+    fabric = NetworkFabric(
+        engine, single_switch(4), make_allocator("fair"), telemetry=telemetry
+    )
+    hosts = list(fabric.topology.hosts)
+    fabric.submit(hosts[0], hosts[1], 1e9)
+    fabric.submit(hosts[2], hosts[3], 1e9)  # disjoint component
+    engine.run()
+    telemetry.close()
+    events = [json.loads(line) for line in buf.getvalue().splitlines()]
+    recomputes = [e for e in events if e["event"] == "rate_recompute"]
+    assert recomputes, "no rate_recompute events traced"
+    for event in recomputes:
+        assert {"active_flows", "component_flows", "component_links"} <= set(
+            event
+        )
+        assert event["component_flows"] <= event["active_flows"]
+    # The second arrival touches a disjoint pair of edge links, so its
+    # recompute must be scoped below the full active set.
+    assert any(
+        e["component_flows"] < e["active_flows"] for e in recomputes
+    )
