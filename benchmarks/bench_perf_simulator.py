@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from common import environment_fingerprint
 from repro.network.fabric import NetworkFabric
 from repro.network.flow import Flow
 from repro.network.policies.registry import make_allocator
@@ -98,11 +99,21 @@ ARTIFACT = Path(__file__).resolve().parent / "BENCH_perf_simulator.json"
 
 
 def test_perf_fabric_event_throughput(benchmark):
-    """Events per second for a loaded 32-host fabric under Fair."""
+    """Events per second for a loaded 32-host fabric under Fair.
 
-    def run_sim():
-        engine = Engine()
-        fabric = NetworkFabric(engine, single_switch(32), make_allocator("fair"))
+    Also measures the span profiler both ways on the same cell: the
+    disabled path must stay within noise of no-telemetry (the ≤2%
+    contract — instrumentation is one ``is not None`` check per event),
+    and the enabled cost is recorded for the artifact.
+    """
+    from repro.telemetry import SpanProfiler, Telemetry
+
+    def run_sim(telemetry=None):
+        engine = Engine(telemetry=telemetry)
+        fabric = NetworkFabric(
+            engine, single_switch(32), make_allocator("fair"),
+            telemetry=telemetry,
+        )
         rng = random.Random(7)
         hosts = list(fabric.topology.hosts)
         t = 0.0
@@ -129,6 +140,20 @@ def test_perf_fabric_event_throughput(benchmark):
     start = time.perf_counter()
     run_sim()
     wall = time.perf_counter() - start
+
+    def best_of(fn, rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    wall_disabled = best_of(lambda: run_sim(Telemetry()))
+    wall_profiled = best_of(
+        lambda: run_sim(Telemetry(profiler=SpanProfiler()))
+    )
+    wall_bare = best_of(run_sim)
     _update_artifact(
         "perf_fabric_event_throughput",
         {
@@ -138,6 +163,17 @@ def test_perf_fabric_event_throughput(benchmark):
             "events_processed": events,
             "wall_seconds": wall,
             "events_per_second": events / wall if wall > 0 else None,
+            "profiler": {
+                "no_telemetry_wall_seconds": wall_bare,
+                "disabled_wall_seconds": wall_disabled,
+                "enabled_wall_seconds": wall_profiled,
+                "disabled_overhead_ratio": (
+                    wall_disabled / wall_bare if wall_bare > 0 else None
+                ),
+                "enabled_overhead_ratio": (
+                    wall_profiled / wall_bare if wall_bare > 0 else None
+                ),
+            },
         },
     )
 
@@ -151,6 +187,7 @@ def _update_artifact(section: str, payload: dict) -> None:
     if "benchmark" in existing:  # pre-campaign single-section layout
         existing = {existing.pop("benchmark"): existing}
     existing[section] = payload
+    existing["environment"] = environment_fingerprint()
     ARTIFACT.write_text(
         json.dumps(existing, indent=2) + "\n", encoding="utf-8"
     )

@@ -13,10 +13,30 @@ size (40-host Clos, ~1-2k arrivals, seconds per run); export
 from __future__ import annotations
 
 import os
+import platform
 
 from repro.experiments.config import MacroConfig, full_scale_config
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+
+def environment_fingerprint() -> dict:
+    """Where these numbers were measured (python / platform / CPU).
+
+    Written into the BENCH artifact as the ``environment`` section so
+    ``repro bench-compare`` can warn when a baseline and a current
+    artifact come from different machines — cross-machine wall-clock
+    diffs are not regressions.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "full_scale": FULL,
+    }
 
 
 def macro_config(**overrides) -> MacroConfig:

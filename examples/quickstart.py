@@ -4,7 +4,9 @@
 Builds a 160-host folded-Clos fabric running Fair (DCTCP-style) sharing,
 wires up NEAT's distributed control plane, and places a handful of tasks
 whose input data lives on busy or idle hosts.  Shows the predicted vs
-achieved completion times and what the baselines would have done.
+achieved completion times and what the baselines would have done — plus
+where the wall-clock went, via the telemetry bundle's span profiler
+(``create_telemetry`` is a context manager; it closes its own sinks).
 
 Run:  python examples/quickstart.py
 """
@@ -21,15 +23,25 @@ from repro.placement import (
     build_neat,
 )
 from repro.sim import Engine
+from repro.telemetry import create_telemetry, render_profile
 from repro.topology import three_tier_clos
 from repro.units import format_bits, format_time, megabytes
 
 
 def main() -> None:
-    engine = Engine()
+    with create_telemetry(profile=True) as tele:
+        run_demo(tele)
+    print("\nWhere the wall-clock went (span profile):")
+    print(render_profile(tele.profiler.as_dict()))
+
+
+def run_demo(tele) -> None:
+    engine = Engine(telemetry=tele)
     topology = three_tier_clos()  # 160 hosts, 1 Gbps edge / 10 Gbps fabric
-    fabric = NetworkFabric(engine, topology, make_allocator("fair"))
-    neat = build_neat(fabric, rng=random.Random(0))
+    fabric = NetworkFabric(
+        engine, topology, make_allocator("fair"), telemetry=tele
+    )
+    neat = build_neat(fabric, rng=random.Random(0), telemetry=tele)
     minload = MinLoadPolicy(fabric, random.Random(0))
 
     # Background load: a few long transfers keep some downlinks busy.

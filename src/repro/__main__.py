@@ -9,15 +9,21 @@ Examples::
     python -m repro fig7 --network scf --arrivals 200
     python -m repro fig11
     python -m repro fig5 --trace /tmp/t.jsonl --metrics-out /tmp/m.json
+    python -m repro fig5 --profile --metrics-out /tmp/m.json
     python -m repro fig7 --timeline /tmp/timeline.json
     python -m repro all --jobs 4
     python -m repro run --seeds 1,2,3 --networks fair,las --loads 0.5,0.7 --jobs 4
+    python -m repro run --jobs 4 --status /tmp/campaign/   # live health file
+    python -m repro status /tmp/campaign/                  # render + stall check
+    python -m repro report /tmp/m.json --prometheus
+    python -m repro bench-compare baseline.json current.json --max-regress 20%
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
 
@@ -46,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce figures from the NEAT paper (CoNEXT 2016).",
+        epilog="additional subcommands (each has its own --help): "
+               "'status DIR' renders a campaign health file with stall "
+               "detection; 'report METRICS.json [--prometheus]' renders a "
+               "saved metrics snapshot; 'bench-compare BASE.json CUR.json' "
+               "gates on perf regressions between BENCH artifacts.",
     )
     parser.add_argument(
         "figure",
@@ -90,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: %(default)s)",
     )
     obs.add_argument(
+        "--profile", action="store_true",
+        help="attach the hierarchical span profiler and print the flame "
+             "view in the report (never perturbs simulation results)",
+    )
+    obs.add_argument(
         "--wall-clock", action="store_true",
         help="stamp trace records with wall time (breaks byte-identical "
              "trace determinism)",
@@ -122,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cell-retries", type=int, default=1, metavar="N",
         help="extra attempts for a crashed/timed-out cell before it is "
              "quarantined (default: %(default)s)",
+    )
+    camp.add_argument(
+        "--status", metavar="PATH", default=None, dest="status_path",
+        help="append live per-cell health records (JSONL) here — a file, "
+             "or a directory that gets status.jsonl; watch with "
+             "'python -m repro status PATH'",
     )
     sweep = parser.add_argument_group(
         "campaign sweep ('run' only)",
@@ -161,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
 def telemetry_from_args(args: argparse.Namespace):
     """Build a :class:`~repro.telemetry.Telemetry` when any observability
     flag was given; return None otherwise (zero overhead)."""
-    if not (args.trace or args.metrics_out or args.timeline):
+    if not (args.trace or args.metrics_out or args.timeline or args.profile):
         return None
     from repro.telemetry import create_telemetry
 
@@ -170,6 +192,7 @@ def telemetry_from_args(args: argparse.Namespace):
         timeline_interval=(
             args.timeline_interval if args.timeline else None
         ),
+        profile=args.profile,
         wall_clock=args.wall_clock,
     )
 
@@ -184,10 +207,10 @@ def emit_telemetry_outputs(tele, args: argparse.Namespace) -> None:
     if args.trace:
         print(f"trace written to {args.trace}")
     if args.metrics_out:
-        tele.registry.write_json(
-            args.metrics_out,
-            extra={"placement_decisions": tele.decisions.error_summary()},
-        )
+        extra = {"placement_decisions": tele.decisions.error_summary()}
+        if tele.profiler.enabled:
+            extra["profile"] = tele.profiler.as_dict()
+        tele.registry.write_json(args.metrics_out, extra=extra)
         print(f"metrics written to {args.metrics_out}")
     if args.timeline:
         payload = {
@@ -247,6 +270,15 @@ def cache_from_args(args: argparse.Namespace):
     return ResultCache(args.cache_dir)
 
 
+def status_from_args(args: argparse.Namespace):
+    """Resolved ``--status`` path (directories get status.jsonl)."""
+    if args.status_path is None:
+        return None
+    from repro.campaign import resolve_status_path
+
+    return resolve_status_path(args.status_path)
+
+
 def _csv(text, convert=str):
     return [convert(part) for part in text.split(",") if part.strip()]
 
@@ -271,6 +303,7 @@ def run_all_summary(args: argparse.Namespace) -> int:
         timeout=args.cell_timeout,
         retries=args.cell_retries,
         progress=_progress,
+        status_path=status_from_args(args),
     )
     for outcome in report.outcomes:
         if outcome.payload is not None:
@@ -311,9 +344,130 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
         timeout=args.cell_timeout,
         retries=args.cell_retries,
         progress=_progress,
+        status_path=status_from_args(args),
     )
     print(render_campaign_report(report))
     return 1 if report.quarantined else 0
+
+
+def run_status_cli(argv) -> int:
+    """``repro status``: render a campaign's live health file.
+
+    Exit code 1 flags stalled cells (non-terminal and silent beyond the
+    threshold) so the command can gate watchdog scripts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro status",
+        description="Render a campaign status file with stall detection.",
+    )
+    parser.add_argument(
+        "target",
+        help="status file, or a directory containing status.jsonl "
+             "(what 'repro run --status DIR' writes)",
+    )
+    from repro.campaign import DEFAULT_STALL_THRESHOLD
+
+    parser.add_argument(
+        "--stall-threshold", type=float, metavar="SECONDS",
+        default=DEFAULT_STALL_THRESHOLD,
+        help="flag a non-terminal cell silent for longer than this "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    from repro.campaign import (
+        read_status,
+        render_status,
+        resolve_status_path,
+        summarize_status,
+    )
+
+    path = resolve_status_path(args.target)
+    try:
+        records = read_status(path)
+    except OSError as exc:
+        parser.error(f"cannot read status file: {exc}")
+    summary = summarize_status(
+        records, stall_threshold=args.stall_threshold
+    )
+    print(render_status(summary))
+    return 1 if summary["stalled"] else 0
+
+
+def run_report_cli(argv) -> int:
+    """``repro report``: render a saved --metrics-out JSON snapshot."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Render a saved metrics snapshot (--metrics-out "
+                    "file), human-readable or Prometheus text format.",
+    )
+    parser.add_argument("metrics", help="a --metrics-out JSON file")
+    parser.add_argument(
+        "--prometheus", action="store_true",
+        help="emit Prometheus text exposition format instead of the "
+             "aligned report",
+    )
+    parser.add_argument(
+        "--prefix", default="repro_", metavar="PREFIX",
+        help="metric name prefix for --prometheus (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.metrics, "r", encoding="utf-8") as fp:
+            snapshot = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read metrics file: {exc}")
+    if args.prometheus:
+        from repro.telemetry.prometheus import render_prometheus
+
+        sys.stdout.write(render_prometheus(snapshot, prefix=args.prefix))
+    else:
+        from repro.telemetry.report import render_snapshot
+
+        print(render_snapshot(snapshot))
+    return 0
+
+
+def run_bench_compare_cli(argv) -> int:
+    """``repro bench-compare``: per-cell perf diff of two BENCH artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-compare",
+        description="Diff two BENCH artifacts and fail on perf "
+                    "regressions beyond the threshold.",
+    )
+    parser.add_argument("baseline", help="reference BENCH artifact (JSON)")
+    parser.add_argument("current", help="freshly measured BENCH artifact")
+    from repro.benchgate import parse_max_regress
+
+    parser.add_argument(
+        "--max-regress", type=parse_max_regress, default=0.2,
+        metavar="FRACTION",
+        help="allowed regression, e.g. '20%%' or 0.2 (default: 20%%)",
+    )
+    args = parser.parse_args(argv)
+    from repro.benchgate import (
+        compare_artifacts,
+        load_artifact,
+        render_comparison,
+    )
+
+    try:
+        baseline = load_artifact(args.baseline)
+        current = load_artifact(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot load artifact: {exc}")
+    comparison = compare_artifacts(
+        baseline, current, max_regress=args.max_regress
+    )
+    print(render_comparison(comparison, max_regress=args.max_regress))
+    return 0 if comparison.ok else 1
+
+
+#: Subcommands with their own parsers, dispatched before the figure CLI.
+_SUBCOMMANDS = {
+    "status": run_status_cli,
+    "report": run_report_cli,
+    "bench-compare": run_bench_compare_cli,
+}
 
 
 def run_figure(args: argparse.Namespace, tele=None) -> int:
@@ -401,6 +555,9 @@ def run_figure(args: argparse.Namespace, tele=None) -> int:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -433,4 +590,10 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout piped into e.g. `head`, which closed early; exit quietly
+        # like other well-behaved CLI tools instead of dumping a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

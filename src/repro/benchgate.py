@@ -1,0 +1,246 @@
+"""Perf-regression gate over BENCH artifacts.
+
+The benchmarks write a machine-readable artifact
+(``benchmarks/BENCH_perf_simulator.json``): one JSON object whose
+sections are benchmark cells and whose values include wall-clock
+measurements.  :func:`compare_artifacts` diffs two such artifacts cell
+by cell and flags *regressions* — a lower-is-better metric (wall
+seconds) that grew, or a higher-is-better metric (events/sec, speedup)
+that shrank, by more than the allowed fraction.  ``repro bench-compare
+baseline.json current.json --max-regress 20%`` renders the diff and
+exits nonzero when any metric regressed, which is what CI runs (as a
+soft-fail step: shared runners are noisy, so the gate warns loudly
+instead of blocking merges).
+
+Only recognised perf metrics are compared; config fields (hosts, flows,
+loads) and distribution summaries are ignored.  The ``environment``
+section (python/platform/CPU fingerprint written by
+``benchmarks/common.py``) is never diffed numerically — a fingerprint
+mismatch is reported as a warning because cross-machine wall-clock
+comparisons are not apples to apples.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "MetricDelta",
+    "ArtifactComparison",
+    "compare_artifacts",
+    "render_comparison",
+    "parse_max_regress",
+    "load_artifact",
+]
+
+#: Metric keys where smaller is better (suffix match on the key name).
+_LOWER_BETTER_SUFFIXES = ("wall_seconds",)
+
+#: Metric keys where larger is better (suffix match on the key name).
+_HIGHER_BETTER_SUFFIXES = ("events_per_second", "speedup")
+
+#: Artifact sections that are not benchmark cells.
+_NON_CELL_SECTIONS = frozenset({"environment"})
+
+
+def _direction(key: str) -> Optional[str]:
+    """'lower' / 'higher' when ``key`` is a recognised perf metric."""
+    for suffix in _LOWER_BETTER_SUFFIXES:
+        if key.endswith(suffix):
+            return "lower"
+    for suffix in _HIGHER_BETTER_SUFFIXES:
+        if key.endswith(suffix):
+            return "higher"
+    return None
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric of one artifact section."""
+
+    section: str
+    metric: str
+    direction: str  # "lower" | "higher" (what *better* means)
+    baseline: float
+    current: float
+    #: Signed regression fraction: positive means *worse* (slower /
+    #: less throughput), negative means improved.
+    regression: float
+    regressed: bool
+
+    def describe(self) -> str:
+        if self.regressed:
+            arrow = "WORSE"
+        elif self.regression > 0:
+            arrow = "worse"
+        elif self.regression < 0:
+            arrow = "better"
+        else:
+            arrow = "same"
+        return (
+            f"{self.section}.{self.metric}: "
+            f"{self.baseline:.6g} -> {self.current:.6g} "
+            f"({self.regression * 100:+.1f}% {arrow})"
+        )
+
+
+@dataclass
+class ArtifactComparison:
+    """Full diff of two BENCH artifacts."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Sections present in only one artifact (not an error: benchmarks
+    #: get added over time), and non-numeric/missing metric notes.
+    notes: List[str] = field(default_factory=list)
+    environment_mismatch: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _compare_environment(baseline: Dict, current: Dict) -> List[str]:
+    base_env = baseline.get("environment")
+    cur_env = current.get("environment")
+    if not isinstance(base_env, dict) or not isinstance(cur_env, dict):
+        return []
+    mismatches = []
+    for key in sorted(set(base_env) | set(cur_env)):
+        if base_env.get(key) != cur_env.get(key):
+            mismatches.append(
+                f"{key}: {base_env.get(key)!r} vs {cur_env.get(key)!r}"
+            )
+    return mismatches
+
+
+def compare_artifacts(
+    baseline: Dict, current: Dict, *, max_regress: float = 0.2
+) -> ArtifactComparison:
+    """Diff two BENCH artifacts; flag per-metric regressions.
+
+    Args:
+        baseline: parsed reference artifact (e.g. the committed one).
+        current: parsed freshly-measured artifact.
+        max_regress: allowed regression as a fraction (0.2 == 20%); a
+            recognised metric worse than this is flagged.
+    """
+    result = ArtifactComparison(
+        environment_mismatch=_compare_environment(baseline, current)
+    )
+    base_cells = {
+        k: v for k, v in baseline.items()
+        if k not in _NON_CELL_SECTIONS and isinstance(v, dict)
+    }
+    cur_cells = {
+        k: v for k, v in current.items()
+        if k not in _NON_CELL_SECTIONS and isinstance(v, dict)
+    }
+    for section in sorted(set(base_cells) - set(cur_cells)):
+        result.notes.append(f"section {section!r} only in baseline")
+    for section in sorted(set(cur_cells) - set(base_cells)):
+        result.notes.append(f"section {section!r} only in current")
+    for section in sorted(set(base_cells) & set(cur_cells)):
+        base, cur = base_cells[section], cur_cells[section]
+        for key in sorted(base):
+            direction = _direction(key)
+            if direction is None:
+                continue
+            base_val, cur_val = base.get(key), cur.get(key)
+            if not isinstance(base_val, (int, float)) or not isinstance(
+                cur_val, (int, float)
+            ):
+                result.notes.append(
+                    f"{section}.{key}: not comparable "
+                    f"({base_val!r} vs {cur_val!r})"
+                )
+                continue
+            if base_val <= 0:
+                result.notes.append(
+                    f"{section}.{key}: baseline {base_val!r} not positive"
+                )
+                continue
+            if direction == "lower":
+                regression = (cur_val - base_val) / base_val
+            else:
+                regression = (base_val - cur_val) / base_val
+            result.deltas.append(
+                MetricDelta(
+                    section=section,
+                    metric=key,
+                    direction=direction,
+                    baseline=float(base_val),
+                    current=float(cur_val),
+                    regression=regression,
+                    regressed=regression > max_regress,
+                )
+            )
+    return result
+
+
+def render_comparison(
+    comparison: ArtifactComparison, *, max_regress: float = 0.2
+) -> str:
+    """Human-readable diff report."""
+    lines = [
+        f"bench comparison (max allowed regression: {max_regress * 100:g}%)",
+    ]
+    lines.append("=" * len(lines[0]))
+    if comparison.environment_mismatch:
+        lines.append("")
+        lines.append(
+            "WARNING: environment fingerprints differ — wall-clock "
+            "comparison is cross-machine:"
+        )
+        for item in comparison.environment_mismatch:
+            lines.append(f"  {item}")
+    if comparison.deltas:
+        lines.append("")
+        for delta in comparison.deltas:
+            marker = "!! " if delta.regressed else "   "
+            lines.append(marker + delta.describe())
+    else:
+        lines.append("")
+        lines.append("no comparable perf metrics found")
+    if comparison.notes:
+        lines.append("")
+        for note in comparison.notes:
+            lines.append(f"note: {note}")
+    lines.append("")
+    bad = comparison.regressions
+    if bad:
+        lines.append(
+            f"RESULT: {len(bad)} metric(s) regressed beyond "
+            f"{max_regress * 100:g}%"
+        )
+    else:
+        lines.append("RESULT: no regressions beyond threshold")
+    return "\n".join(lines)
+
+
+def parse_max_regress(text: str) -> float:
+    """Parse ``"20%"`` or ``"0.2"`` into the fraction 0.2."""
+    text = text.strip()
+    if text.endswith("%"):
+        value = float(text[:-1]) / 100.0
+    else:
+        value = float(text)
+    if value < 0:
+        raise ValueError(f"max regression must be >= 0, got {text!r}")
+    return value
+
+
+def load_artifact(path: str) -> Dict:
+    """Read a BENCH artifact, normalising the pre-campaign layout."""
+    with open(path, "r", encoding="utf-8") as fp:
+        payload = json.load(fp)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: BENCH artifact must be a JSON object")
+    if "benchmark" in payload:  # pre-campaign single-section layout
+        payload = {payload.pop("benchmark"): payload}
+    return payload

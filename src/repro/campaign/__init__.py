@@ -50,6 +50,16 @@ from repro.campaign.executor import (
 from repro.campaign.figures import build_all_campaign
 from repro.campaign.hashing import canonical_json, content_hash, spec_key
 from repro.campaign.spec import Campaign, RunSpec, derive_seeds, flow_grid
+from repro.campaign.status import (
+    DEFAULT_STALL_THRESHOLD,
+    STATUS_FILENAME,
+    CellStatus,
+    StatusWriter,
+    read_status,
+    render_status,
+    resolve_status_path,
+    summarize_status,
+)
 
 __all__ = [
     "Campaign",
@@ -69,4 +79,12 @@ __all__ = [
     "grid_aggregates",
     "render_campaign_report",
     "build_all_campaign",
+    "StatusWriter",
+    "CellStatus",
+    "read_status",
+    "summarize_status",
+    "render_status",
+    "resolve_status_path",
+    "STATUS_FILENAME",
+    "DEFAULT_STALL_THRESHOLD",
 ]

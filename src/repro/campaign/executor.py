@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.campaign.cache import CacheStats, ResultCache
 from repro.campaign.hashing import spec_key
 from repro.campaign.spec import Campaign, RunSpec
+from repro.campaign.status import StatusWriter
 from repro.metrics.stats import afct, average_gap
 
 #: Supervisor poll interval (wall seconds) while futures are in flight.
@@ -63,9 +64,13 @@ def _macro_payload(spec: RunSpec) -> Dict[str, object]:
     """Run one flow/coflow placement-comparison cell."""
     from repro.experiments.runner import compare_policies
     from repro.telemetry import MetricsRegistry, Telemetry
+    from repro.telemetry.profiler import current_profiler
 
     registry = MetricsRegistry()
-    telemetry = Telemetry(registry=registry)
+    # The ambient profiler is NULL_PROFILER unless a status-emitting
+    # campaign worker installed a real one; span data never enters the
+    # payload, so caching and byte-identity are unaffected either way.
+    telemetry = Telemetry(registry=registry, profiler=current_profiler())
     cfg = spec.config
     topology = cfg.build_topology()
     trace = cfg.build_trace(topology)
@@ -113,6 +118,72 @@ def execute_cell(spec: RunSpec) -> Dict[str, object]:
     from repro.campaign.figures import execute_figure
 
     return execute_figure(spec)
+
+
+def _payload_events(payload) -> Optional[int]:
+    """Total simulator events behind a payload, when it exposes them."""
+    if not isinstance(payload, dict):
+        return None
+    per_placement = payload.get("per_placement")
+    if isinstance(per_placement, dict):
+        total = 0
+        found = False
+        for entry in per_placement.values():
+            events = entry.get("events_processed") if isinstance(entry, dict) \
+                else None
+            if isinstance(events, (int, float)):
+                total += int(events)
+                found = True
+        return total if found else None
+    events = payload.get("events_processed")
+    return int(events) if isinstance(events, (int, float)) else None
+
+
+class _CellRunner:
+    """Picklable cell wrapper: runs ``cell_fn``, emitting worker-side
+    heartbeats to the status file when one is configured.
+
+    With a status path, each attempt emits a ``running`` record before
+    the cell and a ``finished`` record after it — the latter carrying
+    ``events_processed`` and the spans snapshot of a per-attempt ambient
+    :class:`~repro.telemetry.profiler.SpanProfiler`, which the cell's own
+    Telemetry picks up via :func:`current_profiler`.  Profiler data flows
+    only into the status stream, never the payload, so cached results
+    stay byte-identical with or without status reporting.
+    """
+
+    def __init__(self, cell_fn: Callable, status_path=None) -> None:
+        self._cell_fn = cell_fn
+        self._status_path = status_path
+
+    def __call__(self, index: int, spec: RunSpec, attempts: int):
+        if self._status_path is None:
+            return self._cell_fn(spec)
+        from repro.telemetry.profiler import SpanProfiler, set_current_profiler
+
+        writer = StatusWriter(self._status_path)
+        writer.emit(
+            "cell",
+            cell=index,
+            state="running",
+            attempt=attempts + 1,
+            spec=spec.describe(),
+        )
+        previous = set_current_profiler(SpanProfiler())
+        try:
+            payload = self._cell_fn(spec)
+        finally:
+            profiler = set_current_profiler(previous)
+        writer.emit(
+            "cell",
+            cell=index,
+            state="finished",
+            attempt=attempts + 1,
+            spec=spec.describe(),
+            events_processed=_payload_events(payload),
+            spans=profiler.as_dict() if profiler.paths() else None,
+        )
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -198,7 +269,7 @@ def _kill_pool(pool) -> None:
 
 def _run_serial(
     work: Sequence,
-    cell_fn: Callable,
+    runner: Callable,
     retries: int,
     record: Callable,
 ) -> None:
@@ -207,7 +278,7 @@ def _run_serial(
         while True:
             start = time.perf_counter()
             try:
-                payload = cell_fn(spec)
+                payload = runner(index, spec, attempts)
             except Exception as exc:  # noqa: BLE001 - quarantine, don't sink
                 attempts += 1
                 error = f"error: {exc!r}"
@@ -229,7 +300,7 @@ def _run_serial(
 
 def _run_pool(
     work: Sequence,
-    cell_fn: Callable,
+    runner: Callable,
     jobs: int,
     timeout: Optional[float],
     retries: int,
@@ -261,7 +332,7 @@ def _run_pool(
         while pending or in_flight:
             while pending and len(in_flight) < jobs:
                 index, spec, attempts = pending.popleft()
-                future = pool.submit(cell_fn, spec)
+                future = pool.submit(runner, index, spec, attempts)
                 in_flight[future] = [index, spec, attempts, None]
             done, _ = wait(
                 set(in_flight), timeout=_TICK, return_when=FIRST_COMPLETED
@@ -341,6 +412,7 @@ def run_campaign(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    status_path=None,
 ) -> CampaignReport:
     """Execute every cell of ``campaign`` under supervision.
 
@@ -357,18 +429,27 @@ def run_campaign(
             before it is quarantined.
         progress: optional line sink (e.g. ``print``) for per-cell
             progress as results land.
+        status_path: when set, the supervisor and every worker append
+            live health records (JSONL) here — rendered by
+            ``repro status``.  Wall timestamps stay in this file only;
+            payloads and the cache are untouched.
     """
     started = time.perf_counter()
     total = len(campaign.cells)
     outcomes: Dict[int, CellOutcome] = {}
     done_count = 0
+    status = StatusWriter(status_path) if status_path is not None else None
+    if status is not None:
+        status.emit(
+            "campaign_start", campaign=campaign.name, cells=total, jobs=jobs
+        )
 
-    def record(index, spec, status, payload, attempts, error, wall) -> None:
+    def record(index, spec, state, payload, attempts, error, wall) -> None:
         nonlocal done_count
         outcome = CellOutcome(
             index=index,
             spec=spec,
-            status=status,
+            status=state,
             payload=payload,
             attempts=attempts,
             error=error,
@@ -376,11 +457,25 @@ def run_campaign(
         )
         outcomes[index] = outcome
         done_count += 1
-        if status == "ok" and cache is not None:
+        if state == "ok" and cache is not None:
             cache.store(key_for(index), payload)
+        if status is not None:
+            fields = {
+                "cell": index,
+                "state": state,
+                "attempt": attempts,
+                "spec": spec.describe(),
+                "wall_seconds": wall,
+            }
+            if error is not None:
+                fields["error"] = error
+            events = _payload_events(payload)
+            if events is not None:
+                fields["events_processed"] = events
+            status.emit("cell", **fields)
         if progress is not None:
             tag = {"ok": "done", "cached": "cached", "failed": "FAILED"}[
-                status
+                state
             ]
             suffix = f" ({error})" if error else ""
             progress(
@@ -405,10 +500,11 @@ def run_campaign(
         work.append((index, spec, 0))
 
     if work:
+        runner = _CellRunner(cell_fn, status_path)
         ran_in_pool = False
         if jobs > 1:
             ran_in_pool = _run_pool(
-                work, cell_fn, jobs, timeout, retries, record
+                work, runner, jobs, timeout, retries, record
             )
             if not ran_in_pool and progress is not None:
                 progress(
@@ -416,7 +512,7 @@ def run_campaign(
                     "in-process execution"
                 )
         if not ran_in_pool:
-            _run_serial(work, cell_fn, retries, record)
+            _run_serial(work, runner, retries, record)
 
     report = CampaignReport(
         campaign=campaign,
@@ -425,4 +521,15 @@ def run_campaign(
         cache_stats=cache.stats if cache is not None else CacheStats(),
         wall_seconds=time.perf_counter() - started,
     )
+    if status is not None:
+        counts: Dict[str, int] = {}
+        for outcome in report.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        status.emit(
+            "campaign_end",
+            ok=counts.get("ok", 0),
+            cached=counts.get("cached", 0),
+            failed=counts.get("failed", 0),
+            wall_seconds=report.wall_seconds,
+        )
     return report

@@ -66,6 +66,11 @@ class NetworkDaemon:
             if telemetry is not None and telemetry.registry.enabled
             else None
         )
+        self._prof = (
+            telemetry.profiler
+            if telemetry is not None and telemetry.profiler.enabled
+            else None
+        )
         topo = fabric.topology
         self._uplink: Link = topo.host_uplink(host)
         self._downlink: Link = topo.host_downlink(host)
@@ -131,6 +136,12 @@ class NetworkDaemon:
 
     def predict_flow(self, size: float, direction: str = "in") -> PredictionReply:
         """Predicted FCT of a new flow on this node's edge link."""
+        if self._prof is not None:
+            with self._prof.span("predictor.fct"):
+                return self._timed_predict_flow(size, direction)
+        return self._timed_predict_flow(size, direction)
+
+    def _timed_predict_flow(self, size: float, direction: str) -> PredictionReply:
         if self._timer_predict is not None:
             with self._timer_predict.time():
                 return self._predict_flow(size, direction)
@@ -167,6 +178,16 @@ class NetworkDaemon:
             raise DaemonError(
                 f"daemon at {self._host!r} has no coflow predictor"
             )
+        if self._prof is not None:
+            with self._prof.span("predictor.cct"):
+                return self._timed_predict_coflow(
+                    total_size, size_on_link, direction
+                )
+        return self._timed_predict_coflow(total_size, size_on_link, direction)
+
+    def _timed_predict_coflow(
+        self, total_size: float, size_on_link: float, direction: str
+    ) -> PredictionReply:
         if self._timer_predict is not None:
             with self._timer_predict.time():
                 return self._predict_coflow(total_size, size_on_link, direction)

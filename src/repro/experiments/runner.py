@@ -205,6 +205,7 @@ def replay_flow_trace(
     tele, place_timer, sampler = _begin_run(
         telemetry, fabric, placement=placement, network_policy=network_policy
     )
+    prof = tele.profiler if tele.profiler.enabled else None
     hosts = topology.hosts
     predictions: Dict[str, float] = {}
 
@@ -228,7 +229,14 @@ def replay_flow_trace(
                 candidates=candidates,
                 tag=arrival.tag,
             )
-            if place_timer is not None:
+            if prof is not None:
+                with prof.span("placement.place"):
+                    if place_timer is not None:
+                        with place_timer.time():
+                            host = policy.place(request)
+                    else:
+                        host = policy.place(request)
+            elif place_timer is not None:
                 with place_timer.time():
                     host = policy.place(request)
             else:
@@ -312,6 +320,7 @@ def replay_coflow_trace(
         network_policy=network_policy,
         tracker=tracker,
     )
+    prof = tele.profiler if tele.profiler.enabled else None
     # The paper's minDist coflow adaptation keeps a coflow's flows in one
     # rack near the input data (Fig. 7 description).
     rack_local = (
@@ -339,7 +348,14 @@ def replay_coflow_trace(
                     pool,
                     tag=arrival.tag,
                 )
-            if place_timer is not None:
+            if prof is not None:
+                with prof.span("placement.place"):
+                    if place_timer is not None:
+                        with place_timer.time():
+                            placer()
+                    else:
+                        placer()
+            elif place_timer is not None:
                 with place_timer.time():
                     placer()
             else:

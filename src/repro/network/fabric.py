@@ -112,6 +112,16 @@ class NetworkFabric:
 
             telemetry = NULL_TELEMETRY
         self._trace = telemetry.trace
+        # Span profiler (None when disabled): attributes recompute wall
+        # time to component expansion, the allocator itself, and the
+        # rate-map splice.  Wall-clock only — never simulation state.
+        self._prof = telemetry.profiler if telemetry.profiler.enabled else None
+        self._span_recompute = (
+            "fabric.recompute.scoped"
+            if self._incremental
+            else "fabric.recompute.full"
+        )
+        self._span_alloc = f"alloc.{allocator.name}"
         metrics_on = telemetry.registry.enabled
         reg = telemetry.registry
         self._ctr_submitted = reg.counter("fabric.flows_submitted") if metrics_on else None
@@ -461,6 +471,18 @@ class NetworkFabric:
         two modes perform identical float arithmetic per component, which
         is what makes their outputs byte-comparable.
         """
+        prof = self._prof
+        if prof is None:
+            self._recompute_impl(dirty_links, None)
+            return
+        with prof.span(self._span_recompute):
+            self._recompute_impl(dirty_links, prof)
+
+    def _recompute_impl(
+        self,
+        dirty_links: Optional[Sequence[LinkId]],
+        prof,
+    ) -> None:
         now = self._engine.now
         if dirty_links is None or not self._allocator.incremental_safe:
             comp_flows = [self._active[fid] for fid in sorted(self._active)]
@@ -469,6 +491,9 @@ class NetworkFabric:
                 for link_id, members in self._by_link.items()
                 if members
             }
+        elif prof is not None:
+            with prof.span("fabric.expand_component"):
+                comp_flows, comp_links = self._expand_component(dirty_links)
         else:
             comp_flows, comp_links = self._expand_component(dirty_links)
 
@@ -511,11 +536,11 @@ class NetworkFabric:
         if self._hist_component is not None:
             self._hist_component.observe(component_size)
 
-        if self._timer_alloc is not None:
-            with self._timer_alloc.time():
-                rates = self._allocator.allocate(scope_flows, capacities)
+        if prof is not None:
+            with prof.span(self._span_alloc):
+                rates = self._run_allocator(scope_flows, capacities)
         else:
-            rates = self._allocator.allocate(scope_flows, capacities)
+            rates = self._run_allocator(scope_flows, capacities)
 
         if self._trace.active:
             self._trace.emit(
@@ -529,6 +554,48 @@ class NetworkFabric:
             )
 
         comp_ids = {flow.flow_id for flow in comp_flows}
+        if prof is not None:
+            with prof.span("fabric.splice"):
+                self._splice_rates(scope_flows, comp_ids, rates, now)
+        else:
+            self._splice_rates(scope_flows, comp_ids, rates, now)
+
+        if self._shadow_verify and scoped:
+            self._verify_against_full(now)
+
+        # Re-scope the recomputed flows into true sharing components and
+        # schedule each component's next allocator change point.
+        for members, links in self._split_scopes(comp_flows):
+            scope = _AllocScope(tuple(f.flow_id for f in members), links)
+            hint = self._allocator.next_change_hint(members, self._rates)
+            if hint is not None and 0 < hint < float("inf"):
+                scope.hint_event = self._engine.schedule(
+                    hint,
+                    lambda s=scope: self._on_hint(s),
+                    priority=RECOMPUTE_PRIORITY,
+                    label="fabric-hint",
+                )
+            for flow in members:
+                self._scope_of[flow.flow_id] = scope
+
+    def _run_allocator(
+        self, scope_flows: Sequence[Flow], capacities: Dict[LinkId, float]
+    ):
+        """One allocator invocation under the subsystem wall-time timer."""
+        if self._timer_alloc is not None:
+            with self._timer_alloc.time():
+                return self._allocator.allocate(scope_flows, capacities)
+        return self._allocator.allocate(scope_flows, capacities)
+
+    def _splice_rates(
+        self,
+        scope_flows: Sequence[Flow],
+        comp_ids: Set[FlowId],
+        rates: Dict[FlowId, float],
+        now: float,
+    ) -> None:
+        """Apply a fresh rate map into the cached rates and reschedule
+        the completion events of every flow whose rate changed."""
         progressed = False
         for flow in scope_flows:
             flow_id = flow.flow_id
@@ -556,24 +623,6 @@ class NetworkFabric:
                 "no flow is making progress; allocator "
                 f"{self._allocator.name!r} is not work-conserving"
             )
-
-        if self._shadow_verify and scoped:
-            self._verify_against_full(now)
-
-        # Re-scope the recomputed flows into true sharing components and
-        # schedule each component's next allocator change point.
-        for members, links in self._split_scopes(comp_flows):
-            scope = _AllocScope(tuple(f.flow_id for f in members), links)
-            hint = self._allocator.next_change_hint(members, self._rates)
-            if hint is not None and 0 < hint < float("inf"):
-                scope.hint_event = self._engine.schedule(
-                    hint,
-                    lambda s=scope: self._on_hint(s),
-                    priority=RECOMPUTE_PRIORITY,
-                    label="fabric-hint",
-                )
-            for flow in members:
-                self._scope_of[flow.flow_id] = scope
 
     def _reschedule_completion(self, flow: Flow, rate: float, now: float) -> None:
         flow_id = flow.flow_id

@@ -45,6 +45,14 @@ class Engine:
         self._running = False
         self._telemetry = telemetry
         self._events_reported = 0
+        # Pre-bound profiler (None when disabled) so the hot dispatch
+        # loop pays a single identity check per event.  Spans measure
+        # wall-clock only; they never touch simulation state.
+        self._prof = (
+            telemetry.profiler
+            if telemetry is not None and telemetry.profiler.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -129,7 +137,15 @@ class Engine:
                 f"exceeded max_events={self._max_events}; "
                 "likely a runaway event loop"
             )
-        event.callback()
+        prof = self._prof
+        if prof is not None:
+            # Per-event-type dispatch spans: scheduled callbacks carry a
+            # label ("fabric-completion", "fabric-hint", ...); unlabeled
+            # events (workload arrivals, ad-hoc callbacks) pool together.
+            with prof.span("engine.event." + (event.label or "unlabeled")):
+                event.callback()
+        else:
+            event.callback()
         return True
 
     def run(self, until: Optional[float] = None) -> None:

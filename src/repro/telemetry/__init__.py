@@ -9,24 +9,28 @@ the three observability channels:
 * :attr:`Telemetry.trace` — a structured JSONL event sink
   (:mod:`repro.telemetry.trace`);
 * :attr:`Telemetry.decisions` — the placement-decision log with
-  realized-outcome joins (:mod:`repro.telemetry.decisions`).
+  realized-outcome joins (:mod:`repro.telemetry.decisions`);
+* :attr:`Telemetry.profiler` — a hierarchical wall-clock span profiler
+  (:mod:`repro.telemetry.profiler`).
 
 Everything defaults to shared no-op singletons, so components take
 ``telemetry: Optional[Telemetry] = None`` and pay a single attribute
 check when telemetry is off (:data:`NULL_TELEMETRY`).
 
-Quickstart::
+Quickstart (the bundle is a context manager; it closes its trace sink
+on exit, so nobody hand-closes ``tele.trace``)::
 
     from repro.telemetry import create_telemetry
     from repro.experiments import MacroConfig, replay_flow_trace
 
-    tele = create_telemetry(trace_path="/tmp/t.jsonl")
-    cfg = MacroConfig(num_arrivals=100)
-    topo = cfg.build_topology()
-    replay_flow_trace(cfg.build_trace(topo), topo, network_policy="fair",
-                      placement="neat", telemetry=tele)
-    tele.trace.close()
+    with create_telemetry(trace_path="/tmp/t.jsonl", profile=True) as tele:
+        cfg = MacroConfig(num_arrivals=100)
+        topo = cfg.build_topology()
+        replay_flow_trace(cfg.build_trace(topo), topo,
+                          network_policy="fair", placement="neat",
+                          telemetry=tele)
     print(tele.decisions.error_summary())
+    print(tele.profiler.as_dict()["labels"])
 """
 
 from __future__ import annotations
@@ -48,6 +52,12 @@ from repro.telemetry.registry import (
     Timer,
     merge_snapshots,
 )
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    SpanProfiler,
+    render_profile,
+)
 from repro.telemetry.trace import NULL_TRACE, JsonlTraceSink, TraceSink
 
 __all__ = [
@@ -67,6 +77,10 @@ __all__ = [
     "DecisionLog",
     "DecisionRecord",
     "NULL_DECISIONS",
+    "SpanProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "render_profile",
     "merge_snapshots",
     "render_report",
 ]
@@ -79,6 +93,7 @@ class Telemetry:
         registry: metrics registry (no-op when telemetry is off).
         trace: structured event sink (no-op when telemetry is off).
         decisions: placement-decision log (no-op when telemetry is off).
+        profiler: hierarchical wall-clock span profiler (no-op when off).
         timeline_interval: when set, the experiment runner attaches a
             :class:`~repro.metrics.timeline.TimelineSampler` at this
             sampling interval (seconds of sim time) to every replayed
@@ -90,6 +105,7 @@ class Telemetry:
         "registry",
         "trace",
         "decisions",
+        "profiler",
         "timeline_interval",
         "timelines",
     )
@@ -100,6 +116,7 @@ class Telemetry:
         registry: Optional[MetricsRegistry] = None,
         trace: Optional[TraceSink] = None,
         decisions: Optional[DecisionLog] = None,
+        profiler: Optional[SpanProfiler] = None,
         timeline_interval: Optional[float] = None,
     ) -> None:
         self.registry = registry if registry is not None else NULL_REGISTRY
@@ -107,6 +124,7 @@ class Telemetry:
         self.decisions = (
             decisions if decisions is not None else NULL_DECISIONS
         )
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.timeline_interval = timeline_interval
         self.timelines: List[Tuple[str, Sequence]] = []
 
@@ -117,12 +135,19 @@ class Telemetry:
             self.registry.enabled
             or self.trace.active
             or self.decisions.active
+            or self.profiler.enabled
             or self.timeline_interval is not None
         )
 
     def close(self) -> None:
         """Flush/close the trace sink (safe to call repeatedly)."""
         self.trace.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 #: Shared disabled telemetry (the default everywhere; ``enabled`` False).
@@ -134,6 +159,7 @@ def create_telemetry(
     trace_path: Optional[str] = None,
     metrics: bool = True,
     decisions: bool = True,
+    profile: bool = False,
     timeline_interval: Optional[float] = None,
     wall_clock: bool = False,
 ) -> Telemetry:
@@ -143,6 +169,8 @@ def create_telemetry(
         trace_path: write a JSONL trace here (omit for no trace file).
         metrics: collect counters/gauges/histograms/timers.
         decisions: collect the placement-decision log.
+        profile: attach a :class:`SpanProfiler` (hierarchical wall-clock
+            spans; never perturbs simulation results).
         timeline_interval: attach fabric timeline samplers at this
             interval (seconds of simulation time).
         wall_clock: stamp trace records with wall time (breaks
@@ -157,6 +185,7 @@ def create_telemetry(
         registry=MetricsRegistry() if metrics else None,
         trace=sink,
         decisions=DecisionLog(trace=sink) if decisions else None,
+        profiler=SpanProfiler() if profile else None,
         timeline_interval=timeline_interval,
     )
 

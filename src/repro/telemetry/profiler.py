@@ -1,0 +1,255 @@
+"""Hierarchical span profiler: attribute wall-clock to subsystems.
+
+The profiler answers *where* the time of a run goes — allocator math vs.
+component BFS vs. heap churn vs. predictor calls — which the flat
+:class:`~repro.telemetry.registry.Timer` cannot: timers accumulate one
+inclusive number per subsystem, while spans form a tree (``engine.event``
+contains ``placement.place`` contains ``predictor.fct``) whose per-node
+*exclusive* time is what a flame graph renders.
+
+Usage::
+
+    profiler = SpanProfiler()
+    with profiler.span("fabric.recompute"):
+        with profiler.span("alloc.fair"):
+            ...
+    profiler.as_dict()  # {"labels": {...}, "flame": {...}}
+
+Determinism contract: spans record **wall-clock only** and never enter
+simulation state, the metrics used by placement, or the deterministic
+JSONL trace — a profiled run produces byte-identical completion records
+and traces to an unprofiled one (asserted by the differential tests).
+
+Disabled cost: the shared :data:`NULL_PROFILER` answers ``enabled =
+False``; instrumented hot paths pre-bind ``profiler if profiler.enabled
+else None`` and guard with one ``is not None`` check, exactly like the
+metrics pattern, so the off path never allocates a context manager.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SpanProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "current_profiler",
+    "set_current_profiler",
+    "render_profile",
+]
+
+#: Separator between labels in a flattened span path ("a;b;c").
+PATH_SEP = ";"
+
+
+class _SpanStats:
+    """Accumulated timing of one node of the span tree."""
+
+    __slots__ = ("calls", "inclusive", "child")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.inclusive = 0.0
+        self.child = 0.0
+
+    @property
+    def exclusive(self) -> float:
+        """Inclusive time minus the time spent in child spans."""
+        return max(self.inclusive - self.child, 0.0)
+
+
+class _Span:
+    """One active span (context manager handed out by :meth:`span`)."""
+
+    __slots__ = ("_profiler", "_label", "_start")
+
+    def __init__(self, profiler: "SpanProfiler", label: str) -> None:
+        self._profiler = profiler
+        self._label = label
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._profiler._push(self._label)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._pop(perf_counter() - self._start)
+
+
+class SpanProfiler:
+    """Parent/child span tree with per-path call counts and wall time.
+
+    Spans are keyed by their full path from the root (a tuple of labels),
+    so the same label under two different parents is two tree nodes —
+    that is what makes the flame-style aggregation meaningful.  The tree
+    is bounded by construction: the instrumented stack has a handful of
+    nesting levels, and labels are drawn from a small fixed vocabulary.
+    """
+
+    enabled = True
+
+    __slots__ = ("_stats", "_stack")
+
+    def __init__(self) -> None:
+        self._stats: Dict[Tuple[str, ...], _SpanStats] = {}
+        # Each frame is [path, child_seconds]: the child accumulator rides
+        # on the stack so a parent still open when its children pop does
+        # not lose their time (its stats node is only created on pop).
+        self._stack: List[list] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, label: str) -> _Span:
+        """Context manager timing one section under the current parent."""
+        return _Span(self, label)
+
+    def _push(self, label: str) -> None:
+        parent = self._stack[-1][0] if self._stack else ()
+        self._stack.append([parent + (label,), 0.0])
+
+    def _pop(self, elapsed: float) -> None:
+        path, child_seconds = self._stack.pop()
+        stats = self._stats.get(path)
+        if stats is None:
+            stats = self._stats[path] = _SpanStats()
+        stats.calls += 1
+        stats.inclusive += elapsed
+        stats.child += child_seconds
+        if self._stack:
+            self._stack[-1][1] += elapsed
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 when no span is open)."""
+        return len(self._stack)
+
+    def paths(self) -> List[Tuple[str, ...]]:
+        """Every recorded span path, sorted."""
+        return sorted(self._stats)
+
+    def stats(self, path: Iterable[str]) -> Optional[_SpanStats]:
+        """Stats for one exact path (``None`` if never recorded)."""
+        return self._stats.get(tuple(path))
+
+    def label_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-label aggregation across every position in the tree.
+
+        A label's *inclusive* total only counts tree nodes that are not
+        nested under the same label (recursion would double-count);
+        *exclusive* totals sum everywhere.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+        for path, stats in self._stats.items():
+            label = path[-1]
+            into = totals.setdefault(
+                label,
+                {"calls": 0, "inclusive_seconds": 0.0, "exclusive_seconds": 0.0},
+            )
+            into["calls"] += stats.calls
+            into["exclusive_seconds"] += stats.exclusive
+            if label not in path[:-1]:
+                into["inclusive_seconds"] += stats.inclusive
+        return {label: totals[label] for label in sorted(totals)}
+
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """JSON-safe snapshot: flame (path-keyed) plus per-label totals."""
+        flame = {}
+        for path in sorted(self._stats):
+            stats = self._stats[path]
+            flame[PATH_SEP.join(path)] = {
+                "calls": stats.calls,
+                "inclusive_seconds": stats.inclusive,
+                "exclusive_seconds": stats.exclusive,
+            }
+        return {"flame": flame, "labels": self.label_totals()}
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullProfiler(SpanProfiler):
+    """Disabled profiler: hands out one shared no-op span."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, label: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+
+#: Shared disabled profiler (the default everywhere).
+NULL_PROFILER = NullProfiler()
+
+#: Process-local ambient profiler.  Campaign workers install one so the
+#: cell implementations (which build their own Telemetry) inherit it and
+#: the end-of-cell heartbeat can ship a real spans snapshot.
+_CURRENT: SpanProfiler = NULL_PROFILER
+
+
+def current_profiler() -> SpanProfiler:
+    """The ambient profiler of this process (:data:`NULL_PROFILER` when
+    nothing installed one)."""
+    return _CURRENT
+
+
+def set_current_profiler(profiler: Optional[SpanProfiler]) -> SpanProfiler:
+    """Install ``profiler`` as this process's ambient profiler.
+
+    Returns the previous one so callers can restore it; ``None`` resets
+    to :data:`NULL_PROFILER`.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = profiler if profiler is not None else NULL_PROFILER
+    return previous
+
+
+def render_profile(snapshot: Dict, *, indent: str = "  ") -> str:
+    """Render a :meth:`SpanProfiler.as_dict` snapshot as an aligned tree.
+
+    One line per span path, indented by depth, with call count and
+    inclusive/exclusive milliseconds — the text form of a flame graph.
+    """
+    flame = snapshot.get("flame", {})
+    if not flame:
+        return "(no spans recorded)"
+    paths = sorted(tuple(key.split(PATH_SEP)) for key in flame)
+    total = sum(
+        flame[PATH_SEP.join(p)]["inclusive_seconds"]
+        for p in paths
+        if len(p) == 1
+    )
+    names = [indent * (len(p) - 1) + p[-1] for p in paths]
+    width = max(len(n) for n in names)
+    lines = []
+    for name, path in zip(names, paths):
+        stats = flame[PATH_SEP.join(path)]
+        share = (
+            f" {100.0 * stats['inclusive_seconds'] / total:5.1f}%"
+            if total > 0
+            else ""
+        )
+        lines.append(
+            f"{name:<{width}}  calls={stats['calls']:<8d}"
+            f" incl={stats['inclusive_seconds'] * 1e3:10.3f} ms"
+            f" excl={stats['exclusive_seconds'] * 1e3:10.3f} ms{share}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Prometheus text-exposition rendering of a metrics snapshot.
+
+Converts a :meth:`~repro.telemetry.registry.MetricsRegistry.as_dict`
+snapshot (or a ``--metrics-out`` JSON file, which is that snapshot plus
+extras) into the Prometheus text format, so a saved run's metrics can be
+pushed to a Pushgateway or scraped from a file exporter without any
+Prometheus client library.
+
+Mapping:
+
+* counters  -> ``<prefix><name>_total`` (TYPE counter)
+* gauges    -> ``<prefix><name>`` (TYPE gauge)
+* timers    -> ``<prefix><name>_seconds_total`` + ``<prefix><name>_calls_total``
+* histograms-> TYPE summary: ``{quantile="0.5"|"0.95"}`` series plus
+  ``_sum`` / ``_count`` (merged snapshots lack quantiles; those emit
+  only sum/count)
+* profiler  -> ``<prefix>span_*`` series labelled by flame path, when the
+  snapshot carries a ``profile`` section (``--profile`` runs do)
+
+Metric names are sanitised to the Prometheus charset (dots become
+underscores); label values are escaped per the exposition format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _name(prefix: str, raw: str, suffix: str = "") -> str:
+    base = _NAME_RE.sub("_", raw)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"{prefix}{base}{suffix}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(value) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict, *, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for raw, value in snapshot.get("counters", {}).items():
+        name = _name(prefix, raw, "_total")
+        header(name, "counter", f"counter {raw}")
+        lines.append(f"{name} {_num(value)}")
+
+    for raw, value in snapshot.get("gauges", {}).items():
+        name = _name(prefix, raw)
+        header(name, "gauge", f"gauge {raw}")
+        lines.append(f"{name} {_num(value)}")
+
+    for raw, stats in snapshot.get("timers", {}).items():
+        seconds = _name(prefix, raw, "_seconds_total")
+        header(seconds, "counter", f"accumulated wall seconds in {raw}")
+        lines.append(f"{seconds} {_num(stats.get('wall_seconds', 0.0))}")
+        calls = _name(prefix, raw, "_calls_total")
+        header(calls, "counter", f"timed calls of {raw}")
+        lines.append(f"{calls} {_num(stats.get('calls', 0))}")
+
+    for raw, summary in snapshot.get("histograms", {}).items():
+        name = _name(prefix, raw)
+        header(name, "summary", f"histogram {raw}")
+        count = summary.get("count", 0)
+        if count:
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+                if key in summary:
+                    lines.append(
+                        f'{name}{{quantile="{quantile}"}} '
+                        f"{_num(summary[key])}"
+                    )
+            mean = summary.get("mean", 0.0)
+            lines.append(f"{name}_sum {_num(mean * count)}")
+        lines.append(f"{name}_count {_num(count)}")
+
+    flame = snapshot.get("profile", {}).get("flame", {})
+    if flame:
+        calls_name = f"{prefix}span_calls_total"
+        incl_name = f"{prefix}span_inclusive_seconds_total"
+        excl_name = f"{prefix}span_exclusive_seconds_total"
+        header(calls_name, "counter", "span entries per flame path")
+        header(incl_name, "counter", "inclusive span seconds per flame path")
+        header(excl_name, "counter", "exclusive span seconds per flame path")
+        for path, stats in flame.items():
+            label = f'{{path="{_escape_label(path)}"}}'
+            lines.append(f"{calls_name}{label} {_num(stats['calls'])}")
+            lines.append(
+                f"{incl_name}{label} {_num(stats['inclusive_seconds'])}"
+            )
+            lines.append(
+                f"{excl_name}{label} {_num(stats['exclusive_seconds'])}"
+            )
+
+    return "\n".join(lines) + ("\n" if lines else "")

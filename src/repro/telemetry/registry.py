@@ -306,24 +306,45 @@ def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
     histograms combine ``count``/``mean``/``min``/``max`` exactly.
     Sample-based percentiles (p50/p95) cannot be merged from summaries
     and are therefore omitted from merged histograms.
+
+    Raises:
+        ValueError: when the snapshots are *heterogeneous* — the same
+            metric name appears under different kinds (e.g. a counter in
+            one run and a histogram in another).  Summing a count into a
+            distribution would silently corrupt both, so the conflict is
+            an error naming the metric and both kinds.
     """
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
     timers: Dict[str, Dict[str, float]] = {}
     histograms: Dict[str, Dict[str, float]] = {}
+    kind_of: Dict[str, str] = {}
+
+    def claim(name: str, kind: str) -> None:
+        previous = kind_of.setdefault(name, kind)
+        if previous != kind:
+            raise ValueError(
+                f"cannot merge heterogeneous snapshots: metric {name!r} "
+                f"is a {previous} in one snapshot and a {kind} in another"
+            )
+
     for snapshot in snapshots:
         for name, value in snapshot.get("counters", {}).items():
+            claim(name, "counter")
             counters[name] = counters.get(name, 0.0) + value
         for name, value in snapshot.get("gauges", {}).items():
+            claim(name, "gauge")
             if name not in gauges or value > gauges[name]:
                 gauges[name] = value
         for name, stats in snapshot.get("timers", {}).items():
+            claim(name, "timer")
             into = timers.setdefault(
                 name, {"calls": 0, "wall_seconds": 0.0}
             )
             into["calls"] += stats.get("calls", 0)
             into["wall_seconds"] += stats.get("wall_seconds", 0.0)
         for name, summary in snapshot.get("histograms", {}).items():
+            claim(name, "histogram")
             count = summary.get("count", 0)
             if not count:
                 continue

@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import List
 
 from repro.metrics.stats import mean
+from repro.telemetry.profiler import render_profile
 
-__all__ = ["render_report"]
+__all__ = ["render_report", "render_snapshot"]
 
 #: Subsystem timers, outermost first (each includes the ones below it).
 _PROFILE_ORDER = ("placement", "bus", "predictor", "allocator")
@@ -27,28 +28,26 @@ def _fmt(value: float) -> str:
     return f"{value:.6g}"
 
 
-def render_report(telemetry) -> str:
-    """Render the telemetry bundle as an aligned text report."""
-    lines: List[str] = ["telemetry report", "================"]
-
-    snapshot = telemetry.registry.as_dict() if telemetry.registry.enabled \
-        else {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
-
-    counters = snapshot["counters"]
+def _snapshot_lines(snapshot) -> List[str]:
+    """Section lines for a metrics snapshot (counters/gauges/timers/
+    histograms, plus the span profile when a ``profile`` key rides
+    along, as in ``--metrics-out`` files from ``--profile`` runs)."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
     if counters:
         lines += ["", "counters"]
         width = max(len(name) for name in counters)
         for name, value in counters.items():
             lines.append(f"  {name:<{width}}  {_fmt(value)}")
 
-    gauges = snapshot["gauges"]
+    gauges = snapshot.get("gauges", {})
     if gauges:
         lines += ["", "gauges"]
         width = max(len(name) for name in gauges)
         for name, value in gauges.items():
             lines.append(f"  {name:<{width}}  {_fmt(value)}")
 
-    timers = snapshot["timers"]
+    timers = snapshot.get("timers", {})
     if timers:
         lines += ["", "wall-time profile (inclusive; placement > bus > predictor)"]
         ordered = [n for n in _PROFILE_ORDER if n in timers]
@@ -61,20 +60,64 @@ def render_report(telemetry) -> str:
                 f"  over {info['calls']} calls"
             )
 
-    histograms = snapshot["histograms"]
+    histograms = snapshot.get("histograms", {})
     if histograms:
         lines += ["", "histograms"]
         for name, summary in histograms.items():
             if summary.get("count", 0) == 0:
                 lines.append(f"  {name}: empty")
                 continue
+            quantiles = (
+                f" p50={_fmt(summary['p50'])} p95={_fmt(summary['p95'])}"
+                if "p50" in summary
+                else ""  # merged snapshots have no sample quantiles
+            )
             lines.append(
                 f"  {name}: n={summary['count']}"
                 f" mean={_fmt(summary['mean'])}"
-                f" p50={_fmt(summary['p50'])}"
-                f" p95={_fmt(summary['p95'])}"
+                f"{quantiles}"
                 f" max={_fmt(summary['max'])}"
             )
+
+    profile = snapshot.get("profile")
+    if profile and profile.get("flame"):
+        lines += _profile_lines(profile)
+    return lines
+
+
+def _profile_lines(profile) -> List[str]:
+    lines = ["", "span profile (flame view; excl = self time)"]
+    for line in render_profile(profile).splitlines():
+        lines.append("  " + line)
+    return lines
+
+
+def render_snapshot(snapshot) -> str:
+    """Render a saved metrics snapshot (a ``--metrics-out`` JSON or a
+    merged campaign snapshot) as the same aligned text report."""
+    lines = ["telemetry report", "================"]
+    lines += _snapshot_lines(snapshot)
+    decisions = snapshot.get("placement_decisions")
+    if decisions and decisions.get("decisions"):
+        lines += ["", "placement decisions"]
+        lines.append(
+            f"  recorded={decisions['decisions']}"
+            f" joined={decisions['joined']}"
+            f" with_error={decisions['with_error']}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(telemetry) -> str:
+    """Render the telemetry bundle as an aligned text report."""
+    lines: List[str] = ["telemetry report", "================"]
+
+    snapshot = telemetry.registry.as_dict() if telemetry.registry.enabled \
+        else {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+    lines += _snapshot_lines(snapshot)
+
+    if telemetry.profiler.enabled:
+        lines += _profile_lines(telemetry.profiler.as_dict())
 
     if telemetry.decisions.active:
         summary = telemetry.decisions.error_summary()

@@ -1,0 +1,317 @@
+"""Perf-regression gate and exporter tests (no real benchmarks run).
+
+Covers the benchgate diff semantics (direction-aware regressions,
+environment-fingerprint warnings, threshold parsing), the bench-compare
+CLI exit codes on synthetic artifacts, the Prometheus text exporter, the
+snapshot report renderer, and the merge_snapshots edge cases
+(heterogeneous kinds, empty, singleton).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchgate import (
+    compare_artifacts,
+    load_artifact,
+    parse_max_regress,
+    render_comparison,
+)
+from repro.telemetry import MetricsRegistry, merge_snapshots
+from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.report import render_snapshot
+
+BASELINE = {
+    "perf_fabric_event_throughput": {
+        "hosts": 32,
+        "wall_seconds": 0.10,
+        "events_per_second": 4000.0,
+    },
+    "incremental_allocation_speedup": {
+        "full_wall_seconds": 5.0,
+        "incremental_wall_seconds": 0.5,
+        "speedup": 10.0,
+    },
+    "environment": {"python": "3.11.7", "machine": "x86_64"},
+}
+
+
+def _current(**tweaks):
+    current = json.loads(json.dumps(BASELINE))
+    for dotted, value in tweaks.items():
+        section, key = dotted.split(":")
+        current[section][key] = value
+    return current
+
+
+# ----------------------------------------------------------------------
+# Diff semantics
+# ----------------------------------------------------------------------
+class TestCompareArtifacts:
+    def test_unchanged_artifact_is_clean(self):
+        result = compare_artifacts(BASELINE, _current(), max_regress=0.2)
+        assert result.ok
+        assert result.regressions == []
+        assert result.environment_mismatch == []
+        # config fields (hosts) are never compared
+        assert not any(d.metric == "hosts" for d in result.deltas)
+
+    def test_slower_wall_clock_regresses(self):
+        current = _current(**{"perf_fabric_event_throughput:wall_seconds": 0.15})
+        result = compare_artifacts(BASELINE, current, max_regress=0.2)
+        bad = result.regressions
+        assert [(d.section, d.metric) for d in bad] == [
+            ("perf_fabric_event_throughput", "wall_seconds")
+        ]
+        assert bad[0].regression == pytest.approx(0.5)
+
+    def test_lower_throughput_regresses(self):
+        current = _current(
+            **{"perf_fabric_event_throughput:events_per_second": 2000.0}
+        )
+        result = compare_artifacts(BASELINE, current, max_regress=0.2)
+        assert [d.metric for d in result.regressions] == ["events_per_second"]
+
+    def test_improvements_do_not_regress(self):
+        current = _current(
+            **{
+                "perf_fabric_event_throughput:wall_seconds": 0.05,
+                "incremental_allocation_speedup:speedup": 20.0,
+            }
+        )
+        assert compare_artifacts(BASELINE, current, max_regress=0.2).ok
+
+    def test_within_threshold_passes(self):
+        current = _current(**{"perf_fabric_event_throughput:wall_seconds": 0.119})
+        assert compare_artifacts(BASELINE, current, max_regress=0.2).ok
+
+    def test_environment_mismatch_warns_but_does_not_fail(self):
+        current = _current(**{"environment:python": "3.12.1"})
+        result = compare_artifacts(BASELINE, current, max_regress=0.2)
+        assert result.ok
+        assert any("python" in item for item in result.environment_mismatch)
+        text = render_comparison(result, max_regress=0.2)
+        assert "WARNING" in text and "fingerprints differ" in text
+
+    def test_missing_sections_are_notes_not_failures(self):
+        current = _current()
+        del current["incremental_allocation_speedup"]
+        current["brand_new_bench"] = {"wall_seconds": 1.0}
+        result = compare_artifacts(BASELINE, current, max_regress=0.2)
+        assert result.ok
+        assert any("only in baseline" in n for n in result.notes)
+        assert any("only in current" in n for n in result.notes)
+
+    def test_render_marks_regressions(self):
+        current = _current(**{"incremental_allocation_speedup:speedup": 2.0})
+        result = compare_artifacts(BASELINE, current, max_regress=0.2)
+        text = render_comparison(result, max_regress=0.2)
+        assert "!! incremental_allocation_speedup.speedup" in text
+        assert "1 metric(s) regressed" in text
+
+
+class TestParsing:
+    def test_parse_max_regress(self):
+        assert parse_max_regress("20%") == pytest.approx(0.2)
+        assert parse_max_regress("0.2") == pytest.approx(0.2)
+        assert parse_max_regress(" 5% ") == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            parse_max_regress("-1%")
+        with pytest.raises(ValueError):
+            parse_max_regress("fast")
+
+    def test_load_artifact_normalises_legacy_layout(self, tmp_path):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps({"benchmark": "old_cell", "wall_seconds": 1.0})
+        )
+        assert load_artifact(str(legacy)) == {
+            "old_cell": {"wall_seconds": 1.0}
+        }
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_artifact(str(bad))
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes (the CI contract)
+# ----------------------------------------------------------------------
+class TestBenchCompareCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_on_unchanged(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        base = self.write(tmp_path, "base.json", BASELINE)
+        cur = self.write(tmp_path, "cur.json", _current())
+        assert main(["bench-compare", base, cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        base = self.write(tmp_path, "base.json", BASELINE)
+        cur = self.write(
+            tmp_path, "cur.json",
+            _current(**{"perf_fabric_event_throughput:wall_seconds": 0.13}),
+        )
+        assert main(["bench-compare", base, cur, "--max-regress", "20%"]) == 1
+        assert "regressed" in capsys.readouterr().out
+        # a looser threshold lets the same slowdown through
+        capsys.readouterr()
+        assert main(["bench-compare", base, cur, "--max-regress", "50%"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Prometheus exporter
+# ----------------------------------------------------------------------
+class TestPrometheus:
+    def test_full_snapshot_mapping(self):
+        reg = MetricsRegistry()
+        reg.counter("bus.messages").inc(7)
+        reg.gauge("engine.heap").set(3.0)
+        with reg.timer("placement").time():
+            pass
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("fct").observe(v)
+        snapshot = reg.as_dict()
+        snapshot["profile"] = {
+            "flame": {
+                "engine.event;alloc": {
+                    "calls": 2,
+                    "inclusive_seconds": 0.5,
+                    "exclusive_seconds": 0.25,
+                },
+            }
+        }
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_bus_messages_total counter" in text
+        assert "repro_bus_messages_total 7.0" in text
+        assert "repro_engine_heap 3.0" in text
+        assert "repro_placement_seconds_total" in text
+        assert "repro_placement_calls_total 1.0" in text
+        assert '# TYPE repro_fct summary' in text
+        assert 'repro_fct{quantile="0.5"} 2.0' in text
+        assert "repro_fct_sum 6.0" in text
+        assert "repro_fct_count 3.0" in text
+        assert (
+            'repro_span_inclusive_seconds_total{path="engine.event;alloc"} 0.5'
+            in text
+        )
+        assert text.endswith("\n")
+
+    def test_name_sanitisation_and_prefix(self):
+        text = render_prometheus(
+            {"counters": {"weird-name.1": 2}}, prefix="x_"
+        )
+        assert "x_weird_name_1_total 2.0" in text
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({}) == ""
+
+
+# ----------------------------------------------------------------------
+# Snapshot report renderer (repro report without --prometheus)
+# ----------------------------------------------------------------------
+class TestRenderSnapshot:
+    def test_renders_sections_and_profile(self):
+        reg = MetricsRegistry()
+        reg.counter("fabric.flows_completed").inc(9)
+        snapshot = reg.as_dict()
+        snapshot["profile"] = {
+            "flame": {
+                "engine.event": {
+                    "calls": 4,
+                    "inclusive_seconds": 1.0,
+                    "exclusive_seconds": 1.0,
+                },
+            },
+            "labels": {},
+        }
+        snapshot["placement_decisions"] = {
+            "decisions": 5, "joined": 4, "with_error": 3,
+        }
+        text = render_snapshot(snapshot)
+        assert "fabric.flows_completed" in text
+        assert "span profile" in text and "engine.event" in text
+        assert "recorded=5" in text
+
+    def test_merged_snapshot_without_quantiles(self):
+        merged = merge_snapshots(
+            [
+                MetricsRegistry().as_dict(),
+                {
+                    "histograms": {
+                        "fct": {"count": 2, "mean": 1.5, "min": 1, "max": 2}
+                    }
+                },
+            ]
+        )
+        text = render_snapshot(merged)
+        assert "fct: n=2 mean=1.5 max=2" in text  # no p50/p95 claimed
+
+
+# ----------------------------------------------------------------------
+# merge_snapshots edge cases (registry satellite)
+# ----------------------------------------------------------------------
+class TestMergeSnapshots:
+    def test_empty_merge(self):
+        merged = merge_snapshots([])
+        assert merged == {
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {},
+        }
+
+    def test_singleton_merge_preserves_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2.5)
+        with reg.timer("t").time():
+            pass
+        for v in (1.0, 3.0):
+            reg.histogram("h").observe(v)
+        merged = merge_snapshots([reg.as_dict()])
+        assert merged["counters"]["c"] == 3
+        assert merged["gauges"]["g"] == 2.5
+        assert merged["timers"]["t"]["calls"] == 1
+        hist = merged["histograms"]["h"]
+        assert hist == {"count": 2, "mean": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_heterogeneous_same_run_kinds_error(self):
+        a = {"counters": {"m": 1.0}}
+        b = {"histograms": {"m": {"count": 1, "mean": 2.0, "min": 2, "max": 2}}}
+        with pytest.raises(ValueError, match="heterogeneous.*'m'"):
+            merge_snapshots([a, b])
+
+    def test_heterogeneous_counter_vs_gauge_errors(self):
+        with pytest.raises(ValueError, match="counter.*gauge|gauge.*counter"):
+            merge_snapshots(
+                [{"counters": {"m": 1.0}}, {"gauges": {"m": 5.0}}]
+            )
+
+    def test_heterogeneous_empty_histogram_still_claims_kind(self):
+        """An empty histogram must still conflict with a counter of the
+        same name — the kind claim happens before the count==0 skip."""
+        with pytest.raises(ValueError, match="heterogeneous"):
+            merge_snapshots(
+                [
+                    {"histograms": {"m": {"count": 0}}},
+                    {"counters": {"m": 1.0}},
+                ]
+            )
+
+    def test_homogeneous_merge_sums_and_maxes(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        a.gauge("g").set(1.0)
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        b.gauge("g").set(5.0)
+        merged = merge_snapshots([a.as_dict(), b.as_dict()])
+        assert merged["counters"]["c"] == 3
+        assert merged["gauges"]["g"] == 5.0  # high-water semantics
