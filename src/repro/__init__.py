@@ -40,7 +40,10 @@ from repro.errors import (
     ConfigError,
     CoflowError,
     DaemonError,
+    DaemonUnreachable,
+    FaultError,
     FlowError,
+    MessageDropped,
     PlacementError,
     PredictionError,
     ReproError,
@@ -50,7 +53,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -64,5 +67,8 @@ __all__ = [
     "PlacementError",
     "WorkloadError",
     "DaemonError",
+    "DaemonUnreachable",
+    "MessageDropped",
+    "FaultError",
     "ConfigError",
 ]

@@ -177,6 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep coflow traces (networks then name coflow schedulers, "
              "e.g. varys/scf)",
     )
+    chaos = parser.add_argument_group(
+        "fault injection ('run' only)",
+        "seed-deterministic chaos: validate plans with "
+        "'python -m repro faults validate PLAN.json'",
+    )
+    chaos.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject this fault plan (link/host/daemon chaos) into every "
+             "cell of the sweep",
+    )
+    chaos.add_argument(
+        "--state-ttl", type=float, default=None, metavar="SECONDS",
+        help="NEAT node-state TTL: when every known candidate's snapshot "
+             "is older, placement falls back to least-loaded",
+    )
+    chaos.add_argument(
+        "--push-node-state", action="store_true",
+        help="enable NEAT's push-style node-state dissemination "
+             "(daemons refresh the controller on flow completions)",
+    )
     return parser
 
 
@@ -321,6 +341,22 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
     from repro.campaign import flow_grid, render_campaign_report, run_campaign
 
     base = config_from_args(args)
+    if args.state_ttl is not None or args.push_node_state:
+        base = replace(
+            base,
+            state_ttl=args.state_ttl,
+            push_node_state=args.push_node_state,
+        )
+    fault_axis = None
+    if args.faults:
+        from repro.errors import FaultError
+        from repro.faults import FaultPlan
+
+        try:
+            fault_axis = [FaultPlan.load(args.faults)]
+        except FaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     seeds = _csv(args.seeds, int) if args.seeds else None
     networks = (
         _csv(args.networks)
@@ -336,6 +372,7 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
         loads=_csv(args.loads, float) if args.loads else None,
         placements=tuple(_csv(args.placements)),
         coflows=args.coflows,
+        faults=fault_axis,
     )
     report = run_campaign(
         campaign,
@@ -462,11 +499,55 @@ def run_bench_compare_cli(argv) -> int:
     return 0 if comparison.ok else 1
 
 
+def run_faults_cli(argv) -> int:
+    """``repro faults``: validate (and describe) a fault plan file."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Work with fault-injection plans (JSON). 'validate' "
+                    "parses the plan, optionally checks its link/host "
+                    "references against a Clos topology, and prints a "
+                    "per-event summary.",
+    )
+    parser.add_argument("action", choices=["validate"])
+    parser.add_argument("plan", help="fault plan JSON file")
+    parser.add_argument(
+        "--pods", type=int, default=None,
+        help="with --racks-per-pod/--hosts-per-rack: also check link and "
+             "host references against this Clos topology",
+    )
+    parser.add_argument("--racks-per-pod", type=int, default=2)
+    parser.add_argument("--hosts-per-rack", type=int, default=10)
+    parser.add_argument("--oversubscription", type=float, default=1.0)
+    args = parser.parse_args(argv)
+    from repro.errors import FaultError
+    from repro.faults import FaultPlan
+
+    try:
+        plan = FaultPlan.load(args.plan)
+        if args.pods is not None:
+            from repro.topology.fabrics import three_tier_clos
+
+            topology = three_tier_clos(
+                pods=args.pods,
+                racks_per_pod=args.racks_per_pod,
+                hosts_per_rack=args.hosts_per_rack,
+                oversubscription=args.oversubscription,
+            )
+            plan.validate(topology)
+    except FaultError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 1
+    print(plan.describe())
+    print("plan OK")
+    return 0
+
+
 #: Subcommands with their own parsers, dispatched before the figure CLI.
 _SUBCOMMANDS = {
     "status": run_status_cli,
     "report": run_report_cli,
     "bench-compare": run_bench_compare_cli,
+    "faults": run_faults_cli,
 }
 
 

@@ -83,6 +83,9 @@ def _macro_payload(spec: RunSpec) -> Dict[str, object]:
         predictor=spec.predictor,
         seed=cfg.seed,
         max_candidates=cfg.max_candidates,
+        faults=spec.faults,
+        state_ttl=cfg.state_ttl,
+        push_updates=cfg.push_node_state,
         telemetry=telemetry,
     )
     per_placement = {
@@ -93,6 +96,10 @@ def _macro_payload(spec: RunSpec) -> Dict[str, object]:
             "control_messages": r.control_messages,
             "events_processed": r.events_processed,
             "sim_duration": r.sim_duration,
+            "flows_aborted": r.flows_aborted,
+            "flows_rerouted": r.flows_rerouted,
+            "tasks_dropped": r.tasks_dropped,
+            "stale_fallbacks": r.stale_fallbacks,
         }
         for name, r in results.items()
     }
@@ -102,6 +109,7 @@ def _macro_payload(spec: RunSpec) -> Dict[str, object]:
         "workload": cfg.workload,
         "load": cfg.load,
         "seed": cfg.seed,
+        "faults": spec.faults.canonical() if spec.faults is not None else None,
         "per_placement": per_placement,
         "metrics": _metrics_snapshot(registry),
     }

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.experiments.config import MacroConfig
+from repro.faults.plan import FaultPlan
 from repro.sim.randomness import hash_seed
 
 #: Cell kinds the executor knows how to run.
@@ -41,6 +42,10 @@ class RunSpec:
             share the cell's trace, keeping comparisons paired).
         predictor: FCT predictor for NEAT/minFCT.
         figure: figure id (``"fig5"``…) when ``kind == "figure"``.
+        faults: optional fault plan injected into every run of the cell;
+            its canonical form (name excluded) is part of the content
+            hash, so a faulted cell and its fault-free twin never share a
+            cache entry.
         label: human-readable display name; *excluded* from the content
             hash so relabelling never invalidates the cache.
     """
@@ -51,6 +56,7 @@ class RunSpec:
     placements: Tuple[str, ...] = ("neat", "minload", "mindist")
     predictor: str = "fair"
     figure: Optional[str] = None
+    faults: Optional[FaultPlan] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -74,6 +80,9 @@ class RunSpec:
             "placements": list(self.placements),
             "predictor": self.predictor,
             "figure": self.figure,
+            "faults": (
+                self.faults.canonical() if self.faults is not None else None
+            ),
         }
 
     def describe(self) -> str:
@@ -129,14 +138,18 @@ def flow_grid(
     placements: Sequence[str] = ("neat", "minload", "mindist"),
     predictor: str = "fair",
     coflows: bool = False,
+    faults: Optional[Sequence[Optional[FaultPlan]]] = None,
 ) -> Campaign:
-    """Build a seed x network-policy x load campaign grid.
+    """Build a seed x network-policy x load [x fault-plan] campaign grid.
 
     Exactly one of ``seeds`` (explicit) or ``repetitions`` (derived from
     ``base_config.seed`` via :func:`derive_seeds`) selects the seed axis.
     Placements are compared *within* each cell so every comparison stays
     paired on a shared trace.  Cell order is the nested loop
-    seed -> network -> load, which fixes the reporting order.
+    seed -> network -> load -> fault plan, which fixes the reporting
+    order.  ``faults`` entries may include ``None`` (the fault-free
+    twin), so a grid can sweep degraded operation against its baseline
+    in one campaign.
     """
     if (seeds is None) == (repetitions is None):
         raise ConfigError("give exactly one of seeds= or repetitions=")
@@ -149,22 +162,32 @@ def flow_grid(
     load_axis = tuple(loads) if loads is not None else (base_config.load,)
     if not load_axis:
         raise ConfigError("need at least one load")
+    fault_axis: Tuple[Optional[FaultPlan], ...] = (
+        tuple(faults) if faults is not None else (None,)
+    )
+    if not fault_axis:
+        raise ConfigError("need at least one fault-plan entry (None is fine)")
     kind = "coflow_macro" if coflows else "flow_macro"
     cells = []
     for seed in seeds:
         for net in network_policies:
             for load in load_axis:
-                cfg = replace(
-                    base_config, seed=seed, load=load, coflows=coflows
-                )
-                cells.append(
-                    RunSpec(
-                        kind=kind,
-                        config=cfg,
-                        network_policy=net,
-                        placements=tuple(placements),
-                        predictor=predictor,
-                        label=f"seed={seed} net={net} load={load:g}",
+                for plan in fault_axis:
+                    cfg = replace(
+                        base_config, seed=seed, load=load, coflows=coflows
                     )
-                )
+                    label = f"seed={seed} net={net} load={load:g}"
+                    if plan is not None:
+                        label += f" faults={plan.name or 'plan'}"
+                    cells.append(
+                        RunSpec(
+                            kind=kind,
+                            config=cfg,
+                            network_policy=net,
+                            placements=tuple(placements),
+                            predictor=predictor,
+                            faults=plan,
+                            label=label,
+                        )
+                    )
     return Campaign(name=name, cells=tuple(cells))

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
-from repro.errors import DaemonError
+from repro.daemons.messages import message_kind
+from repro.errors import DaemonError, DaemonUnreachable, MessageDropped
 from repro.sim.engine import Engine
 from repro.topology.base import NodeId
 
@@ -43,6 +44,14 @@ class MessageBus:
         self._endpoints: Dict[NodeId, Handler] = {}
         self._messages_sent = 0
         self._calls = 0
+        # Fault-injection state: a fault model (the FaultInjector) decides
+        # per-message drops/delays, down hosts reject traffic outright, and
+        # the controller endpoint receives push-style (one-way) messages.
+        self._fault_model = None
+        self._down_hosts: set = set()
+        self._controller: Optional[Handler] = None
+        self._messages_dropped = 0
+        self._delay_accrued = 0.0
         if telemetry is None:
             from repro.telemetry import NULL_TELEMETRY
 
@@ -52,10 +61,12 @@ class MessageBus:
         if reg.enabled:
             self._ctr_messages = reg.counter("bus.messages_sent")
             self._ctr_calls = reg.counter("bus.calls")
+            self._ctr_dropped = reg.counter("bus.messages_dropped")
             self._timer = reg.timer("bus")
         else:
             self._ctr_messages = None
             self._ctr_calls = None
+            self._ctr_dropped = None
             self._timer = None
 
     @property
@@ -72,14 +83,79 @@ class MessageBus:
             raise DaemonError(f"endpoint already registered for {host!r}")
         self._endpoints[host] = handler
 
+    def register_controller(self, handler: Handler) -> None:
+        """Attach the global controller's one-way (push) message handler."""
+        if self._controller is not None:
+            raise DaemonError("controller endpoint already registered")
+        self._controller = handler
+
+    def install_fault_model(self, model) -> None:
+        """Install per-message drop/delay decisions (the fault injector)."""
+        if self._fault_model is not None:
+            raise DaemonError("bus already has a fault model installed")
+        self._fault_model = model
+
+    def mark_host_down(self, host: NodeId) -> None:
+        """All traffic to or from ``host`` fails from now on."""
+        self._down_hosts.add(host)
+
+    def _drop(self, host: NodeId, payload: Any, reason: str) -> None:
+        self._messages_dropped += 1
+        if self._ctr_dropped is not None:
+            self._ctr_dropped.inc()
+        if self._trace.active:
+            self._trace.emit(
+                "bus_drop",
+                self._engine.now,
+                {
+                    "host": host,
+                    "type": type(payload).__name__,
+                    "reason": reason,
+                },
+            )
+
     def call(self, host: NodeId, payload: Any) -> Any:
         """Send ``payload`` to the daemon at ``host`` and return its reply.
 
-        Counts one request + one reply message.
+        Counts one request + one reply message.  Under a fault plan the
+        call may raise :class:`DaemonUnreachable` (host down) or
+        :class:`MessageDropped` (loss window ate the request); a delay
+        window adds to the latency accounting but — calls being
+        synchronous in the fluid model — not to simulated time.
         """
+        if host in self._down_hosts:
+            self._messages_sent += 1
+            self._drop(host, payload, "host_down")
+            raise DaemonUnreachable(f"host {host!r} is down")
         handler = self._endpoints.get(host)
         if handler is None:
             raise DaemonError(f"no daemon registered at {host!r}")
+        if self._fault_model is not None:
+            self._messages_sent += 1  # the request went out regardless
+            if self._fault_model.should_drop(message_kind(payload)):
+                self._drop(host, payload, "loss_window")
+                raise MessageDropped(
+                    f"request to {host!r} lost in a fault-plan loss window"
+                )
+            self._messages_sent += 1
+            self._delay_accrued += self._fault_model.message_delay()
+            self._calls += 1
+            if self._trace.active:
+                self._trace.emit(
+                    "bus_message",
+                    self._engine.now,
+                    {
+                        "host": host,
+                        "type": type(payload).__name__,
+                        "latency": self._rtt,
+                    },
+                )
+            if self._ctr_messages is not None:
+                self._ctr_messages.inc(2)
+                self._ctr_calls.inc()
+                with self._timer.time():
+                    return handler(payload)
+            return handler(payload)
         self._messages_sent += 2
         self._calls += 1
         if self._trace.active:
@@ -99,9 +175,52 @@ class MessageBus:
                 return handler(payload)
         return handler(payload)
 
+    def push(self, host: NodeId, payload: Any) -> bool:
+        """One-way message from ``host``'s daemon to the controller.
+
+        Delivery is asynchronous: the controller handler runs after any
+        active delay window's latency (zero by default), through the event
+        engine so ordering stays deterministic.  Returns ``False`` when the
+        message was dropped (sender down, or a loss window matched).
+        """
+        if self._controller is None:
+            raise DaemonError("no controller endpoint registered")
+        self._messages_sent += 1
+        if self._ctr_messages is not None:
+            self._ctr_messages.inc()
+        if host in self._down_hosts:
+            self._drop(host, payload, "host_down")
+            return False
+        delay = 0.0
+        if self._fault_model is not None:
+            if self._fault_model.should_drop(message_kind(payload)):
+                self._drop(host, payload, "loss_window")
+                return False
+            delay = self._fault_model.message_delay()
+        if self._trace.active:
+            self._trace.emit(
+                "bus_push",
+                self._engine.now,
+                {
+                    "host": host,
+                    "type": type(payload).__name__,
+                    "delay": delay,
+                },
+            )
+        handler = self._controller
+        self._engine.schedule(
+            delay, lambda: handler(payload), label="bus-push"
+        )
+        return True
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+    @property
+    def messages_dropped(self) -> int:
+        """Messages a fault plan dropped (lost requests and pushes)."""
+        return self._messages_dropped
+
     @property
     def messages_sent(self) -> int:
         """Total control messages (requests + replies) so far."""
@@ -116,8 +235,9 @@ class MessageBus:
     def estimated_control_latency(self) -> float:
         """Seconds of control latency a real deployment would have paid,
         assuming calls to different daemons for one decision go out in
-        parallel (one RTT per placement round)."""
-        return self._calls * self._rtt
+        parallel (one RTT per placement round).  Fault-plan delay windows
+        add their per-call latency on top."""
+        return self._calls * self._rtt + self._delay_accrued
 
     def reset_counters(self) -> None:
         """Zero the accounting counters (e.g. between benchmark phases)."""

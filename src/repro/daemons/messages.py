@@ -65,3 +65,14 @@ class NodeStateUpdate:
 
     host: NodeId
     node_state: float
+
+
+def message_kind(payload) -> str:
+    """Classify a bus payload for fault-plan loss targeting.
+
+    ``"node_state"`` covers push-style state refreshes; everything else on
+    the bus is part of a prediction exchange.
+    """
+    if isinstance(payload, NodeStateUpdate):
+        return "node_state"
+    return "prediction"

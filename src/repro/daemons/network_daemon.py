@@ -213,6 +213,24 @@ class NetworkDaemon:
         )
 
     # ------------------------------------------------------------------
+    # Push-style state dissemination (§4's periodic updates)
+    # ------------------------------------------------------------------
+    def push_state(self, bus) -> bool:
+        """Push this node's current state to the controller via ``bus``.
+
+        One-way and best-effort: under a fault plan the update may be
+        dropped or delayed, which is exactly the staleness the placement
+        daemon's TTL fallback defends against.  Returns whether the bus
+        accepted the message.
+        """
+        from repro.daemons.messages import NodeStateUpdate
+
+        return bus.push(
+            self._host,
+            NodeStateUpdate(host=self._host, node_state=self.node_state()),
+        )
+
+    # ------------------------------------------------------------------
     # Compressed-state maintenance (§5.2)
     # ------------------------------------------------------------------
     def _touches_us(self, flow: Flow) -> bool:

@@ -32,7 +32,7 @@ from repro.daemons.messages import (
     NodeStateUpdate,
     PredictionReply,
 )
-from repro.errors import PlacementError
+from repro.errors import DaemonUnreachable, MessageDropped, PlacementError
 from repro.placement.base import PlacementRequest, pick_min
 from repro.topology.base import NodeId, Topology
 
@@ -57,6 +57,9 @@ class PlacementDecision:
     tag: str = ""
     size: float = 0.0
     candidate_scores: Tuple[Tuple[NodeId, float], ...] = field(default=())
+    #: True when the daemon skipped predictions entirely and placed by
+    #: least-loaded cached state (stale snapshots or unreachable daemons).
+    used_stale_fallback: bool = False
 
 
 class TaskPlacementDaemon:
@@ -71,6 +74,7 @@ class TaskPlacementDaemon:
         use_node_state: bool = True,
         locality_hops: Optional[int] = None,
         include_source_link: bool = False,
+        state_ttl: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
     ) -> None:
         """Args:
@@ -80,6 +84,13 @@ class TaskPlacementDaemon:
             use_node_state: disable to get the minFCT strawman of Fig. 9.
             locality_hops: when set, only consider candidates within this
                 hop distance of the input data if any exist (§5.2).
+            state_ttl: maximum tolerated node-state snapshot age in
+                seconds.  When the cached state of *every* known candidate
+                is older than this, the daemon stops trusting predictions
+                and falls back to least-loaded placement over its cache —
+                the paper's graceful degradation under stale periodic
+                updates.  ``None`` (the default) disables age tracking
+                entirely.
             include_source_link: also query the data node's daemon for its
                 uplink and fold it into the score.  Off by default — the
                 paper's daemons predict on the candidate's edge link only,
@@ -97,11 +108,27 @@ class TaskPlacementDaemon:
         self._include_source_link = include_source_link
         self._node_state_cache: Dict[NodeId, float] = {}
         self._decisions: List[PlacementDecision] = []
+        self._state_ttl = state_ttl
+        # Timestamp of the last *authoritative* state observation per host
+        # (prediction replies and pushed updates; optimistic `_note_placed`
+        # writes deliberately do not refresh it, or a fallback placement
+        # would launder its own guess into "fresh" state).
+        self._state_seen_at: Dict[NodeId, float] = {}
+        self._fault_model = None
+        self._stale_fallbacks = 0
+        self._query_failures = 0
         if telemetry is None:
             from repro.telemetry import NULL_TELEMETRY
 
             telemetry = NULL_TELEMETRY
         self._decision_log = telemetry.decisions
+        reg = telemetry.registry
+        if reg.enabled:
+            self._ctr_stale = reg.counter("placement.stale_fallbacks")
+            self._ctr_query_fail = reg.counter("placement.query_failures")
+        else:
+            self._ctr_stale = None
+            self._ctr_query_fail = None
         self._engine = bus.engine
 
     # ------------------------------------------------------------------
@@ -114,6 +141,108 @@ class TaskPlacementDaemon:
     def cached_node_state(self, host: NodeId) -> float:
         """Last known node state (inf when never reported = assumed idle)."""
         return self._node_state_cache.get(host, float("inf"))
+
+    @property
+    def stale_fallbacks(self) -> int:
+        """Placements decided by the stale-state (least-loaded) fallback."""
+        return self._stale_fallbacks
+
+    @property
+    def query_failures(self) -> int:
+        """Prediction queries lost to down hosts or loss windows."""
+        return self._query_failures
+
+    def set_fault_model(self, model) -> None:
+        """Install a staleness bias source (the fault injector)."""
+        self._fault_model = model
+
+    def state_age(self, host: NodeId) -> float:
+        """Age of the host's cached snapshot, inf when never observed.
+
+        A :class:`~repro.faults.plan.StateStaleness` window adds its lag on
+        top, modelling dissemination that is running but behind.
+        """
+        seen = self._state_seen_at.get(host)
+        if seen is None:
+            return float("inf")
+        age = self._engine.now - seen
+        if self._fault_model is not None:
+            age += self._fault_model.staleness_lag()
+        return age
+
+    # ------------------------------------------------------------------
+    # Degraded operation (fault injection)
+    # ------------------------------------------------------------------
+    def _state_is_fresh(self, host: NodeId) -> bool:
+        return self.state_age(host) <= self._state_ttl
+
+    def _stale_candidates(self, candidates: Sequence[NodeId]) -> bool:
+        """True when the TTL policy says predictions can't be trusted:
+        we *have* state for some candidates but none of it is fresh.
+
+        A cold cache (no candidate ever observed) takes the normal path —
+        the daemon has nothing stale to distrust and the first queries
+        seed the cache.
+        """
+        if self._state_ttl is None:
+            return False
+        known = [h for h in candidates if h in self._state_seen_at]
+        if not known:
+            return False
+        return not any(self._state_is_fresh(h) for h in known)
+
+    def _degraded_place(
+        self,
+        size: float,
+        candidates: Sequence[NodeId],
+        *,
+        kind: str,
+        tag: str,
+        data_node: NodeId,
+        all_candidates: Sequence[NodeId],
+    ) -> NodeId:
+        """Least-loaded placement over cached state, no daemon queries.
+
+        The cached node state is the smallest residual size on the host
+        (inf = believed idle), so maximising it picks the least-loaded
+        host; ``pick_min`` over the negated state keeps the shared
+        deterministic tie-break.
+        """
+        hosts = list(candidates)
+        scores = [-self.cached_node_state(h) for h in hosts]
+        host = pick_min(hosts, scores, self._rng)
+        self._stale_fallbacks += 1
+        if self._ctr_stale is not None:
+            self._ctr_stale.inc()
+        self._note_placed(host, size)
+        self._record_decision(
+            PlacementDecision(
+                host=host,
+                predicted_time=-1.0,  # sentinel: no prediction was made
+                preferred_hosts=tuple(hosts),
+                queried_hosts=(),
+                used_fallback=True,
+                kind=kind,
+                tag=tag,
+                size=size,
+                candidate_scores=tuple(zip(hosts, scores)),
+                used_stale_fallback=True,
+            ),
+            data_node=data_node,
+            candidates=all_candidates,
+        )
+        return host
+
+    def _try_call(self, host: NodeId, request):
+        """A bus call that degrades instead of propagating control-plane
+        faults: returns None when the host is down or the message lost."""
+        try:
+            return self._bus.call(host, request)
+        except (DaemonUnreachable, MessageDropped):
+            self._query_failures += 1
+            if self._ctr_query_fail is not None:
+                self._ctr_query_fail.inc()
+            return None
 
     # ------------------------------------------------------------------
     # Candidate filtering (Algorithm 1, lines 3-12)
@@ -152,18 +281,28 @@ class TaskPlacementDaemon:
     def place_flow(self, request: PlacementRequest) -> NodeId:
         """Choose the host minimising the predicted FCT of the task's flow."""
         candidates = self._locality_filter(request.data_node, request.candidates)
+        if self._stale_candidates(candidates):
+            return self._degraded_place(
+                request.size,
+                candidates,
+                kind="flow",
+                tag=request.tag,
+                data_node=request.data_node,
+                all_candidates=request.candidates,
+            )
         preferred, fallback = self._preferred_hosts(request.size, candidates)
 
         source_time = 0.0
         if self._include_source_link and any(
             host != request.data_node for host in preferred
         ):
-            reply = self._bus.call(
+            reply = self._try_call(
                 request.data_node,
                 FlowPredictionRequest(size=request.size, direction="out"),
             )
-            self._remember(reply)
-            source_time = reply.predicted_time
+            if reply is not None:
+                self._remember(reply)
+                source_time = reply.predicted_time
 
         scores: List[float] = []
         queried: List[NodeId] = []
@@ -171,13 +310,26 @@ class TaskPlacementDaemon:
             if host == request.data_node:
                 scores.append(0.0)  # full locality: no transfer at all
                 continue
-            reply = self._bus.call(
+            reply = self._try_call(
                 host, FlowPredictionRequest(size=request.size, direction="in")
             )
+            if reply is None:
+                scores.append(float("inf"))
+                continue
             self._remember(reply)
             queried.append(host)
             scores.append(max(reply.predicted_time, source_time))
 
+        if not any(score < float("inf") for score in scores):
+            # Every prediction was lost: place by cached load instead.
+            return self._degraded_place(
+                request.size,
+                preferred,
+                kind="flow",
+                tag=request.tag,
+                data_node=request.data_node,
+                all_candidates=request.candidates,
+            )
         host = pick_min(preferred, scores, self._rng)
         predicted = min(scores)
         self._note_placed(host, request.size)
@@ -221,6 +373,15 @@ class TaskPlacementDaemon:
         if not candidates:
             raise PlacementError("place_coflow_flow needs candidates")
         filtered = self._locality_filter(data_node, candidates)
+        if self._stale_candidates(filtered):
+            return self._degraded_place(
+                coflow_total,
+                filtered,
+                kind="coflow",
+                tag=tag,
+                data_node=data_node,
+                all_candidates=candidates,
+            )
         # Node state is at coflow granularity here: a host is preferred
         # when every coflow it carries is at least as large as this one.
         preferred, fallback = self._preferred_hosts(coflow_total, filtered)
@@ -230,7 +391,7 @@ class TaskPlacementDaemon:
             if host == data_node:
                 scores.append(0.0)
                 continue
-            reply = self._bus.call(
+            reply = self._try_call(
                 host,
                 CoflowPredictionRequest(
                     total_size=coflow_total,
@@ -238,9 +399,21 @@ class TaskPlacementDaemon:
                     direction="in",
                 ),
             )
+            if reply is None:
+                scores.append(float("inf"))
+                continue
             self._remember(reply)
             queried.append(host)
             scores.append(reply.predicted_time)
+        if not any(score < float("inf") for score in scores):
+            return self._degraded_place(
+                coflow_total,
+                preferred,
+                kind="coflow",
+                tag=tag,
+                data_node=data_node,
+                all_candidates=candidates,
+            )
         host = pick_min(preferred, scores, self._rng)
         self._note_placed(host, coflow_total)
         self._record_decision(
@@ -285,7 +458,7 @@ class TaskPlacementDaemon:
         uplink_times: Dict[NodeId, float] = {}
         for node, size in sources:
             if node not in uplink_times:
-                reply = self._bus.call(
+                reply = self._try_call(
                     node,
                     CoflowPredictionRequest(
                         total_size=total,
@@ -295,6 +468,8 @@ class TaskPlacementDaemon:
                         direction="out",
                     ),
                 )
+                if reply is None:
+                    continue  # unreachable source: score without its uplink
                 self._remember(reply)
                 uplink_times[node] = reply.predicted_time
 
@@ -304,12 +479,15 @@ class TaskPlacementDaemon:
             if incoming <= 0:
                 scores.append(0.0)
                 continue
-            reply = self._bus.call(
+            reply = self._try_call(
                 host,
                 CoflowPredictionRequest(
                     total_size=total, size_on_link=incoming, direction="in"
                 ),
             )
+            if reply is None:
+                scores.append(float("inf"))
+                continue
             self._remember(reply)
             bottleneck = max(
                 (
@@ -320,6 +498,15 @@ class TaskPlacementDaemon:
                 default=0.0,
             )
             scores.append(max(reply.predicted_time, bottleneck))
+        if not any(score < float("inf") for score in scores):
+            return self._degraded_place(
+                total,
+                list(candidates),
+                kind="reducer",
+                tag=tag,
+                data_node=max(sources, key=lambda s: s[1])[0],
+                all_candidates=candidates,
+            )
         host = pick_min(list(candidates), scores, self._rng)
         self._note_placed(host, total)
         self._record_decision(
@@ -372,6 +559,8 @@ class TaskPlacementDaemon:
     # ------------------------------------------------------------------
     def _remember(self, reply: PredictionReply) -> None:
         self._node_state_cache[reply.host] = reply.node_state
+        if self._state_ttl is not None:
+            self._state_seen_at[reply.host] = self._engine.now
 
     def _note_placed(self, host: NodeId, size: float) -> None:
         """Optimistic cache update: the node now carries a flow of ``size``."""
@@ -382,6 +571,7 @@ class TaskPlacementDaemon:
         """Invalidate the cached state when a task on ``host`` completes
         (the next reply from the daemon refreshes it)."""
         self._node_state_cache.pop(host, None)
+        self._state_seen_at.pop(host, None)
 
     def handle_node_state_update(self, update: "NodeStateUpdate") -> None:
         """Accept a push-style node-state refresh from a network daemon.
@@ -392,3 +582,5 @@ class TaskPlacementDaemon:
         which this endpoint applies.
         """
         self._node_state_cache[update.host] = update.node_state
+        if self._state_ttl is not None:
+            self._state_seen_at[update.host] = self._engine.now

@@ -52,5 +52,19 @@ class DaemonError(ReproError):
     """Raised for control-plane (daemon/RPC) protocol violations."""
 
 
+class DaemonUnreachable(DaemonError):
+    """Raised by the message bus when the destination host is down (or the
+    endpoint unregistered) under an active fault plan."""
+
+
+class MessageDropped(DaemonError):
+    """Raised by the message bus when a fault plan's loss window drops a
+    synchronous request (the caller sees a lost RPC, not a reply)."""
+
+
+class FaultError(ReproError):
+    """Raised for malformed fault plans or invalid fault injections."""
+
+
 class ConfigError(ReproError):
     """Raised for invalid experiment configuration."""

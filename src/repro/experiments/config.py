@@ -79,6 +79,11 @@ class MacroConfig:
             locality matter (used by the Figure 3 comparative study).
         coflows: generate a coflow trace instead of a flow trace.
         coflow_width: (min, max) flows per coflow.
+        state_ttl: NEAT node-state snapshot TTL in seconds; enables the
+            stale-state (least-loaded) placement fallback under fault
+            plans.  None disables age tracking.
+        push_node_state: enable NEAT's push-style node-state
+            dissemination (daemons refresh the controller on completion).
     """
 
     pods: int = 2
@@ -93,6 +98,8 @@ class MacroConfig:
     oversubscription: float = 1.0
     coflows: bool = False
     coflow_width: Tuple[int, int] = (2, 6)
+    state_ttl: Optional[float] = None
+    push_node_state: bool = False
 
     def __post_init__(self) -> None:
         if not 0 < self.load < 1:

@@ -15,7 +15,8 @@ from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.coflow.tracking import CoflowTracker
 from repro.coflow.policies.registry import make_coflow_allocator
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RoutingError
+from repro.faults import FaultPlan, arm_faults
 from repro.network.fabric import NetworkFabric
 from repro.network.policies.registry import make_allocator
 from repro.placement.base import PlacementRequest
@@ -124,6 +125,11 @@ class RunResult:
     control_messages: int = 0
     events_processed: int = 0
     sim_duration: float = 0.0
+    #: degraded-operation tallies — all zero on fault-free runs.
+    flows_aborted: int = 0
+    flows_rerouted: int = 0
+    tasks_dropped: int = 0
+    stale_fallbacks: int = 0
 
 
 def _candidate_pool(
@@ -156,6 +162,9 @@ def replay_flow_trace(
     telemetry: Optional["Telemetry"] = None,
     incremental: Optional[bool] = None,
     shadow_verify: bool = False,
+    faults: Optional[FaultPlan] = None,
+    state_ttl: Optional[float] = None,
+    push_updates: bool = False,
 ) -> RunResult:
     """Replay a flow trace: place every task, run the network to empty.
 
@@ -186,6 +195,12 @@ def replay_flow_trace(
             forces the full-recompute reference path.
         shadow_verify: run the full allocator side-by-side with every
             scoped recompute and raise on any rate divergence.
+        faults: optional :class:`~repro.faults.FaultPlan` to inject.  An
+            empty (or absent) plan leaves the run byte-identical to a
+            fault-free one.
+        state_ttl: NEAT node-state TTL enabling the stale-state fallback
+            (see :func:`~repro.placement.neat.build_neat`).
+        push_updates: enable NEAT's push-style state dissemination.
     """
     engine = Engine(telemetry=telemetry)
     fabric = NetworkFabric(
@@ -200,8 +215,10 @@ def replay_flow_trace(
     pool_rng = random.Random(seed + 7)
     policy = make_placement_policy(
         placement, fabric, rng=place_rng, predictor=predictor,
+        state_ttl=state_ttl, push_updates=push_updates,
         telemetry=telemetry,
     )
+    injector = arm_faults(faults, fabric, policy, telemetry)
     tele, place_timer, sampler = _begin_run(
         telemetry, fabric, placement=placement, network_policy=network_policy
     )
@@ -218,6 +235,19 @@ def replay_flow_trace(
                 max_candidates=max_candidates,
                 rng=pool_rng,
             )
+            if injector is not None:
+                # The cluster manager knows which hosts are dead (the
+                # paper's heartbeat layer); tasks whose data node is gone
+                # or whose every candidate is gone cannot be placed.
+                if not fabric.host_is_up(arrival.data_node):
+                    injector.note_task_dropped(arrival.tag)
+                    return
+                candidates = tuple(
+                    h for h in candidates if fabric.host_is_up(h)
+                )
+                if not candidates:
+                    injector.note_task_dropped(arrival.tag)
+                    return
             seen_size = (
                 size_estimator.estimate(arrival.size)
                 if size_estimator is not None
@@ -242,7 +272,20 @@ def replay_flow_trace(
             else:
                 host = policy.place(request)
             policy.notify_placed(request, host)
-            fabric.submit(arrival.data_node, host, arrival.size, tag=arrival.tag)
+            if injector is not None:
+                try:
+                    fabric.submit(
+                        arrival.data_node, host, arrival.size, tag=arrival.tag
+                    )
+                except RoutingError:
+                    # A link failure partitioned data node from host
+                    # between placement and submission.
+                    injector.note_task_dropped(arrival.tag)
+                    return
+            else:
+                fabric.submit(
+                    arrival.data_node, host, arrival.size, tag=arrival.tag
+                )
             daemon = getattr(policy, "daemon", None)
             if daemon is not None and daemon.decisions:
                 predictions[arrival.tag] = daemon.decisions[-1].predicted_time
@@ -263,6 +306,7 @@ def replay_flow_trace(
     )
 
     bus = getattr(policy, "bus", None)
+    daemon = getattr(policy, "daemon", None)
     return RunResult(
         placement=placement,
         network_policy=network_policy,
@@ -271,6 +315,10 @@ def replay_flow_trace(
         control_messages=bus.messages_sent if bus is not None else 0,
         events_processed=engine.events_processed,
         sim_duration=engine.now,
+        flows_aborted=fabric.flows_aborted,
+        flows_rerouted=fabric.flows_rerouted,
+        tasks_dropped=injector.tasks_dropped if injector is not None else 0,
+        stale_fallbacks=daemon.stale_fallbacks if daemon is not None else 0,
     )
 
 
@@ -287,11 +335,19 @@ def replay_coflow_trace(
     max_candidates: Optional[int] = None,
     horizon: Optional[float] = None,
     telemetry: Optional["Telemetry"] = None,
+    faults: Optional[FaultPlan] = None,
+    state_ttl: Optional[float] = None,
+    push_updates: bool = False,
 ) -> RunResult:
     """Replay a coflow trace under a coflow scheduling policy.
 
     Placement follows §5.1.2: each coflow's flows are placed sequentially
     in descending size order through the configured placement policy.
+
+    Under a fault plan, a coflow whose placement or submission hits a dead
+    host is dropped as a whole (any already-submitted constituent flows
+    drain but the coflow never completes — a failed job, counted in
+    ``tasks_dropped``).
     """
     engine = Engine(telemetry=telemetry)
     fabric = NetworkFabric(
@@ -311,8 +367,11 @@ def replay_coflow_trace(
         rng=place_rng,
         predictor=predictor,
         coflow_predictor=coflow_predictor if placement == "neat" else None,
+        state_ttl=state_ttl,
+        push_updates=push_updates,
         telemetry=telemetry,
     )
+    injector = arm_faults(faults, fabric, policy, telemetry)
     tele, place_timer, sampler = _begin_run(
         telemetry,
         fabric,
@@ -336,6 +395,14 @@ def replay_coflow_trace(
             ]
             if max_candidates is not None and len(pool) > max_candidates:
                 pool = sorted(pool_rng.sample(pool, max_candidates))
+            if injector is not None:
+                if any(not fabric.host_is_up(node) for node in sources):
+                    injector.note_task_dropped(arrival.tag)
+                    return
+                pool = [h for h in pool if fabric.host_is_up(h)]
+                if not pool:
+                    injector.note_task_dropped(arrival.tag)
+                    return
             if rack_local is not None:
                 placer = lambda: rack_local.place_coflow(  # noqa: E731
                     tracker, arrival.transfers, pool, tag=arrival.tag
@@ -348,6 +415,15 @@ def replay_coflow_trace(
                     pool,
                     tag=arrival.tag,
                 )
+            if injector is not None:
+                inner = placer
+
+                def placer() -> None:
+                    try:
+                        inner()
+                    except RoutingError:
+                        injector.note_task_dropped(arrival.tag)
+
             if prof is not None:
                 with prof.span("placement.place"):
                     if place_timer is not None:
@@ -377,6 +453,7 @@ def replay_coflow_trace(
     )
 
     bus = getattr(policy, "bus", None)
+    daemon = getattr(policy, "daemon", None)
     return RunResult(
         placement=placement,
         network_policy=network_policy,
@@ -384,6 +461,10 @@ def replay_coflow_trace(
         control_messages=bus.messages_sent if bus is not None else 0,
         events_processed=engine.events_processed,
         sim_duration=engine.now,
+        flows_aborted=fabric.flows_aborted,
+        flows_rerouted=fabric.flows_rerouted,
+        tasks_dropped=injector.tasks_dropped if injector is not None else 0,
+        stale_fallbacks=daemon.stale_fallbacks if daemon is not None else 0,
     )
 
 

@@ -1,0 +1,33 @@
+"""Seed-deterministic fault injection (link/host/daemon chaos).
+
+Public surface: the declarative plan types plus the injector that executes
+a plan against a live simulation.  See ``FaultPlan`` for the JSON format
+and ``FaultInjector`` for determinism guarantees.
+"""
+
+from repro.faults.injector import FaultInjector, arm_faults
+from repro.faults.plan import (
+    MESSAGE_KINDS,
+    FaultEvent,
+    FaultPlan,
+    HostDown,
+    LinkDegrade,
+    LinkDown,
+    MessageDelay,
+    MessageLoss,
+    StateStaleness,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "arm_faults",
+    "LinkDown",
+    "LinkDegrade",
+    "HostDown",
+    "MessageLoss",
+    "MessageDelay",
+    "StateStaleness",
+    "MESSAGE_KINDS",
+]

@@ -1,0 +1,406 @@
+"""Declarative, seed-deterministic fault plans.
+
+A :class:`FaultPlan` is a list of timed fault events plus a seed.  Plans are
+plain data: they serialise to/from JSON, validate against a topology, and
+have a *canonical* dict form (sorted keys, ``name`` excluded) so that two
+semantically identical plans hash identically — the campaign layer folds the
+canonical form into its content-addressed cache key.
+
+Two families of events exist:
+
+* **Point events** fire once at an absolute simulation time and mutate the
+  data plane: :class:`LinkDown`, :class:`LinkDegrade`, :class:`HostDown`.
+* **Window events** open (and optionally close) a degraded-delivery regime on
+  the control plane: :class:`MessageLoss`, :class:`MessageDelay`,
+  :class:`StateStaleness`.
+
+Randomness (i.e. per-message loss coin flips) is drawn from a stream derived
+from ``FaultPlan.seed`` via :func:`repro.sim.randomness.hash_seed`, so a
+faulted run is byte-reproducible for a fixed (seed, plan) pair and an empty
+plan draws nothing at all.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.errors import FaultError
+
+__all__ = [
+    "FaultEvent",
+    "LinkDown",
+    "LinkDegrade",
+    "HostDown",
+    "MessageLoss",
+    "MessageDelay",
+    "StateStaleness",
+    "FaultPlan",
+    "MESSAGE_KINDS",
+]
+
+#: Message classes a :class:`MessageLoss` window may target.  ``"all"``
+#: matches every bus message; ``"node_state"`` matches only pushed
+#: node-state updates (the paper's periodic state dissemination).
+MESSAGE_KINDS = ("all", "node_state", "prediction")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultError(message)
+
+
+def _require_link(topology: Any, link_id: str, kind: str) -> None:
+    try:
+        topology.link(link_id)
+    except Exception:
+        raise FaultError(f"{kind} references unknown link {link_id!r}") from None
+
+
+def _finite_nonneg(value: Any, what: str) -> float:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{what} must be a number, got {value!r}")
+    value = float(value)
+    _require(math.isfinite(value) and value >= 0.0,
+             f"{what} must be finite and >= 0, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class for all plan entries (see subclasses for semantics)."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinkDown(FaultEvent):
+    """Permanently fail ``link`` at ``time``.
+
+    Flows crossing the link are rerouted if an alternate path exists,
+    otherwise aborted (their records carry ``aborted=True`` semantics via a
+    negative-FCT sentinel in telemetry counters).
+    """
+
+    time: float
+    link: str
+    kind: ClassVar[str] = "link_down"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "time": self.time, "link": self.link}
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        _finite_nonneg(self.time, "LinkDown.time")
+        _require(isinstance(self.link, str) and bool(self.link),
+                 "LinkDown.link must be a non-empty link id")
+        if topology is not None:
+            _require_link(topology, self.link, "LinkDown")
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """Scale ``link``'s capacity by ``factor`` (0 < factor) at ``time``.
+
+    Factors below 1 degrade; factors above 1 restore/upgrade (so a plan can
+    express a brown-out window as degrade + restore).
+    """
+
+    time: float
+    link: str
+    factor: float
+    kind: ClassVar[str] = "link_degrade"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "link": self.link,
+            "factor": self.factor,
+        }
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        _finite_nonneg(self.time, "LinkDegrade.time")
+        _require(isinstance(self.link, str) and bool(self.link),
+                 "LinkDegrade.link must be a non-empty link id")
+        _require(
+            isinstance(self.factor, (int, float))
+            and not isinstance(self.factor, bool)
+            and math.isfinite(float(self.factor))
+            and float(self.factor) > 0.0,
+            f"LinkDegrade.factor must be finite and > 0, got {self.factor!r}",
+        )
+        if topology is not None:
+            _require_link(topology, self.link, "LinkDegrade")
+
+
+@dataclass(frozen=True)
+class HostDown(FaultEvent):
+    """Take ``host`` down at ``time``: both its edge links fail and its
+    daemons become unreachable on the bus."""
+
+    time: float
+    host: str
+    kind: ClassVar[str] = "host_down"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "time": self.time, "host": self.host}
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        _finite_nonneg(self.time, "HostDown.time")
+        _require(isinstance(self.host, str) and bool(self.host),
+                 "HostDown.host must be a non-empty host id")
+        if topology is not None:
+            _require(self.host in topology.hosts,
+                     f"HostDown references unknown host {self.host!r}")
+
+
+@dataclass(frozen=True)
+class MessageLoss(FaultEvent):
+    """Drop each matching bus message with probability ``p`` during
+    ``[start, until)`` (``until=None`` means forever)."""
+
+    start: float
+    p: float
+    until: Optional[float] = None
+    kinds: Tuple[str, ...] = ("all",)
+    kind: ClassVar[str] = "message_loss"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "p": self.p,
+            "until": self.until,
+            "kinds": list(self.kinds),
+        }
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        _finite_nonneg(self.start, "MessageLoss.start")
+        _require(
+            isinstance(self.p, (int, float))
+            and not isinstance(self.p, bool)
+            and 0.0 <= float(self.p) <= 1.0,
+            f"MessageLoss.p must be in [0, 1], got {self.p!r}",
+        )
+        if self.until is not None:
+            until = _finite_nonneg(self.until, "MessageLoss.until")
+            _require(until >= float(self.start),
+                     "MessageLoss.until must be >= start")
+        _require(len(self.kinds) > 0, "MessageLoss.kinds must be non-empty")
+        for k in self.kinds:
+            _require(k in MESSAGE_KINDS,
+                     f"MessageLoss.kinds entry {k!r} not in {MESSAGE_KINDS}")
+
+
+@dataclass(frozen=True)
+class MessageDelay(FaultEvent):
+    """Add ``delay`` seconds of one-way latency to every pushed bus message
+    during ``[start, until)``."""
+
+    start: float
+    delay: float
+    until: Optional[float] = None
+    kind: ClassVar[str] = "message_delay"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "delay": self.delay,
+            "until": self.until,
+        }
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        _finite_nonneg(self.start, "MessageDelay.start")
+        _finite_nonneg(self.delay, "MessageDelay.delay")
+        if self.until is not None:
+            until = _finite_nonneg(self.until, "MessageDelay.until")
+            _require(until >= float(self.start),
+                     "MessageDelay.until must be >= start")
+
+
+@dataclass(frozen=True)
+class StateStaleness(FaultEvent):
+    """Force placement daemons to see node-state snapshots as at least
+    ``lag`` seconds old during ``[start, until)`` — models the paper's
+    periodic-update staleness without dropping any messages."""
+
+    start: float
+    lag: float
+    until: Optional[float] = None
+    kind: ClassVar[str] = "state_staleness"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "lag": self.lag,
+            "until": self.until,
+        }
+
+    def validate(self, topology: Optional[Any] = None) -> None:
+        _finite_nonneg(self.start, "StateStaleness.start")
+        _finite_nonneg(self.lag, "StateStaleness.lag")
+        if self.until is not None:
+            until = _finite_nonneg(self.until, "StateStaleness.until")
+            _require(until >= float(self.start),
+                     "StateStaleness.until must be >= start")
+
+
+_EVENT_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (LinkDown, LinkDegrade, HostDown, MessageLoss, MessageDelay, StateStaleness)
+}
+
+
+def _event_from_dict(raw: Dict[str, Any]) -> FaultEvent:
+    _require(isinstance(raw, dict), f"fault event must be an object, got {raw!r}")
+    kind = raw.get("kind")
+    _require(kind in _EVENT_TYPES,
+             f"unknown fault kind {kind!r}; expected one of {sorted(_EVENT_TYPES)}")
+    cls = _EVENT_TYPES[kind]
+    payload = {k: v for k, v in raw.items() if k != "kind"}
+    if cls is MessageLoss and "kinds" in payload:
+        kinds = payload["kinds"]
+        _require(isinstance(kinds, (list, tuple)),
+                 f"MessageLoss.kinds must be a list, got {kinds!r}")
+        payload["kinds"] = tuple(kinds)
+    try:
+        event = cls(**payload)
+    except TypeError as exc:
+        raise FaultError(f"bad fields for fault kind {kind!r}: {exc}") from exc
+    return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of fault events plus the seed that drives any
+    randomness they require.
+
+    ``name`` is a display label only — it is excluded from :meth:`canonical`
+    so renaming a plan does not invalidate cached campaign cells.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        """A plan that injects nothing (runs byte-identically to no plan)."""
+        return cls(events=(), seed=seed, name="empty")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, topology: Optional[Any] = None) -> None:
+        """Raise :class:`FaultError` on any malformed event (optionally
+        checking link/host references against ``topology``)."""
+        _require(isinstance(self.seed, int) and not isinstance(self.seed, bool),
+                 f"FaultPlan.seed must be an int, got {self.seed!r}")
+        for event in self.events:
+            _require(isinstance(event, FaultEvent),
+                     f"plan entry {event!r} is not a FaultEvent")
+            event.validate(topology)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def canonical(self) -> Dict[str, Any]:
+        """Canonical form for hashing: ``name`` excluded, keys stable."""
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, allow_nan=False)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultPlan":
+        _require(isinstance(raw, dict), f"fault plan must be an object, got {raw!r}")
+        events_raw = raw.get("events", [])
+        _require(isinstance(events_raw, list),
+                 f"fault plan 'events' must be a list, got {events_raw!r}")
+        seed = raw.get("seed", 0)
+        name = raw.get("name", "")
+        _require(isinstance(name, str), f"fault plan 'name' must be a string, got {name!r}")
+        plan = cls(
+            events=tuple(_event_from_dict(entry) for entry in events_raw),
+            seed=seed,
+            name=name,
+        )
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: Any) -> "FaultPlan":
+        """Read and parse a plan from a JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def point_events(self) -> List[FaultEvent]:
+        """Events that fire once at an absolute time, in (time, insertion)
+        order."""
+        timed = [e for e in self.events
+                 if isinstance(e, (LinkDown, LinkDegrade, HostDown))]
+        return sorted(timed, key=lambda e: (e.time,))  # stable sort keeps insertion order
+
+    def window_events(self) -> List[FaultEvent]:
+        """Control-plane delivery windows, in (start, insertion) order."""
+        windows = [e for e in self.events
+                   if isinstance(e, (MessageLoss, MessageDelay, StateStaleness))]
+        return sorted(windows, key=lambda e: (e.start,))
+
+    def describe(self) -> str:
+        """One line per event, for `repro faults validate` output."""
+        lines = [f"plan {self.name or '<unnamed>'}: seed={self.seed}, "
+                 f"{len(self.events)} event(s)"]
+        for event in self.events:
+            payload = {k: v for k, v in event.to_dict().items() if k != "kind"}
+            fields = ", ".join(f"{k}={v}" for k, v in payload.items())
+            lines.append(f"  - {event.kind}: {fields}")
+        return "\n".join(lines)

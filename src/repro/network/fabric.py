@@ -40,7 +40,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import FlowError, ShadowVerifyError
+from repro.errors import FlowError, RoutingError, ShadowVerifyError
 from repro.network.flow import Flow, FlowId, FlowRecord
 from repro.network.policies.base import RATE_EPSILON, RateAllocator
 from repro.sim.engine import Engine
@@ -133,6 +133,8 @@ class NetworkFabric:
         )
         self._hist_fct = reg.histogram("fabric.fct_seconds") if metrics_on else None
         self._timer_alloc = reg.timer("allocator") if metrics_on else None
+        self._ctr_aborted = reg.counter("fabric.flows_aborted") if metrics_on else None
+        self._ctr_rerouted = reg.counter("fabric.flows_rerouted") if metrics_on else None
         self._capacities: Dict[LinkId, float] = {
             link.link_id: link.capacity for link in topology.links()
         }
@@ -152,6 +154,17 @@ class NetworkFabric:
         self._listeners: List[CompletionListener] = []
         self._arrival_listeners: List[Callable[[Flow], None]] = []
         self._next_flow_id = 0
+        # Fault-injection state: failed links stay in the capacity map at
+        # 0.0 (no flow crosses them — they are evacuated first), and
+        # aborted flows are tallied for the degraded-mode telemetry.
+        self._failed_links: Set[LinkId] = set()
+        self._down_hosts: Set[NodeId] = set()
+        self._flows_aborted = 0
+        self._flows_rerouted = 0
+        # Optimal FCTs are frozen at submit time: completion records must
+        # not shift when a fault later degrades or fails a path link (and
+        # the empty-network baseline is only well defined pre-fault).
+        self._optimal_on_submit: Dict[FlowId, float] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -227,6 +240,34 @@ class NetworkFabric:
         )
         return used / capacity if capacity > 0 else 0.0
 
+    def link_capacity(self, link_id: LinkId) -> float:
+        """Current (possibly degraded) capacity of ``link_id``."""
+        return self._capacities[link_id]
+
+    @property
+    def failed_links(self) -> Set[LinkId]:
+        """Links taken down by fault injection (capacity pinned at 0)."""
+        return set(self._failed_links)
+
+    @property
+    def down_hosts(self) -> Set[NodeId]:
+        """Hosts taken down by fault injection."""
+        return set(self._down_hosts)
+
+    def host_is_up(self, host: NodeId) -> bool:
+        """False once :meth:`fail_host` has taken ``host`` down."""
+        return host not in self._down_hosts
+
+    @property
+    def flows_aborted(self) -> int:
+        """Flows aborted because a failed link left them no route."""
+        return self._flows_aborted
+
+    @property
+    def flows_rerouted(self) -> int:
+        """Flows moved to an alternate path after a link failure."""
+        return self._flows_rerouted
+
     def optimal_fct(self, src: NodeId, dst: NodeId, size: float) -> float:
         """Empty-network transfer time: size over the path's bottleneck.
 
@@ -273,6 +314,11 @@ class NetworkFabric:
             tag=tag,
         )
         self._next_flow_id += 1
+        if path.links:
+            bottleneck = min(self._capacities[link] for link in path.links)
+            self._optimal_on_submit[flow.flow_id] = size / bottleneck
+        else:
+            self._optimal_on_submit[flow.flow_id] = 0.0
         if coflow is not None:
             coflow.attach_flow(flow)
         if self._ctr_submitted is not None:
@@ -324,8 +370,142 @@ class NetworkFabric:
             )
         if flow.flow_id not in self._active:
             raise FlowError(f"flow {flow.flow_id} is not active")
+        self._optimal_on_submit.pop(flow.flow_id, None)
         self._drop_flow(flow)
         self._recompute(flow.path)
+
+    # ------------------------------------------------------------------
+    # Fault injection (data plane)
+    # ------------------------------------------------------------------
+    def degrade_link(self, link_id: LinkId, factor: float) -> None:
+        """Scale ``link_id``'s capacity by ``factor`` (> 0) and re-share.
+
+        Factors below 1 degrade, above 1 restore — a fault plan expresses
+        a brown-out window as degrade followed by the inverse restore.
+        Degrading an already-failed link is a no-op (its capacity is
+        pinned at zero until the run ends).
+        """
+        self._topology.link(link_id)  # raises TopologyError on bad ids
+        if factor <= 0.0:
+            raise FlowError(
+                f"degrade factor must be > 0, got {factor!r} "
+                "(use fail_link to take a link down)"
+            )
+        if link_id in self._failed_links:
+            return
+        self._capacities[link_id] = self._capacities[link_id] * factor
+        if self._trace.active:
+            self._trace.emit(
+                "link_degrade",
+                self._engine.now,
+                {
+                    "link": link_id,
+                    "factor": factor,
+                    "capacity": self._capacities[link_id],
+                },
+            )
+        self._recompute((link_id,))
+
+    def fail_link(self, link_id: LinkId) -> None:
+        """Permanently fail ``link_id``.
+
+        Every flow crossing the link is first *evacuated* — rerouted onto
+        an alternate path when the router still has one, aborted
+        otherwise — and only then is the capacity pinned at zero; the
+        allocator therefore never sees a flow on a zero-capacity link
+        (which would violate work conservation).  Idempotent.
+        """
+        self._topology.link(link_id)
+        if link_id in self._failed_links:
+            return
+        self._failed_links.add(link_id)
+        self._router.fail_link(link_id)
+        now = self._engine.now
+        dirty: Set[LinkId] = {link_id}
+        victims = sorted(self._by_link.get(link_id, {}))
+        for flow_id in victims:
+            flow = self._active.get(flow_id)
+            if flow is None:  # pragma: no cover - defensive
+                continue
+            self._sync_flow(flow, now)
+            dirty.update(flow.path)
+            if flow.finished:
+                self._drop_flow(flow)
+                self._finish_flow(flow)
+                continue
+            try:
+                new_path = self._router.path(flow.src, flow.dst)
+            except RoutingError:
+                new_path = None
+            if new_path is None:
+                self._abort_flow(flow)
+            else:
+                self._reroute_flow(flow, new_path.links)
+                dirty.update(flow.path)
+        if self._trace.active:
+            self._trace.emit(
+                "link_down", now, {"link": link_id, "victims": len(victims)}
+            )
+        self._capacities[link_id] = 0.0
+        self._recompute(tuple(sorted(dirty)))
+
+    def fail_host(self, host: NodeId) -> None:
+        """Take ``host`` down: both its edge links fail.
+
+        Flows touching the host abort (no alternate path reaches a dead
+        host); other flows transiting its links reroute where possible.
+        """
+        if host not in self._topology.hosts:
+            raise FlowError(f"fail_host: {host!r} is not a host")
+        if host in self._down_hosts:
+            return
+        self._down_hosts.add(host)
+        if self._trace.active:
+            self._trace.emit("host_down", self._engine.now, {"host": host})
+        self.fail_link(self._topology.host_uplink(host).link_id)
+        self.fail_link(self._topology.host_downlink(host).link_id)
+
+    def _reroute_flow(self, flow: Flow, new_links: Tuple[LinkId, ...]) -> None:
+        """Move an active flow onto a new path (indexes + path swap)."""
+        flow_id = flow.flow_id
+        for link_id in flow.path:
+            self._by_link[link_id].pop(flow_id, None)
+        flow.path = new_links
+        for link_id in new_links:
+            self._by_link.setdefault(link_id, {})[flow_id] = flow
+        self._flows_rerouted += 1
+        if self._ctr_rerouted is not None:
+            self._ctr_rerouted.inc()
+        if self._trace.active:
+            self._trace.emit(
+                "flow_reroute",
+                self._engine.now,
+                {"flow_id": flow_id, "tag": flow.tag, "path": list(new_links)},
+            )
+
+    def _abort_flow(self, flow: Flow) -> None:
+        """Drop a flow that lost its only path.
+
+        No completion record is appended (the transfer never finished) and
+        completion listeners do not fire; a coflow member's coflow simply
+        never completes — the failed job shows up in the abort counters,
+        not in the CCT statistics.
+        """
+        self._optimal_on_submit.pop(flow.flow_id, None)
+        self._drop_flow(flow)
+        self._flows_aborted += 1
+        if self._ctr_aborted is not None:
+            self._ctr_aborted.inc()
+        if self._trace.active:
+            self._trace.emit(
+                "flow_abort",
+                self._engine.now,
+                {
+                    "flow_id": flow.flow_id,
+                    "tag": flow.tag,
+                    "remaining": flow.remaining,
+                },
+            )
 
     # ------------------------------------------------------------------
     # Internals: progress bookkeeping
@@ -361,6 +541,9 @@ class NetworkFabric:
 
     def _finish_flow(self, flow: Flow) -> None:
         flow.completion_time = self._engine.now
+        optimal = self._optimal_on_submit.pop(flow.flow_id, None)
+        if optimal is None:  # pragma: no cover - flows always pass submit()
+            optimal = self.optimal_fct(flow.src, flow.dst, flow.size)
         record = FlowRecord(
             flow_id=flow.flow_id,
             src=flow.src,
@@ -368,7 +551,7 @@ class NetworkFabric:
             size=flow.size,
             arrival_time=flow.arrival_time,
             completion_time=flow.completion_time,
-            optimal_fct=self.optimal_fct(flow.src, flow.dst, flow.size),
+            optimal_fct=optimal,
             tag=flow.tag,
             coflow_id=flow.coflow.coflow_id if flow.coflow is not None else None,
         )

@@ -82,6 +82,8 @@ def build_neat(
     include_source_link: bool = False,
     bin_boundaries: Optional[Sequence[float]] = None,
     control_rtt: float = 0.0,
+    state_ttl: Optional[float] = None,
+    push_updates: bool = False,
     telemetry=None,
 ) -> NEATPolicy:
     """Instantiate NEAT's full control plane on ``fabric``.
@@ -98,6 +100,14 @@ def build_neat(
             score (off by default; see TaskPlacementDaemon).
         bin_boundaries: enable §5.2 compressed flow state with these bins.
         control_rtt: control-plane RTT used for latency accounting.
+        state_ttl: node-state snapshot TTL; when every known candidate's
+            state is older, the placement daemon falls back to
+            least-loaded placement (degraded operation, see
+            TaskPlacementDaemon).
+        push_updates: when True, network daemons push a NodeStateUpdate to
+            the controller whenever a flow at their host completes — the
+            paper's push-style dissemination.  Off by default so the
+            baseline (pull-only) control plane is unchanged.
         telemetry: optional :class:`~repro.telemetry.Telemetry` threaded
             into the bus (message tracing), daemons (predictor timing),
             and the placement daemon (decision log).
@@ -114,6 +124,7 @@ def build_neat(
         if coflow_predictor is not None
         else None
     )
+    daemons = {}
     for host in fabric.topology.hosts:
         daemon = NetworkDaemon(
             host,
@@ -124,6 +135,7 @@ def build_neat(
             telemetry=telemetry,
         )
         bus.register(host, daemon.handle)
+        daemons[host] = daemon
     placement = TaskPlacementDaemon(
         fabric.topology,
         bus,
@@ -131,8 +143,21 @@ def build_neat(
         use_node_state=use_node_state,
         locality_hops=locality_hops,
         include_source_link=include_source_link,
+        state_ttl=state_ttl,
         telemetry=telemetry,
     )
+    if push_updates:
+        bus.register_controller(placement.handle_node_state_update)
+
+        def _push_on_completion(flow, record) -> None:
+            # A completion frees capacity at both endpoints; their daemons
+            # refresh the controller (dedup handles local flows).
+            for host in dict.fromkeys((flow.src, flow.dst)):
+                daemon = daemons.get(host)
+                if daemon is not None:
+                    daemon.push_state(bus)
+
+        fabric.add_completion_listener(_push_on_completion)
     return NEATPolicy(
         placement, bus, supports_coflow_prediction=coflow_pred is not None
     )

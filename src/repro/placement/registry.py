@@ -26,6 +26,8 @@ def make_placement_policy(
     rng: Optional[random.Random] = None,
     predictor: str = "fair",
     coflow_predictor: Optional[str] = None,
+    state_ttl: Optional[float] = None,
+    push_updates: bool = False,
     telemetry=None,
 ) -> PlacementPolicy:
     """Instantiate a placement policy by name.
@@ -36,7 +38,10 @@ def make_placement_policy(
 
     ``telemetry`` threads a :class:`~repro.telemetry.Telemetry` bundle
     into the policy so placement decisions (and, for NEAT, bus traffic
-    and predictor timings) are recorded.
+    and predictor timings) are recorded.  ``state_ttl`` and
+    ``push_updates`` configure NEAT's degraded-operation machinery (see
+    :func:`~repro.placement.neat.build_neat`); baselines ignore both —
+    they read the fabric directly and have no control plane to degrade.
     """
     key = name.lower()
     if key == "neat":
@@ -45,6 +50,8 @@ def make_placement_policy(
             predictor=predictor,
             coflow_predictor=coflow_predictor,
             rng=rng,
+            state_ttl=state_ttl,
+            push_updates=push_updates,
             telemetry=telemetry,
         )
     if key == "neat-nofilter":
@@ -57,6 +64,8 @@ def make_placement_policy(
             coflow_predictor=coflow_predictor,
             rng=rng,
             use_node_state=False,
+            state_ttl=state_ttl,
+            push_updates=push_updates,
             telemetry=telemetry,
         )
     if key == "neat-path":

@@ -25,6 +25,11 @@ DEFAULT_PRIORITY = 100
 #: recomputed.
 RECOMPUTE_PRIORITY = 200
 
+#: Priority used for injected fault events (link/host failures, window
+#: activations) so that, at a tied timestamp, the fault takes effect *before*
+#: ordinary arrivals/completions observe the network.
+FAULT_PRIORITY = 50
+
 
 @dataclass(order=True)
 class Event:

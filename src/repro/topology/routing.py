@@ -10,7 +10,7 @@ runs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.errors import RoutingError
 from repro.sim.randomness import hash_seed
@@ -26,6 +26,22 @@ class Router:
         self._path_cache: Dict[Tuple[NodeId, NodeId], Path] = {}
         # hop-distance table per destination, built lazily
         self._dist_cache: Dict[NodeId, Dict[NodeId, int]] = {}
+        # links excluded from routing (fault injection); paths are
+        # recomputed from scratch when this set changes
+        self._failed_links: Set[LinkId] = set()
+
+    @property
+    def failed_links(self) -> FrozenSet[LinkId]:
+        """Links currently excluded from path computation."""
+        return frozenset(self._failed_links)
+
+    def fail_link(self, link_id: LinkId) -> None:
+        """Exclude ``link_id`` from all future paths and drop stale caches."""
+        if link_id in self._failed_links:
+            return
+        self._failed_links.add(link_id)
+        self._path_cache.clear()
+        self._dist_cache.clear()
 
     def path(self, src: NodeId, dst: NodeId) -> Path:
         """Return the (cached) routed path from ``src`` to ``dst``.
@@ -57,6 +73,8 @@ class Router:
         # Reverse BFS: walk incoming links.  Build a reverse adjacency once.
         reverse: Dict[NodeId, List[NodeId]] = {}
         for link in topo.links():
+            if link.link_id in self._failed_links:
+                continue
             reverse.setdefault(link.dst, []).append(link.src)
         dist: Dict[NodeId, int] = {dst: 0}
         queue = deque([dst])
@@ -83,7 +101,8 @@ class Router:
             candidates = [
                 link_id
                 for link_id in topo.out_links(node)
-                if topo.link(link_id).dst in dist
+                if link_id not in self._failed_links
+                and topo.link(link_id).dst in dist
                 and dist[topo.link(link_id).dst] == dist[node] - 1
             ]
             if not candidates:

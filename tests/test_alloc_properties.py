@@ -231,3 +231,130 @@ def test_permutation_invariance(scenario, rng):
         baseline = allocator.allocate(flows, capacities)
         permuted = allocator.allocate(shuffled, capacities)
         assert baseline == permuted, f"{name}: allocation depends on input order"
+
+
+# ----------------------------------------------------------------------
+# Fault injection: allocations under mid-run capacity changes
+# ----------------------------------------------------------------------
+#
+# A live fabric takes random submissions interleaved with random
+# LinkDegrade / LinkDown events; after every event the current allocation
+# must respect the *reduced* capacities and stay work-conserving, and the
+# shadow verifier (full recompute alongside every scoped one) must agree
+# throughout — the incremental path may not survive capacity mutations by
+# luck alone.
+
+from repro.errors import RoutingError  # noqa: E402
+from repro.network.fabric import NetworkFabric  # noqa: E402
+from repro.sim.engine import Engine  # noqa: E402
+from repro.topology.fabrics import single_switch  # noqa: E402
+
+#: Probes run just after same-timestamp fault/arrival/recompute machinery.
+PROBE_EPS = 1e-6
+
+
+@st.composite
+def chaos_runs(draw):
+    """Random submissions interleaved with degrade/fail link events."""
+    n_hosts = draw(st.integers(min_value=3, max_value=6))
+    n_flows = draw(st.integers(min_value=2, max_value=8))
+    submissions = []
+    for _ in range(n_flows):
+        src = draw(st.integers(min_value=0, max_value=n_hosts - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=n_hosts - 1).filter(
+                lambda d, s=src: d != s
+            )
+        )
+        submissions.append((
+            draw(st.floats(min_value=0.0, max_value=2.0)),
+            src,
+            dst,
+            draw(st.floats(min_value=1e5, max_value=5e8)),
+        ))
+    events = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        action = draw(st.sampled_from(("degrade", "fail")))
+        events.append((
+            draw(st.floats(min_value=0.0, max_value=3.0)),
+            draw(st.integers(min_value=0, max_value=n_hosts - 1)),
+            draw(st.booleans()),  # True = uplink, False = downlink
+            draw(st.floats(min_value=0.1, max_value=2.0))
+            if action == "degrade"
+            else None,
+        ))
+    return n_hosts, submissions, events
+
+
+@given(chaos_runs())
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_allocations_respect_mutated_capacities(run):
+    n_hosts, submissions, events = run
+    engine = Engine()
+    topo = single_switch(n_hosts)
+    # shadow_verify raises ShadowVerifyError the moment any scoped
+    # recompute diverges from the full reference allocation.
+    fabric = NetworkFabric(
+        engine, topo, make_allocator("fair"), shadow_verify=True
+    )
+    submitted = []
+
+    def probe() -> None:
+        usage: Dict[str, float] = {}
+        active = fabric.active_flows()
+        for flow in active:
+            rate = fabric.current_rate(flow)
+            assert rate >= 0.0
+            for link_id in flow.path:
+                usage[link_id] = usage.get(link_id, 0.0) + rate
+        for link_id, used in usage.items():
+            cap = fabric.link_capacity(link_id)
+            assert used <= cap + CAPACITY_SLACK, (
+                f"link {link_id} over its (mutated) capacity: "
+                f"{used} > {cap}"
+            )
+        for flow in active:
+            saturated = any(
+                usage[link_id]
+                >= fabric.link_capacity(link_id) * (1.0 - 1e-9)
+                - CAPACITY_SLACK
+                for link_id in flow.path
+            )
+            assert saturated, (
+                f"flow {flow.flow_id} has slack on every path link after "
+                "a capacity mutation (not work-conserving)"
+            )
+
+    def submit(src: int, dst: int, size: float) -> None:
+        try:
+            fabric.submit(f"h{src:03d}", f"h{dst:03d}", size)
+        except RoutingError:
+            return  # a failed link already partitioned the pair
+        submitted.append(size)
+
+    def apply_fault(host: int, uplink: bool, factor) -> None:
+        edge = topo.host_uplink if uplink else topo.host_downlink
+        link_id = edge(f"h{host:03d}").link_id
+        if factor is None:
+            fabric.fail_link(link_id)
+        else:
+            fabric.degrade_link(link_id, factor)
+
+    for when, src, dst, size in submissions:
+        engine.schedule_at(
+            when, lambda s=src, d=dst, z=size: submit(s, d, z)
+        )
+        engine.schedule_at(when + PROBE_EPS, probe)
+    for when, host, uplink, factor in events:
+        engine.schedule_at(
+            when, lambda h=host, u=uplink, f=factor: apply_fault(h, u, f)
+        )
+        engine.schedule_at(when + PROBE_EPS, probe)
+    engine.run()
+
+    # Every accepted submission either completed or was aborted by a
+    # link failure — nothing leaks or hangs.
+    assert len(fabric.records) + fabric.flows_aborted == len(submitted)
+    assert not fabric.active_flows()
+    for record in fabric.records:
+        assert record.fct > 0.0

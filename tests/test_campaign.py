@@ -148,6 +148,49 @@ class TestSpec:
         # A package-version bump also invalidates.
         assert spec_key(spec, version="0.0.0") != spec_key(spec)
 
+    def test_spec_key_separates_faulted_cell_from_twin(self):
+        from repro.faults import FaultPlan, LinkDegrade, MessageLoss
+
+        spec = RunSpec(kind="flow_macro", config=TINY)
+        plan = FaultPlan(
+            events=(
+                LinkDegrade(time=1.0, link="h000->tor0", factor=0.5),
+                MessageLoss(start=0.0, p=0.5, kinds=("node_state",)),
+            ),
+            seed=3,
+            name="brownout",
+        )
+        faulted = replace(spec, faults=plan)
+        # A faulted cell never shares a cache entry with its fault-free
+        # twin, and the plan's content (events, seed) is what matters...
+        assert spec_key(faulted) != spec_key(spec)
+        assert spec_key(
+            replace(spec, faults=FaultPlan(plan.events, seed=4, name="brownout"))
+        ) != spec_key(faulted)
+        assert spec_key(
+            replace(spec, faults=FaultPlan(plan.events[:1], seed=3))
+        ) != spec_key(faulted)
+        # ...while renaming the plan (display only) never flips the key.
+        assert spec_key(
+            replace(spec, faults=FaultPlan(plan.events, seed=3, name="other"))
+        ) == spec_key(faulted)
+
+    def test_flow_grid_fault_axis(self):
+        from repro.faults import FaultPlan, MessageLoss
+
+        plan = FaultPlan(
+            events=(MessageLoss(start=0.0, p=1.0),), name="lossy"
+        )
+        campaign = flow_grid(
+            base_config=TINY, seeds=[1], faults=[None, plan]
+        )
+        assert len(campaign) == 2
+        twin, faulted = campaign.cells
+        assert twin.faults is None
+        assert faulted.faults == plan
+        assert "faults=lossy" in faulted.label
+        assert spec_key(twin) != spec_key(faulted)
+
 
 # ----------------------------------------------------------------------
 # Byte-identity: parallel == serial == cached

@@ -20,15 +20,28 @@ from repro.sim.engine import Engine
 from repro.topology.fabrics import single_switch
 
 
-def fresh(policy="fair", hosts=4):
+@pytest.fixture(params=[True, False], ids=["incremental", "full"])
+def incremental(request):
+    """Every failure path must behave identically under scoped and full
+    rate recomputation — cancellation is exactly where the two diverge if
+    the dirty-component bookkeeping forgets a flow."""
+    return request.param
+
+
+def fresh(policy="fair", hosts=4, incremental=None):
     engine = Engine()
-    fabric = NetworkFabric(engine, single_switch(hosts), make_allocator(policy))
+    fabric = NetworkFabric(
+        engine,
+        single_switch(hosts),
+        make_allocator(policy),
+        incremental=incremental,
+    )
     return engine, fabric
 
 
 class TestCancelFlow:
-    def test_cancel_frees_bandwidth_immediately(self):
-        engine, fabric = fresh()
+    def test_cancel_frees_bandwidth_immediately(self, incremental):
+        engine, fabric = fresh(incremental=incremental)
         victim = fabric.submit("h000", "h002", 4e9)
         survivor = fabric.submit("h001", "h002", 2e9)
         engine.run(until=1.0)
@@ -37,16 +50,16 @@ class TestCancelFlow:
         # Survivor had 1.5 Gb left at t=1; alone it finishes at t=2.5.
         assert survivor.fct() == pytest.approx(2.5)
 
-    def test_cancelled_flow_leaves_no_record(self):
-        engine, fabric = fresh()
+    def test_cancelled_flow_leaves_no_record(self, incremental):
+        engine, fabric = fresh(incremental=incremental)
         victim = fabric.submit("h000", "h001", 4e9)
         fabric.cancel_flow(victim)
         engine.run()
         assert fabric.records == ()
         assert fabric.active_flows() == []
 
-    def test_cancel_inactive_flow_rejected(self):
-        engine, fabric = fresh()
+    def test_cancel_inactive_flow_rejected(self, incremental):
+        engine, fabric = fresh(incremental=incremental)
         flow = fabric.submit("h000", "h001", 1e9)
         engine.run()
         with pytest.raises(FlowError):
@@ -62,8 +75,8 @@ class TestCancelFlow:
         with pytest.raises(FlowError):
             fabric.cancel_flow(coflow.flows[0])
 
-    def test_node_state_reflects_cancellation(self):
-        engine, fabric = fresh()
+    def test_node_state_reflects_cancellation(self, incremental):
+        engine, fabric = fresh(incremental=incremental)
         neat = build_neat(fabric)
         short = fabric.submit("h000", "h001", 1e8)
         # Cache sees the short flow...
@@ -81,16 +94,16 @@ class TestCancelFlow:
 
 
 class TestDegenerateInputs:
-    def test_single_candidate_is_used(self):
-        engine, fabric = fresh()
+    def test_single_candidate_is_used(self, incremental):
+        engine, fabric = fresh(incremental=incremental)
         neat = build_neat(fabric)
         host = neat.place(
             PlacementRequest(size=1e9, data_node="h000", candidates=("h003",))
         )
         assert host == "h003"
 
-    def test_candidates_equal_data_node(self):
-        engine, fabric = fresh()
+    def test_candidates_equal_data_node(self, incremental):
+        engine, fabric = fresh(incremental=incremental)
         neat = build_neat(fabric)
         host = neat.place(
             PlacementRequest(size=1e9, data_node="h000", candidates=("h000",))
@@ -99,8 +112,8 @@ class TestDegenerateInputs:
         # Local read: no flow needed, predicted time zero.
         assert neat.daemon.decisions[-1].predicted_time == 0.0
 
-    def test_all_hosts_busy_still_places(self):
-        engine, fabric = fresh(hosts=3)
+    def test_all_hosts_busy_still_places(self, incremental):
+        engine, fabric = fresh(hosts=3, incremental=incremental)
         neat = build_neat(fabric)
         for dst in ("h001", "h002"):
             fabric.submit("h000", dst, 1e8)
@@ -111,9 +124,9 @@ class TestDegenerateInputs:
         )
         assert host in ("h001", "h002")
 
-    def test_zero_capacity_query_never_happens(self):
+    def test_zero_capacity_query_never_happens(self, incremental):
         """Daemons answer even for a fully saturated link (finite FCT)."""
-        engine, fabric = fresh()
+        engine, fabric = fresh(incremental=incremental)
         for _ in range(10):
             fabric.submit("h000", "h001", 1e9)
         neat = build_neat(fabric)
@@ -124,3 +137,29 @@ class TestDegenerateInputs:
         )
         assert host == "h001"
         assert neat.daemon.decisions[-1].predicted_time > 1.0
+
+
+class TestScopedVsFullDifferential:
+    """Cancellations and data-plane faults must leave scoped and full
+    recomputation on byte-identical trajectories."""
+
+    @staticmethod
+    def run_chaos(incremental: bool):
+        engine, fabric = fresh(hosts=6, incremental=incremental)
+        cancel_me = fabric.submit("h000", "h001", 8e9)
+        for i in range(4):
+            fabric.submit(f"h00{i}", f"h00{(i + 2) % 6}", 2e9 + i * 1e8)
+        engine.schedule_at(0.3, lambda: fabric.cancel_flow(cancel_me))
+        engine.schedule_at(
+            0.6, lambda: fabric.degrade_link("h002->sw0", 0.5)
+        )
+        engine.schedule_at(0.9, lambda: fabric.fail_link("h003->sw0"))
+        engine.run()
+        return fabric
+
+    def test_cancel_and_faults_byte_identical(self):
+        scoped = self.run_chaos(True)
+        full = self.run_chaos(False)
+        assert scoped.records == full.records
+        assert scoped.flows_aborted == full.flows_aborted
+        assert scoped.engine.now == full.engine.now

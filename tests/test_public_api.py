@@ -11,7 +11,15 @@ import importlib
 import pytest
 
 PUBLIC_SYMBOLS = {
-    "repro": ["__version__", "ReproError"],
+    "repro": [
+        "__version__", "ReproError", "FaultError",
+        "DaemonUnreachable", "MessageDropped",
+    ],
+    "repro.faults": [
+        "FaultPlan", "FaultInjector", "arm_faults",
+        "LinkDown", "LinkDegrade", "HostDown",
+        "MessageLoss", "MessageDelay", "StateStaleness", "MESSAGE_KINDS",
+    ],
     "repro.sim": ["Engine", "SimClock", "RandomStreams"],
     "repro.topology": [
         "Topology", "Router", "single_switch", "single_rack",
