@@ -331,6 +331,24 @@ def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
     benchmark.extra_info["speedup"] = (
         round(speedup, 2) if speedup else None
     )
+    # Campaign payloads carry per-placement causal blame shares; fold
+    # their across-seed tails into the artifact so regressions in the
+    # decomposition (e.g. contention suddenly dominating) are visible in
+    # the same place as perf regressions.
+    from repro.campaign.aggregate import blame_aggregates
+
+    blame_shares = {
+        f"{net}/load={load:g}": {
+            placement: {
+                component: agg.as_dict()
+                for component, agg in components.items()
+            }
+            for placement, components in per_placement.items()
+        }
+        for (net, load), per_placement in sorted(
+            blame_aggregates(serial).items()
+        )
+    }
     _update_artifact(
         "campaign_parallel_speedup",
         {
@@ -341,5 +359,6 @@ def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
             "speedup": speedup,
             "cache_cold": cold,
             "cache_warm": warm,
+            "blame_shares": blame_shares,
         },
     )

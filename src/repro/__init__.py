@@ -53,7 +53,7 @@ from repro.errors import (
     WorkloadError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -11,11 +11,15 @@ Examples::
     python -m repro fig5 --trace /tmp/t.jsonl --metrics-out /tmp/m.json
     python -m repro fig5 --profile --metrics-out /tmp/m.json
     python -m repro fig7 --timeline /tmp/timeline.json
+    python -m repro fig5 --causal /tmp/run/ --faults plan.json
+    python -m repro explain /tmp/run/ --worst 3
+    python -m repro trace export /tmp/run/ -o /tmp/run/perfetto.json
     python -m repro all --jobs 4
     python -m repro run --seeds 1,2,3 --networks fair,las --loads 0.5,0.7 --jobs 4
     python -m repro run --jobs 4 --status /tmp/campaign/   # live health file
     python -m repro status /tmp/campaign/                  # render + stall check
     python -m repro report /tmp/m.json --prometheus
+    python -m repro report /tmp/m.json --json
     python -m repro bench-compare baseline.json current.json --max-regress 20%
 """
 
@@ -54,9 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce figures from the NEAT paper (CoNEXT 2016).",
         epilog="additional subcommands (each has its own --help): "
                "'status DIR' renders a campaign health file with stall "
-               "detection; 'report METRICS.json [--prometheus]' renders a "
-               "saved metrics snapshot; 'bench-compare BASE.json CUR.json' "
-               "gates on perf regressions between BENCH artifacts.",
+               "detection; 'report METRICS.json [--prometheus|--json]' "
+               "renders a saved metrics snapshot; 'bench-compare BASE.json "
+               "CUR.json' gates on perf regressions between BENCH "
+               "artifacts; 'explain DIR' prints the causal blame breakdown "
+               "of a --causal trace; 'trace export DIR' converts a causal "
+               "trace to Chrome/Perfetto JSON.",
     )
     parser.add_argument(
         "figure",
@@ -99,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline-interval", type=float, default=0.1, metavar="SECONDS",
         help="timeline sampling interval in simulated seconds "
              "(default: %(default)s)",
+    )
+    obs.add_argument(
+        "--causal", metavar="PATH", default=None,
+        help="record a request-scoped causal trace (task -> decision -> "
+             "flow lifecycle -> completion) and write it as JSONL; a "
+             "directory gets causal.jsonl inside; inspect with "
+             "'python -m repro explain PATH'",
     )
     obs.add_argument(
         "--profile", action="store_true",
@@ -178,14 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
              "e.g. varys/scf)",
     )
     chaos = parser.add_argument_group(
-        "fault injection ('run' only)",
+        "fault injection ('run', 'fig5', 'fig6')",
         "seed-deterministic chaos: validate plans with "
         "'python -m repro faults validate PLAN.json'",
     )
     chaos.add_argument(
         "--faults", metavar="PLAN.json", default=None,
         help="inject this fault plan (link/host/daemon chaos) into every "
-             "cell of the sweep",
+             "cell of the sweep, or into each placement's replay for "
+             "fig5/fig6",
     )
     chaos.add_argument(
         "--state-ttl", type=float, default=None, metavar="SECONDS",
@@ -203,7 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
 def telemetry_from_args(args: argparse.Namespace):
     """Build a :class:`~repro.telemetry.Telemetry` when any observability
     flag was given; return None otherwise (zero overhead)."""
-    if not (args.trace or args.metrics_out or args.timeline or args.profile):
+    if not (
+        args.trace
+        or args.metrics_out
+        or args.timeline
+        or args.profile
+        or args.causal
+    ):
         return None
     from repro.telemetry import create_telemetry
 
@@ -214,7 +235,22 @@ def telemetry_from_args(args: argparse.Namespace):
         ),
         profile=args.profile,
         wall_clock=args.wall_clock,
+        causal=bool(args.causal),
     )
+
+
+def resolve_causal_path(target: str, *, for_write: bool = False) -> str:
+    """A ``--causal`` / ``explain`` target: directories get causal.jsonl.
+
+    On write, a trailing separator (or an existing directory) means "put
+    causal.jsonl inside", creating the directory if needed.
+    """
+    looks_like_dir = target.endswith(os.sep) or os.path.isdir(target)
+    if not looks_like_dir:
+        return target
+    if for_write:
+        os.makedirs(target, exist_ok=True)
+    return os.path.join(target, "causal.jsonl")
 
 
 def emit_telemetry_outputs(tele, args: argparse.Namespace) -> None:
@@ -226,6 +262,10 @@ def emit_telemetry_outputs(tele, args: argparse.Namespace) -> None:
     print(render_report(tele))
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.causal:
+        path = resolve_causal_path(args.causal, for_write=True)
+        count = tele.causal.save(path)
+        print(f"causal trace written to {path} ({count} events)")
     if args.metrics_out:
         extra = {"placement_decisions": tele.decisions.error_summary()}
         if tele.profiler.enabled:
@@ -438,10 +478,16 @@ def run_report_cli(argv) -> int:
                     "file), human-readable or Prometheus text format.",
     )
     parser.add_argument("metrics", help="a --metrics-out JSON file")
-    parser.add_argument(
+    style = parser.add_mutually_exclusive_group()
+    style.add_argument(
         "--prometheus", action="store_true",
         help="emit Prometheus text exposition format instead of the "
              "aligned report",
+    )
+    style.add_argument(
+        "--json", action="store_true",
+        help="emit the normalized snapshot as machine-readable JSON "
+             "(counters/gauges/histograms/timers keyed by name)",
     )
     parser.add_argument(
         "--prefix", default="repro_", metavar="PREFIX",
@@ -457,10 +503,120 @@ def run_report_cli(argv) -> int:
         from repro.telemetry.prometheus import render_prometheus
 
         sys.stdout.write(render_prometheus(snapshot, prefix=args.prefix))
+    elif args.json:
+        from repro.telemetry.report import snapshot_as_dict
+
+        json.dump(snapshot_as_dict(snapshot), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
     else:
         from repro.telemetry.report import render_snapshot
 
         print(render_snapshot(snapshot))
+    return 0
+
+
+def run_explain_cli(argv) -> int:
+    """``repro explain``: blame breakdown of a saved causal trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Decompose each completed flow's FCT (and coflow's "
+                    "CCT) from a --causal trace into serialization, "
+                    "queueing, contention, and fault components, and "
+                    "print the per-task blame breakdown.",
+    )
+    parser.add_argument(
+        "trace",
+        help="a --causal JSONL file, or a directory containing "
+             "causal.jsonl",
+    )
+    who = parser.add_mutually_exclusive_group()
+    who.add_argument(
+        "--task", metavar="TAG", default=None,
+        help="explain only flows/coflows whose task tag equals TAG",
+    )
+    who.add_argument(
+        "--worst", type=int, metavar="N", default=None,
+        help="show the N slowest flows and coflows (default: 5)",
+    )
+    who.add_argument(
+        "--percentile", type=float, metavar="P", default=None,
+        help="show only flows at or above the P-th FCT percentile "
+             "(e.g. 99)",
+    )
+    args = parser.parse_args(argv)
+    if args.worst is not None and args.worst < 1:
+        parser.error("--worst must be >= 1")
+    if args.percentile is not None and not 0.0 <= args.percentile <= 100.0:
+        parser.error("--percentile must be in [0, 100]")
+    from repro.telemetry.causal import analyze, load_causal, render_explain
+
+    path = resolve_causal_path(args.trace)
+    try:
+        events = load_causal(path)
+    except OSError as exc:
+        parser.error(f"cannot read causal trace: {exc}")
+    except ValueError as exc:
+        parser.error(str(exc))
+    analyses = analyze(events)
+    if not analyses:
+        print("no completed runs in causal trace", file=sys.stderr)
+        return 1
+    print(
+        render_explain(
+            analyses,
+            task=args.task,
+            worst=args.worst,
+            pct=args.percentile,
+        )
+    )
+    return 0
+
+
+def run_trace_cli(argv) -> int:
+    """``repro trace``: convert a causal trace to viewer formats."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Work with saved --causal traces. 'export' converts "
+                    "one to Chrome/Perfetto trace-event JSON (one track "
+                    "per host/link, flow slices with rate-change "
+                    "sub-slices, fault windows as overlay tracks) for "
+                    "ui.perfetto.dev or chrome://tracing.",
+    )
+    parser.add_argument("action", choices=["export"])
+    parser.add_argument(
+        "trace",
+        help="a --causal JSONL file, or a directory containing "
+             "causal.jsonl",
+    )
+    parser.add_argument(
+        "--format", choices=["perfetto"], default="perfetto",
+        help="output format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="output file (default: <trace>.perfetto.json next to the "
+             "input)",
+    )
+    args = parser.parse_args(argv)
+    from repro.telemetry.causal import load_causal
+    from repro.telemetry.perfetto import save_perfetto
+
+    path = resolve_causal_path(args.trace)
+    try:
+        events = load_causal(path)
+    except OSError as exc:
+        parser.error(f"cannot read causal trace: {exc}")
+    except ValueError as exc:
+        parser.error(str(exc))
+    out = args.output
+    if out is None:
+        stem = path[:-len(".jsonl")] if path.endswith(".jsonl") else path
+        out = stem + ".perfetto.json"
+    try:
+        count = save_perfetto(events, out)
+    except OSError as exc:
+        parser.error(f"cannot write {out}: {exc}")
+    print(f"perfetto trace written to {out} ({count} events)")
     return 0
 
 
@@ -548,7 +704,18 @@ _SUBCOMMANDS = {
     "report": run_report_cli,
     "bench-compare": run_bench_compare_cli,
     "faults": run_faults_cli,
+    "explain": run_explain_cli,
+    "trace": run_trace_cli,
 }
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """The ``--faults`` plan for a figure run (None when not given)."""
+    if not args.faults:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(args.faults)
 
 
 def run_figure(args: argparse.Namespace, tele=None) -> int:
@@ -569,12 +736,14 @@ def run_figure(args: argparse.Namespace, tele=None) -> int:
     if args.figure == "fig5":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
         outcome = run_flow_macro(
-            network_policy="fair", config=cfg, telemetry=tele
+            network_policy="fair", config=cfg, telemetry=tele,
+            faults=_load_fault_plan(args),
         )
     elif args.figure == "fig6":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
         outcome = run_flow_macro(
-            network_policy=args.network or "las", config=cfg, telemetry=tele
+            network_policy=args.network or "las", config=cfg, telemetry=tele,
+            faults=_load_fault_plan(args),
         )
     elif args.figure == "fig7":
         cfg = config_from_args(args, workload=args.workload or "hadoop")
@@ -662,8 +831,13 @@ def main(argv=None) -> int:
         tele = telemetry_from_args(args)
     except OSError as exc:
         parser.error(f"cannot open --trace file: {exc}")
+    from repro.errors import FaultError
+
     try:
         rc = run_figure(args, tele)
+    except FaultError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if tele is not None:
             emit_telemetry_outputs(tele, args)

@@ -97,6 +97,51 @@ def grid_aggregates(
     }
 
 
+def blame_aggregates(
+    report: "CampaignReport",
+) -> Dict[Tuple[str, float], Dict[str, Dict[str, "Aggregate"]]]:
+    """Aggregate causal blame-component shares across seeds.
+
+    Each macro cell payload carries per-placement ``blame`` shares (the
+    mean fraction of FCT attributed to serialization / queueing /
+    contention / fault by the causal decomposition).  This folds the
+    per-seed means into ``{(network_policy, load): {placement:
+    {component: Aggregate}}}`` so campaign reports can show blame tails
+    (p50/p95/p99 across seeds) next to the gap tails.  Cells without
+    causal data (old caches, custom cell functions) are skipped.
+    """
+    from repro.experiments.repetitions import aggregate
+
+    grouped: Dict[
+        Tuple[str, float], Dict[str, Dict[str, List[float]]]
+    ] = {}
+    for outcome in report.completed:
+        payload = outcome.payload
+        if payload is None or "per_placement" not in payload:
+            continue
+        key = (payload["network_policy"], payload["load"])
+        per_placement = grouped.setdefault(key, {})
+        for name, stats in payload["per_placement"].items():
+            blame = stats.get("blame") if isinstance(stats, dict) else None
+            if not blame:
+                continue
+            components = per_placement.setdefault(name, {})
+            for component, share in blame.items():
+                if share is None:
+                    continue
+                components.setdefault(component, []).append(share["mean"])
+    return {
+        key: {
+            name: {
+                component: aggregate(values)
+                for component, values in components.items()
+            }
+            for name, components in sorted(per_placement.items())
+        }
+        for key, per_placement in grouped.items()
+    }
+
+
 def render_campaign_report(
     report: "CampaignReport", *, title: Optional[str] = None
 ) -> str:
@@ -136,6 +181,35 @@ def render_campaign_report(
                     "network", "load", "placement", "gap mean ± stdev",
                     "p50", "p95", "p99", "seeds",
                 ],
+                rows,
+            )
+        )
+
+    blame = blame_aggregates(report)
+    if blame:
+        from repro.telemetry.causal import BLAME_COMPONENTS
+
+        def clean(value: float) -> float:
+            # Decomposition float dust (~1e-17) would render as -0.000.
+            return 0.0 if abs(value) < 1e-9 else value
+
+        rows = []
+        for (net, load), per_placement in sorted(blame.items()):
+            for placement, components in per_placement.items():
+                row = [net, f"{load:g}", placement]
+                for component in BLAME_COMPONENTS:
+                    agg = components.get(component)
+                    row.append(
+                        f"{clean(agg.mean):.3f} (p99 {clean(agg.p99):.3f})"
+                        if agg is not None
+                        else "-"
+                    )
+                rows.append(row)
+        lines.append("")
+        lines.append("blame shares (mean fraction of FCT, across seeds):")
+        lines.append(
+            format_table(
+                ["network", "load", "placement"] + list(BLAME_COMPONENTS),
                 rows,
             )
         )

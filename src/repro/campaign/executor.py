@@ -63,14 +63,22 @@ def _metrics_snapshot(registry) -> Dict[str, object]:
 def _macro_payload(spec: RunSpec) -> Dict[str, object]:
     """Run one flow/coflow placement-comparison cell."""
     from repro.experiments.runner import compare_policies
-    from repro.telemetry import MetricsRegistry, Telemetry
+    from repro.telemetry import CausalTracer, MetricsRegistry, Telemetry
+    from repro.telemetry.causal import analyze, blame_shares_dict
     from repro.telemetry.profiler import current_profiler
 
     registry = MetricsRegistry()
     # The ambient profiler is NULL_PROFILER unless a status-emitting
     # campaign worker installed a real one; span data never enters the
     # payload, so caching and byte-identity are unaffected either way.
-    telemetry = Telemetry(registry=registry, profiler=current_profiler())
+    # The causal tracer rides along so every cell's payload carries the
+    # blame decomposition tails; it observes the run without touching
+    # simulation state, so records stay byte-identical.
+    telemetry = Telemetry(
+        registry=registry,
+        profiler=current_profiler(),
+        causal=CausalTracer(),
+    )
     cfg = spec.config
     topology = cfg.build_topology()
     trace = cfg.build_trace(topology)
@@ -88,6 +96,10 @@ def _macro_payload(spec: RunSpec) -> Dict[str, object]:
         push_updates=cfg.push_node_state,
         telemetry=telemetry,
     )
+    blame = {
+        analysis.placement: blame_shares_dict(list(analysis.flows.values()))
+        for analysis in analyze(telemetry.causal.events)
+    }
     per_placement = {
         name: {
             "average_gap": average_gap(r.records),
@@ -100,6 +112,7 @@ def _macro_payload(spec: RunSpec) -> Dict[str, object]:
             "flows_rerouted": r.flows_rerouted,
             "tasks_dropped": r.tasks_dropped,
             "stale_fallbacks": r.stale_fallbacks,
+            "blame": blame.get(name),
         }
         for name, r in results.items()
     }

@@ -41,6 +41,9 @@ class CoflowTracker:
 
             telemetry = NULL_TELEMETRY
         self._trace = telemetry.trace
+        # Causal tracer (None when disabled): ties each sealed coflow and
+        # its completion to the task trace that created it.
+        self._causal = telemetry.causal if telemetry.causal.active else None
         reg = telemetry.registry
         if reg.enabled:
             self._ctr_submitted = reg.counter("coflow.coflows_submitted")
@@ -126,6 +129,14 @@ class CoflowTracker:
                     "tag": coflow.tag,
                 },
             )
+        if self._causal is not None:
+            self._causal.on_coflow(
+                coflow.arrival_time,
+                coflow.coflow_id,
+                tag=coflow.tag,
+                flows=[flow.flow_id for flow in coflow.flows],
+                total=coflow.total_size,
+            )
         if coflow.finished:
             if coflow.completion_time is None:
                 coflow.completion_time = self._fabric.engine.now
@@ -182,6 +193,13 @@ class CoflowTracker:
                     "optimal_cct": record.optimal_cct,
                     "tag": record.tag,
                 },
+            )
+        if self._causal is not None:
+            self._causal.on_coflow_done(
+                record.completion_time,
+                record.coflow_id,
+                cct=record.cct,
+                optimal=record.optimal_cct,
             )
         for listener in self._listeners:
             listener(coflow, record)

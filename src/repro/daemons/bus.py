@@ -57,6 +57,9 @@ class MessageBus:
 
             telemetry = NULL_TELEMETRY
         self._trace = telemetry.trace
+        # Causal tracer (None when disabled): attributes control messages
+        # and drops to the task whose placement triggered them.
+        self._causal = telemetry.causal if telemetry.causal.active else None
         reg = telemetry.registry
         if reg.enabled:
             self._ctr_messages = reg.counter("bus.messages_sent")
@@ -103,6 +106,8 @@ class MessageBus:
         self._messages_dropped += 1
         if self._ctr_dropped is not None:
             self._ctr_dropped.inc()
+        if self._causal is not None:
+            self._causal.note_bus_drop()
         if self._trace.active:
             self._trace.emit(
                 "bus_drop",
@@ -140,6 +145,8 @@ class MessageBus:
             self._messages_sent += 1
             self._delay_accrued += self._fault_model.message_delay()
             self._calls += 1
+            if self._causal is not None:
+                self._causal.note_bus_message()
             if self._trace.active:
                 self._trace.emit(
                     "bus_message",
@@ -158,6 +165,8 @@ class MessageBus:
             return handler(payload)
         self._messages_sent += 2
         self._calls += 1
+        if self._causal is not None:
+            self._causal.note_bus_message()
         if self._trace.active:
             self._trace.emit(
                 "bus_message",

@@ -122,6 +122,9 @@ class TaskPlacementDaemon:
 
             telemetry = NULL_TELEMETRY
         self._decision_log = telemetry.decisions
+        # Causal tracer (None when disabled): joins decisions to the open
+        # task trace so `repro explain` can flag stale-state placements.
+        self._causal = telemetry.causal if telemetry.causal.active else None
         reg = telemetry.registry
         if reg.enabled:
             self._ctr_stale = reg.counter("placement.stale_fallbacks")
@@ -538,6 +541,14 @@ class TaskPlacementDaemon:
     ) -> None:
         """Keep the decision and mirror it into the telemetry log."""
         self._decisions.append(decision)
+        if self._causal is not None:
+            self._causal.on_decision(
+                self._engine.now,
+                chosen=decision.host,
+                predicted=decision.predicted_time,
+                fallback=decision.used_fallback,
+                stale=decision.used_stale_fallback,
+            )
         if self._decision_log.active:
             self._decision_log.record(
                 time=self._engine.now,

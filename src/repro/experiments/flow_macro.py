@@ -80,8 +80,14 @@ def run_flow_macro(
     placements: Sequence[str] = DEFAULT_PLACEMENTS,
     predictor: str = "fair",
     telemetry=None,
+    faults=None,
 ) -> MacroOutcome:
-    """Run one (network policy, workload) cell of Figures 5/6."""
+    """Run one (network policy, workload) cell of Figures 5/6.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) is injected into each
+    placement's replay — the paired design holds because every placement
+    sees the identical plan.
+    """
     topology = config.build_topology()
     trace = config.build_trace(topology)
     results = compare_policies(
@@ -93,6 +99,7 @@ def run_flow_macro(
         seed=config.seed,
         max_candidates=config.max_candidates,
         telemetry=telemetry,
+        faults=faults,
     )
     return MacroOutcome(
         network_policy=network_policy,

@@ -49,6 +49,17 @@ class Aggregate:
             f"(n={self.count})"
         )
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe form (campaign payloads, BENCH artifacts)."""
+        return {
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "count": self.count,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
 
 def aggregate(values: Sequence[float]) -> Aggregate:
     """Mean ± sample stdev plus p50/p95/p99 of per-seed values."""

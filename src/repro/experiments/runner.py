@@ -68,6 +68,16 @@ def _begin_run(
             fabric.engine.now,
             {"placement": placement, "network_policy": network_policy},
         )
+    if telemetry.causal.active:
+        telemetry.causal.begin_run(
+            fabric.engine.now,
+            placement=placement,
+            network_policy=network_policy,
+            capacities={
+                link.link_id: fabric.link_capacity(link.link_id)
+                for link in fabric.topology.links()
+            },
+        )
     timer = (
         telemetry.registry.timer("placement")
         if telemetry.registry.enabled
@@ -110,6 +120,8 @@ def _end_run(
                 "events_processed": fabric.engine.events_processed,
             },
         )
+    if telemetry.causal.active:
+        telemetry.causal.end_run(fabric.engine.now, records=records_len)
 
 
 @dataclass
@@ -223,11 +235,12 @@ def replay_flow_trace(
         telemetry, fabric, placement=placement, network_policy=network_policy
     )
     prof = tele.profiler if tele.profiler.enabled else None
+    causal = tele.causal if tele.causal.active else None
     hosts = topology.hosts
     predictions: Dict[str, float] = {}
 
     def make_arrival_callback(arrival: TaskArrival):
-        def on_arrival() -> None:
+        def place_task() -> None:
             candidates = _candidate_pool(
                 hosts,
                 arrival.data_node,
@@ -289,6 +302,26 @@ def replay_flow_trace(
             daemon = getattr(policy, "daemon", None)
             if daemon is not None and daemon.decisions:
                 predictions[arrival.tag] = daemon.decisions[-1].predicted_time
+
+        if causal is None:
+            return place_task
+
+        def on_arrival() -> None:
+            # Every task arrival opens a trace context: the placement
+            # decision, its control messages, and the spawned flow all
+            # attribute to this trace id.
+            causal.begin_task(
+                engine.now,
+                tag=arrival.tag,
+                kind="flow",
+                size=arrival.size,
+                data_node=arrival.data_node,
+            )
+            try:
+                place_task()
+            finally:
+                causal.end_task(engine.now)
+
         return on_arrival
 
     for arrival in trace.arrivals:
@@ -380,6 +413,7 @@ def replay_coflow_trace(
         tracker=tracker,
     )
     prof = tele.profiler if tele.profiler.enabled else None
+    causal = tele.causal if tele.causal.active else None
     # The paper's minDist coflow adaptation keeps a coflow's flows in one
     # rack near the input data (Fig. 7 description).
     rack_local = (
@@ -388,7 +422,7 @@ def replay_coflow_trace(
     hosts = topology.hosts
 
     def make_arrival_callback(arrival: CoflowArrival):
-        def on_arrival() -> None:
+        def place_task() -> None:
             sources = {node for node, _size in arrival.transfers}
             pool = [
                 h for h in hosts if not (exclude_data_node and h in sources)
@@ -436,6 +470,23 @@ def replay_coflow_trace(
                     placer()
             else:
                 placer()
+
+        if causal is None:
+            return place_task
+
+        def on_arrival() -> None:
+            causal.begin_task(
+                engine.now,
+                tag=arrival.tag,
+                kind="coflow",
+                size=sum(size for _node, size in arrival.transfers),
+                data_node=max(arrival.transfers, key=lambda ts: ts[1])[0],
+            )
+            try:
+                place_task()
+            finally:
+                causal.end_task(engine.now)
+
         return on_arrival
 
     for arrival in trace.arrivals:

@@ -88,6 +88,10 @@ class FaultInjector:
 
             telemetry = NULL_TELEMETRY
         self._trace = telemetry.trace
+        # Causal tracer (None when disabled): declares window events at
+        # arm time and records each point-fault application, so blame
+        # decomposition can bound fault-attributed loss to real windows.
+        self._causal = telemetry.causal if telemetry.causal.active else None
         reg = telemetry.registry
         if reg.enabled:
             self._ctr_injected = reg.counter("faults.injected")
@@ -137,6 +141,9 @@ class FaultInjector:
             self._bus.install_fault_model(self)
         if self._stale and self._daemon is not None:
             self._daemon.set_fault_model(self)
+        if self._causal is not None:
+            for event in self._plan.window_events():
+                self._causal.on_window(self._engine.now, event.to_dict())
         if self._ctr_injected is not None:
             self._ctr_injected.inc(len(self._plan.events))
 
@@ -146,6 +153,8 @@ class FaultInjector:
             self._ctr_applied.inc()
         if self._trace.active:
             self._trace.emit("fault_applied", self._engine.now, event.to_dict())
+        if self._causal is not None:
+            self._causal.on_fault(self._engine.now, event.to_dict())
         if isinstance(event, LinkDown):
             self._fabric.fail_link(event.link)
         elif isinstance(event, LinkDegrade):

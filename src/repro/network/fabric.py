@@ -112,6 +112,10 @@ class NetworkFabric:
 
             telemetry = NULL_TELEMETRY
         self._trace = telemetry.trace
+        # Causal tracer (None when disabled): observes the flow lifecycle
+        # — submit, every rate change, reroute/abort, completion, capacity
+        # changes — without ever reading simulation state back mutably.
+        self._causal = telemetry.causal if telemetry.causal.active else None
         # Span profiler (None when disabled): attributes recompute wall
         # time to component expansion, the allocator itself, and the
         # rate-map splice.  Wall-clock only — never simulation state.
@@ -336,6 +340,16 @@ class NetworkFabric:
                     "local": flow.is_local,
                 },
             )
+        if self._causal is not None:
+            self._causal.on_flow_submit(
+                self._engine.now,
+                flow.flow_id,
+                src=src,
+                dst=dst,
+                size=size,
+                path=flow.path,
+                optimal=self._optimal_on_submit[flow.flow_id],
+            )
         if flow.is_local:
             # Data is already on the destination host: finishes instantly.
             flow.advance(flow.remaining)
@@ -404,6 +418,10 @@ class NetworkFabric:
                     "capacity": self._capacities[link_id],
                 },
             )
+        if self._causal is not None:
+            self._causal.on_capacity(
+                self._engine.now, link_id, self._capacities[link_id]
+            )
         self._recompute((link_id,))
 
     def fail_link(self, link_id: LinkId) -> None:
@@ -447,6 +465,8 @@ class NetworkFabric:
                 "link_down", now, {"link": link_id, "victims": len(victims)}
             )
         self._capacities[link_id] = 0.0
+        if self._causal is not None:
+            self._causal.on_capacity(now, link_id, 0.0)
         self._recompute(tuple(sorted(dirty)))
 
     def fail_host(self, host: NodeId) -> None:
@@ -482,6 +502,8 @@ class NetworkFabric:
                 self._engine.now,
                 {"flow_id": flow_id, "tag": flow.tag, "path": list(new_links)},
             )
+        if self._causal is not None:
+            self._causal.on_reroute(self._engine.now, flow_id, new_links)
 
     def _abort_flow(self, flow: Flow) -> None:
         """Drop a flow that lost its only path.
@@ -505,6 +527,10 @@ class NetworkFabric:
                     "tag": flow.tag,
                     "remaining": flow.remaining,
                 },
+            )
+        if self._causal is not None:
+            self._causal.on_abort(
+                self._engine.now, flow.flow_id, flow.remaining
             )
 
     # ------------------------------------------------------------------
@@ -570,6 +596,13 @@ class NetworkFabric:
                     "fct": record.fct,
                     "optimal_fct": record.optimal_fct,
                 },
+            )
+        if self._causal is not None:
+            self._causal.on_flow_done(
+                self._engine.now,
+                flow.flow_id,
+                fct=record.fct,
+                optimal=record.optimal_fct,
             )
         if flow.coflow is not None:
             flow.coflow.note_flow_finished(flow, self._engine.now)
@@ -788,6 +821,8 @@ class NetworkFabric:
                 if new_rate > RATE_EPSILON:
                     progressed = True
                 self._rates[flow_id] = new_rate
+                if self._causal is not None and new_rate != old_rate:
+                    self._causal.on_rate(now, flow_id, new_rate)
                 if new_rate != old_rate or (
                     new_rate > RATE_EPSILON
                     and flow_id not in self._completion_events
@@ -800,6 +835,8 @@ class NetworkFabric:
                 # harness flags any policy for which it ever happens.
                 self._sync_flow(flow, now)
                 self._rates[flow_id] = new_rate
+                if self._causal is not None:
+                    self._causal.on_rate(now, flow_id, new_rate)
                 self._reschedule_completion(flow, new_rate, now)
         if not progressed:
             raise FlowError(

@@ -194,6 +194,12 @@ class Engine:
                     "pending": self.pending_events,
                 },
             )
+        if tele.causal.active:
+            tele.causal.on_engine_stats(
+                self.now,
+                events_processed=self._events_processed,
+                heap_high_water=self.heap_high_water,
+            )
 
     def __repr__(self) -> str:
         return (

@@ -11,7 +11,9 @@ the three observability channels:
 * :attr:`Telemetry.decisions` — the placement-decision log with
   realized-outcome joins (:mod:`repro.telemetry.decisions`);
 * :attr:`Telemetry.profiler` — a hierarchical wall-clock span profiler
-  (:mod:`repro.telemetry.profiler`).
+  (:mod:`repro.telemetry.profiler`);
+* :attr:`Telemetry.causal` — request-scoped causal traces with FCT/CCT
+  blame decomposition (:mod:`repro.telemetry.causal`).
 
 Everything defaults to shared no-op singletons, so components take
 ``telemetry: Optional[Telemetry] = None`` and pay a single attribute
@@ -58,7 +60,17 @@ from repro.telemetry.profiler import (
     SpanProfiler,
     render_profile,
 )
-from repro.telemetry.trace import NULL_TRACE, JsonlTraceSink, TraceSink
+from repro.telemetry.causal import (
+    NULL_CAUSAL,
+    CausalTracer,
+    NullCausalTracer,
+)
+from repro.telemetry.trace import (
+    NULL_TRACE,
+    JsonlTraceSink,
+    TraceSink,
+    read_trace,
+)
 
 __all__ = [
     "Telemetry",
@@ -74,6 +86,10 @@ __all__ = [
     "TraceSink",
     "JsonlTraceSink",
     "NULL_TRACE",
+    "read_trace",
+    "CausalTracer",
+    "NullCausalTracer",
+    "NULL_CAUSAL",
     "DecisionLog",
     "DecisionRecord",
     "NULL_DECISIONS",
@@ -106,6 +122,7 @@ class Telemetry:
         "trace",
         "decisions",
         "profiler",
+        "causal",
         "timeline_interval",
         "timelines",
     )
@@ -117,6 +134,7 @@ class Telemetry:
         trace: Optional[TraceSink] = None,
         decisions: Optional[DecisionLog] = None,
         profiler: Optional[SpanProfiler] = None,
+        causal: Optional[CausalTracer] = None,
         timeline_interval: Optional[float] = None,
     ) -> None:
         self.registry = registry if registry is not None else NULL_REGISTRY
@@ -125,6 +143,7 @@ class Telemetry:
             decisions if decisions is not None else NULL_DECISIONS
         )
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.causal = causal if causal is not None else NULL_CAUSAL
         self.timeline_interval = timeline_interval
         self.timelines: List[Tuple[str, Sequence]] = []
 
@@ -136,6 +155,7 @@ class Telemetry:
             or self.trace.active
             or self.decisions.active
             or self.profiler.enabled
+            or self.causal.active
             or self.timeline_interval is not None
         )
 
@@ -160,6 +180,7 @@ def create_telemetry(
     metrics: bool = True,
     decisions: bool = True,
     profile: bool = False,
+    causal: bool = False,
     timeline_interval: Optional[float] = None,
     wall_clock: bool = False,
 ) -> Telemetry:
@@ -171,6 +192,9 @@ def create_telemetry(
         decisions: collect the placement-decision log.
         profile: attach a :class:`SpanProfiler` (hierarchical wall-clock
             spans; never perturbs simulation results).
+        causal: attach a :class:`CausalTracer` recording the request-
+            scoped causal stream (purely observational; changes no
+            simulation records).
         timeline_interval: attach fabric timeline samplers at this
             interval (seconds of simulation time).
         wall_clock: stamp trace records with wall time (breaks
@@ -186,6 +210,7 @@ def create_telemetry(
         trace=sink,
         decisions=DecisionLog(trace=sink) if decisions else None,
         profiler=SpanProfiler() if profile else None,
+        causal=CausalTracer() if causal else None,
         timeline_interval=timeline_interval,
     )
 

@@ -60,7 +60,17 @@ def render_prometheus(snapshot: Dict, *, prefix: str = "repro_") -> str:
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {kind}")
 
-    for raw, value in snapshot.get("counters", {}).items():
+    # Degraded-operation counters are exported zero-defaulted whenever
+    # the snapshot carries metrics at all: an absent series cannot be
+    # alerted on, a zero one can.  (A fully empty snapshot — metrics
+    # were off — still renders empty.)
+    from repro.telemetry.report import DEGRADED_COUNTERS
+
+    counters = dict(snapshot.get("counters", {}))
+    if counters:
+        for raw in DEGRADED_COUNTERS:
+            counters.setdefault(raw, 0)
+    for raw, value in counters.items():
         name = _name(prefix, raw, "_total")
         header(name, "counter", f"counter {raw}")
         lines.append(f"{name} {_num(value)}")

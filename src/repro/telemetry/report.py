@@ -14,10 +14,27 @@ from typing import List
 from repro.metrics.stats import mean
 from repro.telemetry.profiler import render_profile
 
-__all__ = ["render_report", "render_snapshot"]
+__all__ = [
+    "DEGRADED_COUNTERS",
+    "render_report",
+    "render_snapshot",
+    "snapshot_as_dict",
+]
 
 #: Subsystem timers, outermost first (each includes the ones below it).
 _PROFILE_ORDER = ("placement", "bus", "predictor", "allocator")
+
+#: Degraded-operation counters: the fault-tolerance paths a healthy run
+#: never takes.  Reports and the Prometheus exporter always emit these
+#: (zero-defaulted), so "no degraded operation" is an explicit signal
+#: rather than an absent series dashboards cannot alert on.
+DEGRADED_COUNTERS = (
+    "fabric.flows_aborted",
+    "fabric.flows_rerouted",
+    "bus.messages_dropped",
+    "placement.stale_fallbacks",
+    "faults.tasks_dropped",
+)
 
 
 def _fmt(value: float) -> str:
@@ -85,6 +102,19 @@ def _snapshot_lines(snapshot) -> List[str]:
     return lines
 
 
+def _degraded_lines(snapshot) -> List[str]:
+    """The degraded-operation section (zero-defaulted; omitted only when
+    the snapshot carries no counters at all, i.e. metrics were off)."""
+    counters = snapshot.get("counters")
+    if not counters:
+        return []
+    lines = ["", "degraded operation (all zero on a healthy run)"]
+    width = max(len(name) for name in DEGRADED_COUNTERS)
+    for name in DEGRADED_COUNTERS:
+        lines.append(f"  {name:<{width}}  {_fmt(counters.get(name, 0))}")
+    return lines
+
+
 def _profile_lines(profile) -> List[str]:
     lines = ["", "span profile (flame view; excl = self time)"]
     for line in render_profile(profile).splitlines():
@@ -97,6 +127,7 @@ def render_snapshot(snapshot) -> str:
     merged campaign snapshot) as the same aligned text report."""
     lines = ["telemetry report", "================"]
     lines += _snapshot_lines(snapshot)
+    lines += _degraded_lines(snapshot)
     decisions = snapshot.get("placement_decisions")
     if decisions and decisions.get("decisions"):
         lines += ["", "placement decisions"]
@@ -108,6 +139,31 @@ def render_snapshot(snapshot) -> str:
     return "\n".join(lines)
 
 
+def snapshot_as_dict(snapshot) -> dict:
+    """Normalize a saved metrics snapshot for machine consumption
+    (``repro report --json``).
+
+    Core metric sections are always present, degraded-operation counters
+    are zero-defaulted and mirrored into a dedicated ``degraded`` block,
+    and any extra sections (``placement_decisions``, ``profile``, ...)
+    pass through untouched.
+    """
+    counters = dict(snapshot.get("counters", {}))
+    for name in DEGRADED_COUNTERS:
+        counters.setdefault(name, 0)
+    out = {
+        "counters": counters,
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": dict(snapshot.get("histograms", {})),
+        "timers": dict(snapshot.get("timers", {})),
+        "degraded": {name: counters[name] for name in DEGRADED_COUNTERS},
+    }
+    for key, value in snapshot.items():
+        if key not in out:
+            out[key] = value
+    return out
+
+
 def render_report(telemetry) -> str:
     """Render the telemetry bundle as an aligned text report."""
     lines: List[str] = ["telemetry report", "================"]
@@ -115,6 +171,7 @@ def render_report(telemetry) -> str:
     snapshot = telemetry.registry.as_dict() if telemetry.registry.enabled \
         else {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
     lines += _snapshot_lines(snapshot)
+    lines += _degraded_lines(snapshot)
 
     if telemetry.profiler.enabled:
         lines += _profile_lines(telemetry.profiler.as_dict())

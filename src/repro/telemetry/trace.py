@@ -33,9 +33,9 @@ from __future__ import annotations
 import json
 import math
 import time
-from typing import IO, Mapping, Optional, Union
+from typing import IO, Dict, List, Mapping, Optional, Union
 
-__all__ = ["TraceSink", "JsonlTraceSink", "NULL_TRACE"]
+__all__ = ["TraceSink", "JsonlTraceSink", "NULL_TRACE", "read_trace"]
 
 
 def _json_safe(value):
@@ -131,3 +131,29 @@ class JsonlTraceSink(TraceSink):
             self._fp.close()
         else:
             self._fp.flush()
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Read a JSONL trace back into a list of event dicts.
+
+    Tolerates a truncated final line (a run killed mid-write leaves at
+    most one partial record; it is dropped).  A malformed line anywhere
+    *else* is corruption, not truncation, and raises ``ValueError``.
+    """
+    events: List[Dict[str, object]] = []
+    bad_line: Optional[int] = None
+    with open(path, "r", encoding="utf-8") as fp:
+        for number, line in enumerate(fp, 1):
+            if bad_line is not None:
+                raise ValueError(
+                    f"{path}:{bad_line}: malformed trace record "
+                    "(not a truncated tail; file is corrupt)"
+                )
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                bad_line = number
+    return events

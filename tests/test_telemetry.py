@@ -122,6 +122,57 @@ class TestTraceSink:
         assert not NULL_TELEMETRY.trace.active
         NULL_TELEMETRY.trace.emit("ev", 0.0, {"x": 1})  # no error, no output
 
+    def test_wall_clock_mode_keeps_all_records_readable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path), wall_clock=True)
+        sink.emit("first", 0.0, {"x": 1})
+        sink.emit("second", 1.0)
+        sink.close()
+        from repro.telemetry import read_trace
+
+        events = read_trace(str(path))
+        assert [e["event"] for e in events] == ["first", "second"]
+        assert all("wall" in e for e in events)
+
+    def test_repeated_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path))
+        sink.emit("ev", 0.0)
+        sink.close()
+        sink.close()  # second close must not raise or truncate
+        sink.emit("after", 1.0)  # emits after close are dropped silently
+        sink.close()
+        assert sink.events_written == 1
+        from repro.telemetry import read_trace
+
+        assert len(read_trace(str(path))) == 1
+
+    def test_read_trace_tolerates_truncated_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path))
+        sink.emit("kept", 0.0, {"n": 1})
+        sink.emit("kept", 1.0, {"n": 2})
+        sink.close()
+        # Simulate a crash mid-write: chop the final record in half.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 12])
+        from repro.telemetry import read_trace
+
+        events = read_trace(str(path))
+        assert [e["n"] for e in events] == [1]
+
+    def test_read_trace_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"event": "ok", "t": 0.0}\n'
+            '{"event": "broken", "t": \n'
+            '{"event": "ok", "t": 1.0}\n'
+        )
+        from repro.telemetry import read_trace
+
+        with pytest.raises(ValueError, match="malformed trace record"):
+            read_trace(str(path))
+
 
 # ----------------------------------------------------------------------
 # Decision log
