@@ -9,15 +9,13 @@ optimising the substrate.
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import time
-from pathlib import Path
 
 import pytest
 
-from common import environment_fingerprint
+from common import update_artifact as _update_artifact
 from repro.network.fabric import NetworkFabric
 from repro.network.flow import Flow
 from repro.network.policies.registry import make_allocator
@@ -90,12 +88,6 @@ def test_perf_exact_vs_compressed_prediction(benchmark):
 
     exact, approx = benchmark(both)
     assert approx == pytest.approx(exact, rel=0.5)
-
-
-#: Machine-readable artifact for regression tracking (one JSON object
-#: with events/sec, flows completed, and wall time), written next to
-#: this file so CI can archive it.
-ARTIFACT = Path(__file__).resolve().parent / "BENCH_perf_simulator.json"
 
 
 def test_perf_fabric_event_throughput(benchmark):
@@ -175,21 +167,6 @@ def test_perf_fabric_event_throughput(benchmark):
                 ),
             },
         },
-    )
-
-
-def _update_artifact(section: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into the shared JSON artifact."""
-    try:
-        existing = json.loads(ARTIFACT.read_text(encoding="utf-8"))
-    except (FileNotFoundError, json.JSONDecodeError):
-        existing = {}
-    if "benchmark" in existing:  # pre-campaign single-section layout
-        existing = {existing.pop("benchmark"): existing}
-    existing[section] = payload
-    existing["environment"] = environment_fingerprint()
-    ARTIFACT.write_text(
-        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
     )
 
 

@@ -21,6 +21,7 @@ Examples::
     python -m repro report /tmp/m.json --prometheus
     python -m repro report /tmp/m.json --json
     python -m repro bench-compare baseline.json current.json --max-regress 20%
+    python -m repro serve examples/service_diurnal.json --status /tmp/svc/
 """
 
 from __future__ import annotations
@@ -63,7 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
                "CUR.json' gates on perf regressions between BENCH "
                "artifacts; 'explain DIR' prints the causal blame breakdown "
                "of a --causal trace; 'trace export DIR' converts a causal "
-               "trace to Chrome/Perfetto JSON.",
+               "trace to Chrome/Perfetto JSON; 'serve SCENARIO.json' runs "
+               "an open-loop streaming placement session.",
     )
     parser.add_argument(
         "figure",
@@ -655,6 +657,140 @@ def run_bench_compare_cli(argv) -> int:
     return 0 if comparison.ok else 1
 
 
+def run_serve_cli(argv) -> int:
+    """``repro serve``: one open-loop serving session from a scenario."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run NEAT as a streaming placement service: an "
+                    "open-loop arrival stream (Poisson/diurnal/burst) is "
+                    "served through the placement daemons in adaptive "
+                    "micro-batches with admission control, inside the "
+                    "deterministic simulator.  Same (seed, scenario) "
+                    "twice gives byte-identical decision logs and final "
+                    "report JSON.",
+    )
+    parser.add_argument("scenario", help="scenario JSON file (see "
+                        "examples/service_diurnal.json)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="override the scenario's session length (simulated seconds)",
+    )
+    parser.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject this fault plan into the session",
+    )
+    parser.add_argument(
+        "--status", metavar="PATH", default=None, dest="status_path",
+        help="append live heartbeat records (JSONL) here — a file, or a "
+             "directory that gets status.jsonl; watch with "
+             "'python -m repro status PATH'",
+    )
+    parser.add_argument(
+        "--status-interval", type=float, default=1.0, metavar="SECONDS",
+        help="simulated seconds between heartbeats (default: %(default)s; "
+             "part of the deterministic inputs)",
+    )
+    parser.add_argument(
+        "--prometheus-out", metavar="PATH", default=None,
+        help="refresh this file with the live metrics snapshot in "
+             "Prometheus text format at every heartbeat",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the final counters/gauges/timers snapshot as JSON "
+             "(render with 'python -m repro report')",
+    )
+    parser.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write the deterministic final report as JSON "
+             "(byte-identical for same seed+scenario)",
+    )
+    parser.add_argument(
+        "--decisions-out", metavar="PATH", default=None,
+        help="write the placement decision log as deterministic JSONL",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic report JSON to stdout instead of "
+             "the text summary",
+    )
+    args = parser.parse_args(argv)
+    if args.status_interval <= 0:
+        parser.error("--status-interval must be positive")
+    from dataclasses import replace as _replace
+
+    from repro.errors import ConfigError, FaultError, WorkloadError
+    from repro.service import PlacementServer, ServiceScenario
+    from repro.service.server import decisions_as_jsonl, render_service_report
+
+    try:
+        scenario = ServiceScenario.from_json_file(args.scenario)
+        if args.seed is not None:
+            scenario = _replace(scenario, seed=args.seed)
+        if args.duration is not None:
+            scenario = _replace(scenario, duration=args.duration)
+    except (ConfigError, WorkloadError) as exc:
+        parser.error(str(exc))
+    faults = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.load(args.faults)
+        except FaultError as exc:
+            parser.error(str(exc))
+    tele = None
+    if args.metrics_out or args.prometheus_out:
+        from repro.telemetry import create_telemetry
+
+        tele = create_telemetry()
+    status = None
+    if args.status_path:
+        from repro.campaign import resolve_status_path
+        from repro.campaign.status import StatusWriter
+
+        status = StatusWriter(resolve_status_path(args.status_path))
+    server = PlacementServer(
+        scenario,
+        telemetry=tele,
+        faults=faults,
+        status=status,
+        status_interval=args.status_interval,
+        prometheus_out=args.prometheus_out,
+    )
+    try:
+        report = server.run()
+    except (ConfigError, WorkloadError, FaultError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(render_service_report(report))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fp:
+            json.dump(report.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"report written to {args.report_out}",
+              file=sys.stderr)
+    if args.decisions_out:
+        daemon = server.last_daemon
+        with open(args.decisions_out, "w", encoding="utf-8") as fp:
+            fp.write(decisions_as_jsonl(daemon) if daemon else "")
+        print(f"decision log written to {args.decisions_out}",
+              file=sys.stderr)
+    if args.metrics_out and tele is not None:
+        tele.close()
+        tele.registry.write_json(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
 def run_faults_cli(argv) -> int:
     """``repro faults``: validate (and describe) a fault plan file."""
     parser = argparse.ArgumentParser(
@@ -706,6 +842,7 @@ _SUBCOMMANDS = {
     "faults": run_faults_cli,
     "explain": run_explain_cli,
     "trace": run_trace_cli,
+    "serve": run_serve_cli,
 }
 
 

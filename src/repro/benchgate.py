@@ -36,10 +36,17 @@ __all__ = [
 ]
 
 #: Metric keys where smaller is better (suffix match on the key name).
-_LOWER_BETTER_SUFFIXES = ("wall_seconds",)
+#: ``decision_latency_seconds`` covers the streaming-service percentiles
+#: (``p99_decision_latency_seconds`` etc.).
+_LOWER_BETTER_SUFFIXES = ("wall_seconds", "decision_latency_seconds")
 
 #: Metric keys where larger is better (suffix match on the key name).
-_HIGHER_BETTER_SUFFIXES = ("events_per_second", "speedup")
+#: ``placements_per_second`` is the streaming-service throughput metric.
+_HIGHER_BETTER_SUFFIXES = (
+    "events_per_second",
+    "speedup",
+    "placements_per_second",
+)
 
 #: Artifact sections that are not benchmark cells.
 _NON_CELL_SECTIONS = frozenset({"environment"})

@@ -51,6 +51,7 @@ __all__ = [
     "resolve_status_path",
     "STATUS_FILENAME",
     "TERMINAL_STATES",
+    "SETTLED_STATES",
     "DEFAULT_STALL_THRESHOLD",
 ]
 
@@ -59,6 +60,13 @@ STATUS_FILENAME = "status.jsonl"
 
 #: Cell states that mean "no further record is expected".
 TERMINAL_STATES = frozenset({"ok", "cached", "failed"})
+
+#: States that mean the cell's *work* is done even if no supervisor
+#: terminal record follows.  A worker's ``finished`` is the last word
+#: when the stream's writer is not a campaign supervisor (``repro
+#: serve`` heartbeats, a supervisor killed between worker completion and
+#: its own terminal record) — such cells must not count as stalled.
+SETTLED_STATES = TERMINAL_STATES | frozenset({"finished"})
 
 #: Seconds of silence after which a non-terminal cell counts as stalled.
 DEFAULT_STALL_THRESHOLD = 120.0
@@ -199,7 +207,8 @@ def summarize_status(
                 cell.error = rec["error"]
     stalled = []
     for cell in cells.values():
-        if not cell.terminal and now - cell.last_wall > stall_threshold:
+        settled = cell.terminal or cell.state in SETTLED_STATES
+        if not settled and now - cell.last_wall > stall_threshold:
             cell.stalled = True
             stalled.append(cell.cell)
     ordered = [cells[i] for i in sorted(cells)]

@@ -67,6 +67,39 @@ class NodeStateUpdate:
     node_state: float
 
 
+@dataclass(frozen=True)
+class LinkStateRequest:
+    """Ask a node daemon for its raw edge-link state.
+
+    Unlike :class:`FlowPredictionRequest` the answer is *size-independent*:
+    one reply lets the controller score any number of hypothetical flows
+    locally.  The streaming placement service uses this to amortise a
+    single state read per host across a whole micro-batch of requests
+    (§5.2's state shipping, batched).
+    """
+
+    direction: str = "in"
+
+
+@dataclass(frozen=True)
+class LinkStateReply:
+    """A node daemon's edge-link snapshot.
+
+    Attributes:
+        host: the replying node.
+        link: the edge link's id.
+        capacity: the link's capacity in bits/sec.
+        flow_sizes: residual sizes of the flows currently on the link.
+        node_state: smallest residual flow size on the node (§5.1.1).
+    """
+
+    host: NodeId
+    link: str
+    capacity: float
+    flow_sizes: tuple
+    node_state: float
+
+
 def message_kind(payload) -> str:
     """Classify a bus payload for fault-plan loss targeting.
 

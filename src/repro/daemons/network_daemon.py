@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a daemons<->telemetry cycle
 from repro.daemons.messages import (
     CoflowPredictionRequest,
     FlowPredictionRequest,
+    LinkStateReply,
+    LinkStateRequest,
     PredictionReply,
 )
 from repro.errors import DaemonError
@@ -104,6 +106,8 @@ class NetworkDaemon:
             return self.predict_coflow(
                 payload.total_size, payload.size_on_link, payload.direction
             )
+        if isinstance(payload, LinkStateRequest):
+            return self.link_state(payload.direction)
         raise DaemonError(f"unknown request type {type(payload).__name__}")
 
     # ------------------------------------------------------------------
@@ -167,6 +171,28 @@ class NetworkDaemon:
         return PredictionReply(
             host=self._host,
             predicted_time=predicted,
+            node_state=self.node_state(),
+        )
+
+    def link_state(self, direction: str = "in") -> LinkStateReply:
+        """Snapshot of this node's edge link for controller-side scoring.
+
+        Size-independent (unlike :meth:`predict_flow`), so the placement
+        service can fetch it once per host per micro-batch and score every
+        request in the batch against the same snapshot.
+        """
+        link = self._downlink if direction == "in" else self._uplink
+        sizes = tuple(
+            sorted(
+                f.remaining
+                for f in self._fabric.flows_on_link(link.link_id)
+            )
+        )
+        return LinkStateReply(
+            host=self._host,
+            link=link.link_id,
+            capacity=link.capacity,
+            flow_sizes=sizes,
             node_state=self.node_state(),
         )
 

@@ -29,11 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a daemons<->telemetry cycle
 from repro.daemons.messages import (
     CoflowPredictionRequest,
     FlowPredictionRequest,
+    LinkStateReply,
+    LinkStateRequest,
     NodeStateUpdate,
     PredictionReply,
 )
 from repro.errors import DaemonUnreachable, MessageDropped, PlacementError
 from repro.placement.base import PlacementRequest, pick_min
+from repro.predictor.state import link_state_from_flows
 from repro.topology.base import NodeId, Topology
 
 
@@ -352,6 +355,132 @@ class TaskPlacementDaemon:
             candidates=request.candidates,
         )
         return host
+
+    # ------------------------------------------------------------------
+    # Batched flow placement (streaming service)
+    # ------------------------------------------------------------------
+    def place_batch(
+        self,
+        requests: Sequence[PlacementRequest],
+        predictor,
+    ) -> List[NodeId]:
+        """Place a micro-batch of flows off one fabric-state read per host.
+
+        Instead of one size-specific prediction query per (request,
+        candidate) pair — ``place_flow``'s cost — this fetches each
+        distinct candidate's raw edge-link state *once* via
+        :class:`LinkStateRequest` and scores every request in the batch
+        locally with ``predictor`` (the same FCT model the network
+        daemons run).  Within the batch, snapshots are updated
+        optimistically after each decision so later requests see earlier
+        placements.  Bus traffic is O(distinct hosts) per batch instead
+        of O(requests x candidates).
+
+        Returns the chosen host per request, in order.
+        """
+        # One state read per distinct candidate host, in sorted order so
+        # the query sequence (and any fault-plan coin flips it consumes)
+        # is independent of request ordering quirks.
+        wanted: set = set()
+        filtered: List[List[NodeId]] = []
+        for request in requests:
+            hosts = self._locality_filter(request.data_node, request.candidates)
+            filtered.append(hosts)
+            for host in hosts:
+                if host != request.data_node:
+                    wanted.add(host)
+        snapshots: Dict[NodeId, LinkStateReply] = {}
+        live_sizes: Dict[NodeId, List[float]] = {}
+        live_state: Dict[NodeId, float] = {}
+        for host in sorted(wanted):
+            reply = self._try_call(host, LinkStateRequest(direction="in"))
+            if reply is None:
+                continue
+            snapshots[host] = reply
+            live_sizes[host] = list(reply.flow_sizes)
+            live_state[host] = reply.node_state
+            self._node_state_cache[host] = reply.node_state
+            if self._state_ttl is not None:
+                self._state_seen_at[host] = self._engine.now
+
+        placements: List[NodeId] = []
+        for request, hosts in zip(requests, filtered):
+            if self._stale_candidates(hosts):
+                placements.append(
+                    self._degraded_place(
+                        request.size,
+                        hosts,
+                        kind="flow",
+                        tag=request.tag,
+                        data_node=request.data_node,
+                        all_candidates=request.candidates,
+                    )
+                )
+                continue
+            if self._use_node_state:
+                preferred = [
+                    h
+                    for h in hosts
+                    if live_state.get(h, self.cached_node_state(h))
+                    >= request.size
+                ]
+                fallback = not preferred
+                if fallback:
+                    preferred = list(hosts)
+            else:
+                preferred, fallback = list(hosts), False
+            scores: List[float] = []
+            queried: List[NodeId] = []
+            for host in preferred:
+                if host == request.data_node:
+                    scores.append(0.0)
+                    continue
+                snap = snapshots.get(host)
+                if snap is None:
+                    scores.append(float("inf"))
+                    continue
+                queried.append(host)
+                state = link_state_from_flows(
+                    snap.link, snap.capacity, live_sizes[host]
+                )
+                scores.append(predictor.fct(request.size, state))
+            if not any(score < float("inf") for score in scores):
+                placements.append(
+                    self._degraded_place(
+                        request.size,
+                        preferred,
+                        kind="flow",
+                        tag=request.tag,
+                        data_node=request.data_node,
+                        all_candidates=request.candidates,
+                    )
+                )
+                continue
+            host = pick_min(preferred, scores, self._rng)
+            # Optimistic within-batch update: the chosen host's snapshot
+            # now carries this flow, so the rest of the batch doesn't
+            # dog-pile onto one idle host.
+            if host in live_sizes:
+                live_sizes[host].append(request.size)
+                live_state[host] = min(live_state[host], request.size)
+            self._note_placed(host, request.size)
+            self._record_decision(
+                PlacementDecision(
+                    host=host,
+                    predicted_time=min(scores),
+                    preferred_hosts=tuple(preferred),
+                    queried_hosts=tuple(queried),
+                    used_fallback=fallback,
+                    kind="flow",
+                    tag=request.tag,
+                    size=request.size,
+                    candidate_scores=tuple(zip(preferred, scores)),
+                ),
+                data_node=request.data_node,
+                candidates=request.candidates,
+            )
+            placements.append(host)
+        return placements
 
     # ------------------------------------------------------------------
     # Coflow placement (§5.1.2)

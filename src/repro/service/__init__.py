@@ -1,0 +1,59 @@
+"""Streaming placement service: NEAT as a long-lived daemon.
+
+Everywhere else in this repository placement runs *closed-loop*: a finite
+trace is generated, replayed to completion, and compared across policies.
+This package runs the same deterministic simulator *open-loop* — an
+arrival process keeps offering load at its configured rate regardless of
+what the system does with it, the way "heavy traffic from millions of
+users" actually behaves — and serves each arrival through the NEAT
+control plane as a long-lived placement service:
+
+* :mod:`repro.service.workload` — seed-deterministic open-loop arrival
+  sources (Poisson, diurnal-modulated, burst/ON-OFF) built on the
+  paper's empirical size distributions;
+* :mod:`repro.service.admission` — bounded request queue with
+  pluggable admission policy (drop-tail, load-shed by predicted FCT,
+  token bucket) and rejection/depth accounting;
+* :mod:`repro.service.server` — the serving loop: drains admitted
+  requests into the placement daemons in adaptive micro-batches,
+  amortising one fabric-state read per batch across every request in
+  it, and records per-request queue wait and decision latency;
+* :mod:`repro.service.scenario` — the JSON scenario format consumed by
+  ``python -m repro serve``.
+
+Determinism contract: the same ``(seed, scenario)`` replays a
+byte-identical decision log and final report; wall-clock measurements
+(decision latency, placements/sec) are observation-only and never feed
+back into the simulation.
+"""
+
+from repro.service.admission import AdmissionQueue, QueuedRequest
+from repro.service.scenario import ServiceScenario
+from repro.service.server import (
+    PlacementServer,
+    ServiceReport,
+    render_service_report,
+)
+from repro.service.workload import (
+    ArrivalProfile,
+    BurstProfile,
+    DiurnalProfile,
+    OpenLoopSource,
+    PoissonProfile,
+    profile_from_dict,
+)
+
+__all__ = [
+    "ArrivalProfile",
+    "PoissonProfile",
+    "DiurnalProfile",
+    "BurstProfile",
+    "OpenLoopSource",
+    "profile_from_dict",
+    "AdmissionQueue",
+    "QueuedRequest",
+    "ServiceScenario",
+    "PlacementServer",
+    "ServiceReport",
+    "render_service_report",
+]

@@ -1,0 +1,527 @@
+"""The serving loop: NEAT as a long-lived placement service.
+
+:class:`PlacementServer` runs one timed open-loop session inside the
+deterministic simulator: an :class:`~repro.service.workload.OpenLoopSource`
+keeps offering tasks, an :class:`~repro.service.admission.AdmissionQueue`
+bounds how many may wait, and the loop drains admitted requests into the
+existing :class:`~repro.daemons.placement_daemon.TaskPlacementDaemon` in
+adaptive **micro-batches**: a batch is placed as soon as it holds
+``batch_max`` requests or the oldest admitted request has waited
+``batch_wait`` simulated seconds — small batches under light load (low
+latency), full batches under heavy load (amortisation).  Each batch costs
+one :class:`~repro.daemons.messages.LinkStateRequest` per *distinct*
+candidate host instead of one prediction query per (request, candidate)
+pair; see ``TaskPlacementDaemon.place_batch``.
+
+Determinism contract: the decision log and every field of
+:meth:`ServiceReport.to_dict` depend only on ``(scenario, seed,
+status_interval)`` — simulated time throughout.  Wall-clock measurements
+(per-request decision latency, placements/sec) are observation-only: they
+appear in the text report, the metrics registry, and the BENCH artifact,
+never in the deterministic report JSON.  Heartbeat events are scheduled
+whether or not anyone is listening, so attaching a status stream or a
+Prometheus file does not change the simulated trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.daemons.messages import LinkStateRequest  # noqa: F401 (re-export)
+from repro.errors import RoutingError
+from repro.faults import FaultPlan, arm_faults
+from repro.network.fabric import NetworkFabric
+from repro.network.policies.registry import make_allocator
+from repro.placement.base import PlacementRequest
+from repro.placement.neat import build_neat
+from repro.predictor.registry import make_flow_predictor
+from repro.service.admission import AdmissionQueue, QueuedRequest
+from repro.service.scenario import ServiceScenario
+from repro.sim.engine import Engine
+from repro.sim.randomness import hash_seed
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a service<->telemetry cycle
+    from repro.campaign.status import StatusWriter
+    from repro.telemetry import Telemetry
+
+__all__ = ["PlacementServer", "ServiceReport", "render_service_report"]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample (0 if empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _stats(values: List[float]) -> Dict[str, float]:
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": _percentile(values, 0.50),
+        "p99": _percentile(values, 0.99),
+    }
+
+
+@dataclass
+class ServiceReport:
+    """Everything one serving session produced.
+
+    Every field except the ``wall_*`` block is a pure function of the
+    scenario and seed (simulated time only); :meth:`to_dict` emits exactly
+    that deterministic subset.
+    """
+
+    scenario: str
+    seed: int
+    duration: float
+    offered: int
+    admitted: int
+    rejected: int
+    dropped: int
+    decisions: int
+    batches: int
+    queue_depth_peak: int
+    queue_wait: Dict[str, float]
+    batch_size: Dict[str, float]
+    predicted_fct: Dict[str, float]
+    completed_flows: int
+    realized_fct: Dict[str, float]
+    stale_fallbacks: int
+    control_messages: int
+    events_processed: int
+    sim_time: float
+    #: wall-clock observation-only block (varies run to run).
+    wall_seconds: float = 0.0
+    placements_per_second: float = 0.0
+    decision_latency: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The deterministic report: byte-identical for same (seed, scenario)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration": self.duration,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "dropped": self.dropped,
+            "decisions": self.decisions,
+            "batches": self.batches,
+            "queue_depth_peak": self.queue_depth_peak,
+            "queue_wait": dict(self.queue_wait),
+            "batch_size": dict(self.batch_size),
+            "predicted_fct": dict(self.predicted_fct),
+            "completed_flows": self.completed_flows,
+            "realized_fct": dict(self.realized_fct),
+            "stale_fallbacks": self.stale_fallbacks,
+            "control_messages": self.control_messages,
+            "events_processed": self.events_processed,
+            "sim_time": self.sim_time,
+        }
+
+
+def render_service_report(report: ServiceReport) -> str:
+    """Human-readable session summary (includes the wall-clock block)."""
+    lines = [
+        f"service session: {report.scenario} (seed {report.seed})",
+        "=" * 60,
+        f"offered {report.offered} tasks over {report.duration:g}s "
+        f"(sim ran to {report.sim_time:.3f}s)",
+        f"admitted={report.admitted}  rejected={report.rejected}"
+        + (f"  dropped={report.dropped}" if report.dropped else "")
+        + f"  queue depth peak={report.queue_depth_peak}",
+        f"decisions={report.decisions} in {report.batches} batches "
+        f"(mean batch {report.batch_size['mean']:.2f}, "
+        f"p99 {report.batch_size['p99']:.0f})",
+        f"queue wait   mean={report.queue_wait['mean'] * 1e3:.3f}ms  "
+        f"p99={report.queue_wait['p99'] * 1e3:.3f}ms (sim)",
+        f"predicted FCT mean={report.predicted_fct['mean']:.4f}s  "
+        f"p99={report.predicted_fct['p99']:.4f}s",
+        f"completed {report.completed_flows} flows: realized FCT "
+        f"mean={report.realized_fct['mean']:.4f}s  "
+        f"p99={report.realized_fct['p99']:.4f}s",
+        f"control messages={report.control_messages}  "
+        f"events={report.events_processed}"
+        + (
+            f"  stale fallbacks={report.stale_fallbacks}"
+            if report.stale_fallbacks
+            else ""
+        ),
+    ]
+    if report.wall_seconds > 0:
+        lines.append(
+            f"wall: {report.wall_seconds:.3f}s, "
+            f"{report.placements_per_second:.0f} placements/s, "
+            f"decision latency p50="
+            f"{report.decision_latency.get('p50', 0.0) * 1e6:.1f}us "
+            f"p99={report.decision_latency.get('p99', 0.0) * 1e6:.1f}us"
+        )
+    return "\n".join(lines)
+
+
+class PlacementServer:
+    """One open-loop serving session over the NEAT control plane."""
+
+    def __init__(
+        self,
+        scenario: ServiceScenario,
+        *,
+        telemetry: Optional["Telemetry"] = None,
+        faults: Optional[FaultPlan] = None,
+        status: Optional["StatusWriter"] = None,
+        status_interval: float = 1.0,
+        prometheus_out: Optional[str] = None,
+        prometheus_prefix: str = "repro_",
+    ) -> None:
+        """Args:
+            scenario: the session's full configuration.
+            telemetry: optional bundle — the admission queue and serving
+                loop account into its registry, decisions into its log.
+            faults: optional fault plan injected into the session.
+            status: optional :class:`StatusWriter` receiving heartbeat
+                records (``repro status`` can watch a live session).
+            status_interval: simulated seconds between heartbeats.  Part
+                of the deterministic inputs (heartbeats are engine
+                events); attaching/removing ``status`` is not.
+            prometheus_out: path refreshed with the metrics snapshot in
+                Prometheus text format at every heartbeat.
+        """
+        if telemetry is None:
+            from repro.telemetry import NULL_TELEMETRY
+
+            telemetry = NULL_TELEMETRY
+        self._scenario = scenario
+        self._telemetry = telemetry
+        self._faults = faults
+        self._status = status
+        self._status_interval = float(status_interval)
+        self._prometheus_out = prometheus_out
+        self._prometheus_prefix = prometheus_prefix
+        #: The placement daemon of the last completed :meth:`run` (its
+        #: ``decisions`` are the session's deterministic decision log).
+        self.last_daemon = None
+
+    # ------------------------------------------------------------------
+    # The session
+    # ------------------------------------------------------------------
+    def run(self) -> ServiceReport:
+        scenario = self._scenario
+        telemetry = self._telemetry
+        engine = Engine(telemetry=telemetry)
+        topology = scenario.build_topology()
+        fabric = NetworkFabric(
+            engine,
+            topology,
+            make_allocator(scenario.network_policy),
+            telemetry=telemetry,
+        )
+        policy = build_neat(
+            fabric,
+            predictor=scenario.predictor,
+            rng=random.Random(hash_seed(scenario.seed, "service:ties")),
+            control_rtt=scenario.control_rtt,
+            state_ttl=scenario.state_ttl,
+            push_updates=scenario.push_updates,
+            telemetry=telemetry,
+        )
+        daemon = policy.daemon
+        injector = arm_faults(self._faults, fabric, policy, telemetry)
+        predictor = make_flow_predictor(scenario.predictor)
+        admission = AdmissionQueue(
+            policy=scenario.admission_policy,
+            capacity=scenario.queue_capacity,
+            token_rate=scenario.token_rate,
+            token_burst=scenario.token_burst,
+            telemetry=telemetry,
+        )
+        pool_rng = random.Random(hash_seed(scenario.seed, "service:pool"))
+        hosts = topology.hosts
+        reg = telemetry.registry
+        if reg.enabled:
+            ctr_batches = reg.counter("service.batches")
+            ctr_decisions = reg.counter("service.decisions")
+            timer_decision = reg.timer("service.decision")
+        else:
+            ctr_batches = ctr_decisions = timer_decision = None
+
+        arrivals = iter(scenario.build_source(topology))
+        queue_waits: List[float] = []
+        batch_sizes: List[float] = []
+        decision_wall: List[float] = []
+        state = {
+            "seq": 0,
+            "dropped": 0,
+            "decisions": 0,
+            "batches": 0,
+            "trigger": None,
+            "trigger_at": 0.0,
+            "busy_until": 0.0,
+        }
+        batch_max = scenario.batch_max
+        batch_wait = scenario.batch_wait
+
+        # ------------------------------------------------------------------
+        # Arrival pump: one pending arrival event at a time (lazy stream).
+        # ------------------------------------------------------------------
+        def pump() -> None:
+            arrival = next(arrivals, None)
+            if arrival is None:
+                return
+            engine.schedule_at(
+                arrival.time,
+                lambda a=arrival: on_arrival(a),
+                label="service-arrival",
+            )
+
+        def on_arrival(arrival) -> None:
+            pump()
+            request = QueuedRequest(
+                seq=state["seq"], arrival=arrival, admitted_at=engine.now
+            )
+            state["seq"] += 1
+            if admission.offer(request):
+                note_enqueued()
+
+        # ------------------------------------------------------------------
+        # Adaptive micro-batching.  The controller is a serial resource
+        # with a modeled service time per batch (``busy_until``); a drain
+        # trigger never fires while it is busy, which is what lets an
+        # open-loop overload back the admission queue up.
+        # ------------------------------------------------------------------
+        def trigger(delay: float) -> None:
+            """Request a drain after ``delay`` (clamped to server busy time).
+
+            Triggers only ever move *earlier*: a full batch (delay 0)
+            overrides a pending deadline, a later deadline never delays
+            an earlier one.
+            """
+            at = max(engine.now + delay, state["busy_until"])
+            if state["trigger"] is not None:
+                if at >= state["trigger_at"]:
+                    return
+                engine.cancel(state["trigger"])
+            state["trigger"] = engine.schedule_at(
+                at, fire_trigger, label="service-batch"
+            )
+            state["trigger_at"] = at
+
+        def fire_trigger() -> None:
+            state["trigger"] = None
+            drain()
+
+        def note_enqueued() -> None:
+            trigger(0.0 if admission.depth >= batch_max else batch_wait)
+
+        def drain() -> None:
+            batch = admission.take(batch_max)
+            if not batch:
+                return
+            wall_start = _time.perf_counter()
+            requests: List[PlacementRequest] = []
+            kept: List[QueuedRequest] = []
+            for queued in batch:
+                arrival = queued.arrival
+                pool = [h for h in hosts if h != arrival.data_node]
+                cap = scenario.max_candidates
+                if cap is not None and len(pool) > cap:
+                    pool = sorted(pool_rng.sample(pool, cap))
+                if injector is not None:
+                    if not fabric.host_is_up(arrival.data_node):
+                        injector.note_task_dropped(arrival.tag)
+                        state["dropped"] += 1
+                        continue
+                    pool = [h for h in pool if fabric.host_is_up(h)]
+                    if not pool:
+                        injector.note_task_dropped(arrival.tag)
+                        state["dropped"] += 1
+                        continue
+                requests.append(
+                    PlacementRequest(
+                        size=arrival.size,
+                        data_node=arrival.data_node,
+                        candidates=tuple(pool),
+                        tag=arrival.tag,
+                    )
+                )
+                kept.append(queued)
+            if requests:
+                if timer_decision is not None:
+                    with timer_decision.time():
+                        placed = daemon.place_batch(requests, predictor)
+                else:
+                    placed = daemon.place_batch(requests, predictor)
+                for queued, request, host in zip(kept, requests, placed):
+                    queue_waits.append(engine.now - queued.admitted_at)
+                    try:
+                        fabric.submit(
+                            request.data_node,
+                            host,
+                            request.size,
+                            tag=request.tag,
+                        )
+                    except RoutingError:
+                        # Partitioned between placement and submission.
+                        if injector is not None:
+                            injector.note_task_dropped(request.tag)
+                        state["dropped"] += 1
+                state["decisions"] += len(requests)
+                if ctr_decisions is not None:
+                    ctr_decisions.inc(len(requests))
+            elapsed = _time.perf_counter() - wall_start
+            if requests:
+                decision_wall.extend(
+                    [elapsed / len(requests)] * len(requests)
+                )
+            state["batches"] += 1
+            if ctr_batches is not None:
+                ctr_batches.inc()
+            batch_sizes.append(float(len(batch)))
+            state["busy_until"] = engine.now + (
+                scenario.batch_overhead
+                + scenario.per_request_cost * len(batch)
+            )
+            if admission.depth:
+                trigger(0.0 if admission.depth >= batch_max else batch_wait)
+
+        # ------------------------------------------------------------------
+        # Heartbeats: always scheduled, so observers don't change the run.
+        # ------------------------------------------------------------------
+        def heartbeat() -> None:
+            if self._status is not None:
+                self._status.emit(
+                    "cell",
+                    cell=0,
+                    spec=scenario.name,
+                    state="running",
+                    sim_time=engine.now,
+                    decisions=state["decisions"],
+                    queue_depth=admission.depth,
+                    rejected=admission.rejected,
+                    events_processed=engine.events_processed,
+                )
+            self._write_prometheus()
+            if engine.pending_events > 0:
+                engine.schedule(
+                    self._status_interval, heartbeat, label="service-heartbeat"
+                )
+
+        wall_begin = _time.perf_counter()
+        if self._status is not None:
+            # One "campaign" of one cell: `repro status` renders a live
+            # session with the same tooling as a sweep.  The final record
+            # is the worker-style `finished` below — deliberately no
+            # supervisor terminal record, which stall detection must
+            # tolerate (SETTLED_STATES).
+            self._status.emit(
+                "campaign_start",
+                campaign=f"serve:{scenario.name}",
+                cells=1,
+                jobs=1,
+            )
+        pump()
+        engine.schedule(self._status_interval, heartbeat, label="service-heartbeat")
+        engine.run()
+        wall_total = _time.perf_counter() - wall_begin
+
+        predicted = [
+            d.predicted_time
+            for d in daemon.decisions
+            if d.predicted_time >= 0
+        ]
+        fcts = [record.fct for record in fabric.records]
+        report = ServiceReport(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            duration=scenario.duration,
+            offered=admission.offered,
+            admitted=admission.admitted,
+            rejected=admission.rejected,
+            dropped=state["dropped"],
+            decisions=state["decisions"],
+            batches=state["batches"],
+            queue_depth_peak=admission.depth_peak,
+            queue_wait=_stats(queue_waits),
+            batch_size=_stats(batch_sizes),
+            predicted_fct=_stats(predicted),
+            completed_flows=len(fabric.records),
+            realized_fct=_stats(fcts),
+            stale_fallbacks=daemon.stale_fallbacks,
+            control_messages=policy.bus.messages_sent,
+            events_processed=engine.events_processed,
+            sim_time=engine.now,
+            wall_seconds=wall_total,
+            placements_per_second=(
+                state["decisions"] / wall_total if wall_total > 0 else 0.0
+            ),
+            decision_latency=_stats(decision_wall),
+        )
+        if self._status is not None:
+            self._status.emit(
+                "cell",
+                cell=0,
+                spec=scenario.name,
+                state="finished",
+                sim_time=engine.now,
+                decisions=state["decisions"],
+                queue_depth=admission.depth,
+                rejected=admission.rejected,
+                events_processed=engine.events_processed,
+            )
+        self._write_prometheus()
+        self.last_daemon = daemon
+        return report
+
+    def _write_prometheus(self) -> None:
+        if self._prometheus_out is None:
+            return
+        from repro.telemetry.prometheus import render_prometheus
+
+        text = render_prometheus(
+            self._telemetry.registry.as_dict(), prefix=self._prometheus_prefix
+        )
+        with open(self._prometheus_out, "w", encoding="utf-8") as fp:
+            fp.write(text)
+
+
+def decisions_as_jsonl(daemon) -> str:
+    """Serialise a daemon's decision list as deterministic JSONL.
+
+    Sim-time fields only — two identical sessions produce byte-identical
+    output (the ``repro serve --decisions-out`` format).
+    """
+    import json
+
+    lines = []
+    for d in daemon.decisions:
+        lines.append(
+            json.dumps(
+                {
+                    "tag": d.tag,
+                    "kind": d.kind,
+                    "size": d.size,
+                    "host": d.host,
+                    "predicted_time": d.predicted_time,
+                    "preferred": list(d.preferred_hosts),
+                    "queried": list(d.queried_hosts),
+                    "used_fallback": d.used_fallback,
+                    "used_stale_fallback": d.used_stale_fallback,
+                    "scores": [[h, s] for h, s in d.candidate_scores],
+                },
+                separators=(",", ":"),
+                default=str,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

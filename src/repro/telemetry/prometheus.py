@@ -60,22 +60,29 @@ def render_prometheus(snapshot: Dict, *, prefix: str = "repro_") -> str:
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {kind}")
 
-    # Degraded-operation counters are exported zero-defaulted whenever
-    # the snapshot carries metrics at all: an absent series cannot be
-    # alerted on, a zero one can.  (A fully empty snapshot — metrics
-    # were off — still renders empty.)
-    from repro.telemetry.report import DEGRADED_COUNTERS
+    # Degraded-operation and placement-service counters are exported
+    # zero-defaulted whenever the snapshot carries metrics at all: an
+    # absent series cannot be alerted on, a zero one can.  (A fully
+    # empty snapshot — metrics were off — still renders empty.)
+    from repro.telemetry.report import (
+        DEGRADED_COUNTERS,
+        SERVICE_COUNTERS,
+        SERVICE_GAUGES,
+    )
 
     counters = dict(snapshot.get("counters", {}))
+    gauges = dict(snapshot.get("gauges", {}))
     if counters:
-        for raw in DEGRADED_COUNTERS:
+        for raw in DEGRADED_COUNTERS + SERVICE_COUNTERS:
             counters.setdefault(raw, 0)
+        for raw in SERVICE_GAUGES:
+            gauges.setdefault(raw, 0)
     for raw, value in counters.items():
         name = _name(prefix, raw, "_total")
         header(name, "counter", f"counter {raw}")
         lines.append(f"{name} {_num(value)}")
 
-    for raw, value in snapshot.get("gauges", {}).items():
+    for raw, value in gauges.items():
         name = _name(prefix, raw)
         header(name, "gauge", f"gauge {raw}")
         lines.append(f"{name} {_num(value)}")

@@ -16,6 +16,8 @@ from repro.telemetry.profiler import render_profile
 
 __all__ = [
     "DEGRADED_COUNTERS",
+    "SERVICE_COUNTERS",
+    "SERVICE_GAUGES",
     "render_report",
     "render_snapshot",
     "snapshot_as_dict",
@@ -35,6 +37,18 @@ DEGRADED_COUNTERS = (
     "placement.stale_fallbacks",
     "faults.tasks_dropped",
 )
+
+#: Streaming-service counters (``repro serve``), zero-defaulted the same
+#: way: a batch run that never served anything reports explicit zeros,
+#: and a service dashboard can alert on rejections from the first scrape.
+SERVICE_COUNTERS = (
+    "service.tasks_rejected",
+    "service.batches",
+    "service.decisions",
+)
+
+#: Service gauges zero-defaulted alongside (queue depth high-water mark).
+SERVICE_GAUGES = ("service.queue_depth",)
 
 
 def _fmt(value: float) -> str:
@@ -115,6 +129,22 @@ def _degraded_lines(snapshot) -> List[str]:
     return lines
 
 
+def _service_lines(snapshot) -> List[str]:
+    """The streaming-service section (zero-defaulted like degraded ops)."""
+    counters = snapshot.get("counters")
+    if not counters:
+        return []
+    gauges = snapshot.get("gauges", {})
+    names = SERVICE_COUNTERS + SERVICE_GAUGES
+    lines = ["", "placement service (zero unless `repro serve` ran)"]
+    width = max(len(name) for name in names)
+    for name in SERVICE_COUNTERS:
+        lines.append(f"  {name:<{width}}  {_fmt(counters.get(name, 0))}")
+    for name in SERVICE_GAUGES:
+        lines.append(f"  {name:<{width}}  {_fmt(gauges.get(name, 0))}")
+    return lines
+
+
 def _profile_lines(profile) -> List[str]:
     lines = ["", "span profile (flame view; excl = self time)"]
     for line in render_profile(profile).splitlines():
@@ -128,6 +158,7 @@ def render_snapshot(snapshot) -> str:
     lines = ["telemetry report", "================"]
     lines += _snapshot_lines(snapshot)
     lines += _degraded_lines(snapshot)
+    lines += _service_lines(snapshot)
     decisions = snapshot.get("placement_decisions")
     if decisions and decisions.get("decisions"):
         lines += ["", "placement decisions"]
@@ -149,14 +180,20 @@ def snapshot_as_dict(snapshot) -> dict:
     pass through untouched.
     """
     counters = dict(snapshot.get("counters", {}))
-    for name in DEGRADED_COUNTERS:
+    for name in DEGRADED_COUNTERS + SERVICE_COUNTERS:
         counters.setdefault(name, 0)
+    gauges = dict(snapshot.get("gauges", {}))
+    for name in SERVICE_GAUGES:
+        gauges.setdefault(name, 0)
+    service = {name: counters[name] for name in SERVICE_COUNTERS}
+    service.update({name: gauges[name] for name in SERVICE_GAUGES})
     out = {
         "counters": counters,
-        "gauges": dict(snapshot.get("gauges", {})),
+        "gauges": gauges,
         "histograms": dict(snapshot.get("histograms", {})),
         "timers": dict(snapshot.get("timers", {})),
         "degraded": {name: counters[name] for name in DEGRADED_COUNTERS},
+        "service": service,
     }
     for key, value in snapshot.items():
         if key not in out:
@@ -172,6 +209,7 @@ def render_report(telemetry) -> str:
         else {"counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
     lines += _snapshot_lines(snapshot)
     lines += _degraded_lines(snapshot)
+    lines += _service_lines(snapshot)
 
     if telemetry.profiler.enabled:
         lines += _profile_lines(telemetry.profiler.as_dict())

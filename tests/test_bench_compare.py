@@ -104,6 +104,37 @@ class TestCompareArtifacts:
         assert any("only in baseline" in n for n in result.notes)
         assert any("only in current" in n for n in result.notes)
 
+    def test_service_metric_directions(self):
+        # Streaming-service metrics: placements/sec is higher-better,
+        # decision latency (any *_decision_latency_seconds key) is
+        # lower-better.
+        base = {
+            "service_placements_per_second": {
+                "placements_per_second": 1000.0,
+            },
+            "service_p99_decision_latency": {
+                "p99_decision_latency_seconds": 0.001,
+            },
+        }
+        worse = json.loads(json.dumps(base))
+        worse["service_placements_per_second"]["placements_per_second"] = 500.0
+        worse["service_p99_decision_latency"][
+            "p99_decision_latency_seconds"
+        ] = 0.01
+        result = compare_artifacts(base, worse, max_regress=0.2)
+        assert sorted((d.section, d.direction) for d in result.regressions) == [
+            ("service_p99_decision_latency", "lower"),
+            ("service_placements_per_second", "higher"),
+        ]
+        better = json.loads(json.dumps(base))
+        better["service_placements_per_second"][
+            "placements_per_second"
+        ] = 2000.0
+        better["service_p99_decision_latency"][
+            "p99_decision_latency_seconds"
+        ] = 0.0001
+        assert compare_artifacts(base, better, max_regress=0.2).ok
+
     def test_render_marks_regressions(self):
         current = _current(**{"incremental_allocation_speedup:speedup": 2.0})
         result = compare_artifacts(BASELINE, current, max_regress=0.2)

@@ -119,6 +119,23 @@ class TestSummaries:
         assert cell.error == "boom"
         assert not cell.stalled  # failed is terminal
 
+    def test_finished_last_record_never_stalls(self):
+        # A worker-side stream whose final record is "finished" (the
+        # supervisor never appended a terminal ok/failed — e.g. a
+        # `repro serve` session) is settled, not stalled, no matter how
+        # old it is.
+        records = [
+            {"record": "campaign_start", "wall": 0.0, "cells": 1, "jobs": 1},
+            {"record": "cell", "wall": 1.0, "cell": 0, "state": "running"},
+            {"record": "cell", "wall": 2.0, "cell": 0, "state": "finished",
+             "events_processed": 7},
+        ]
+        summary = summarize_status(records, now=1e9, stall_threshold=1)
+        assert summary["stalled"] == []
+        cell = summary["cells"][0]
+        assert cell.state == "finished"
+        assert not cell.stalled
+
     def test_render_mentions_stalls(self):
         records = [
             {"record": "cell", "wall": 0.0, "cell": 3, "state": "running",

@@ -71,6 +71,12 @@ PUBLIC_SYMBOLS = {
         "MacroSummary", "grid_aggregates", "render_campaign_report",
         "build_all_campaign",
     ],
+    "repro.service": [
+        "ServiceScenario", "PlacementServer", "ServiceReport",
+        "render_service_report", "AdmissionQueue", "QueuedRequest",
+        "OpenLoopSource", "ArrivalProfile", "PoissonProfile",
+        "DiurnalProfile", "BurstProfile", "profile_from_dict",
+    ],
     "repro.telemetry": [
         "Telemetry", "NULL_TELEMETRY", "create_telemetry",
         "MetricsRegistry", "NullMetricsRegistry", "NULL_REGISTRY",
