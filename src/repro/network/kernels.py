@@ -1,0 +1,321 @@
+"""Batched numpy kernels for the water-filling rate allocators.
+
+:func:`priority_fill` is the vectorized twin of
+:func:`repro.network.policies.base.greedy_priority_fill`: it takes the
+same ordered priority groups and per-link capacities and returns a
+**bit-identical** rate map.
+
+The reference's per-round cost is the bottleneck scan — a Python loop
+over every link of the sharing component comparing equal shares, paid
+again on every round.  The kernel keeps that array of per-link shares
+as a contiguous float64 vector and replays the scan as a handful of
+vectorized "epsilon chain hops" (first link beating the current
+candidate by more than ``RATE_EPSILON``, repeated); membership counts
+and residual capacities stay scalar bookkeeping, updated pointwise only
+for the links a freeze actually touches.  Per round that turns an
+O(links) interpreted loop into O(touched links) scalar work plus a few
+C-speed array comparisons.
+
+Byte-identity is by construction, not by tolerance.  Every float the
+Python reference produces comes from one of four scalar expressions —
+
+* ``share = residual / count``                      (bottleneck scan)
+* ``share < bottleneck_share - RATE_EPSILON``       (epsilon tie-break)
+* ``residual = max(0.0, residual - share * k)``     (per-round drain)
+* ``rate = bottleneck_share``                       (freeze)
+
+— and the kernel evaluates the *same* expressions on the same operands:
+shares enter the float64 vector losslessly, numpy's elementwise float64
+compare/divide are bit-identical to Python float semantics (IEEE-754,
+no reassociation), and the chain-hop scan visits candidates in the same
+first-seen link order with the same epsilon hysteresis, so every round
+freezes the same flows at the same share.  The differential and golden
+suites in ``tests/test_kernel_differential.py`` / ``tests/test_goldens.py``
+lock this contract end-to-end (records, JSONL traces, causal traces).
+
+Vectorization pays inside *large* priority groups (max-min fair over a
+big sharing component); a strict-priority cascade of tiny groups
+(SRPT/FCFS over all-distinct keys) is inherently sequential, and numpy
+array setup loses to dict arithmetic there.  :data:`GROUP_CUTOFF`
+routes each group below the cutoff to the scalar reference — safe
+precisely because both paths are bit-identical, and both share one
+residual map so groups can mix backends within a single allocation.
+
+numpy is an optional dependency (the ``perf`` extra).  When it is not
+importable, :data:`HAVE_NUMPY` is False and :func:`resolve_backend`
+silently falls back to ``"python"`` — the simulator never requires it.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array as _f64buf
+from itertools import accumulate
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.network.flow import Flow, FlowId
+from repro.network.policies.base import (
+    RATE_EPSILON,
+    greedy_priority_fill,
+    water_fill,
+)
+from repro.topology.base import LinkId
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg / subprocess test
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: True when the numpy kernels are importable in this environment.
+HAVE_NUMPY = _np is not None
+
+#: Backends accepted by :func:`resolve_backend`.
+BACKENDS = ("python", "numpy")
+
+#: Environment variable that selects the default allocator backend when
+#: no explicit ``backend=`` is given (the CI numpy leg sets it, as does
+#: pytest's ``--alloc-backend`` option).
+BACKEND_ENV = "REPRO_ALLOC_BACKEND"
+
+#: Priority groups smaller than this water-fill on the scalar reference
+#: even under the numpy backend: array setup loses to dict arithmetic on
+#: the tiny groups priority cascades produce (and on the small dirty
+#: components of incremental recomputes, p50 ~5 flows), while the
+#: outputs are bit-identical either way.  Tunable via
+#: ``REPRO_KERNEL_CUTOFF`` (tests pin it to 1 to force every group
+#: through the vectorized path).
+GROUP_CUTOFF = int(os.environ.get("REPRO_KERNEL_CUTOFF", "16"))
+
+
+def available_backends() -> tuple:
+    """Backends usable in this environment (numpy only when importable)."""
+    return BACKENDS if HAVE_NUMPY else ("python",)
+
+
+def resolve_backend(backend: "str | None") -> str:
+    """Validate a backend request and resolve it to an effective one.
+
+    ``None`` reads :data:`BACKEND_ENV` (default ``"python"``).  Asking
+    for ``"numpy"`` without numpy installed degrades gracefully to
+    ``"python"`` — the two are bit-identical, so the fallback changes
+    speed, never results.  Unknown names raise :class:`ConfigError`.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "python"
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise ConfigError(
+            f"unknown allocator backend {backend!r}; known: {known}"
+        )
+    if backend == "numpy" and not HAVE_NUMPY:
+        return "python"
+    return backend
+
+
+def priority_fill(
+    groups: Iterable[Sequence[Flow]],
+    capacities: Mapping[LinkId, float],
+) -> Dict[FlowId, float]:
+    """Vectorized strict-priority water-filling (bit-identical twin of
+    :func:`~repro.network.policies.base.greedy_priority_fill`).
+
+    ``groups`` must be ordered highest priority first; equal-priority
+    flows (same group) share fairly, lower groups water-fill the
+    residual capacity left by higher ones.
+    """
+    if _np is None:
+        return greedy_priority_fill(groups, capacities)
+    residual: Dict[LinkId, float] = dict(capacities)
+    rates: Dict[FlowId, float] = {}
+    for group in groups:
+        group = list(group)
+        if len(group) < GROUP_CUTOFF:
+            water_fill(group, residual, rates)
+        else:
+            _water_fill_numpy(group, residual, rates)
+    return rates
+
+
+#: Shares at or above this magnitude cannot be within ``RATE_EPSILON``
+#: of each other without being exactly equal: two distinct float64
+#: values >= 2**23 differ by at least one ulp = 2**-29 > 1e-9.  Above
+#: the floor the reference's epsilon-improvement chain provably ends at
+#: the *first occurrence of the minimum share* — exactly ``argmin`` —
+#: so the scan collapses to one C call.  Below it (drained links, tiny
+#: residuals) the chain is replayed hop by hop instead.
+_NEAR_TIE_FLOOR = float(2**23)
+
+#: Process-wide link-id interning for the kernel: maps each LinkId to a
+#: stable small int so per-flow paths cache as numpy index arrays on the
+#: Flow objects themselves.  Append-only; the ints are internal identity
+#: only (scan order is recomputed per call from first-seen order), so
+#: the registry never influences results.
+_LINK_INTERN: Dict[LinkId, int] = {}
+_LINK_NAMES: List[LinkId] = []
+
+
+def _flow_cols(flow: Flow) -> "object":
+    """The flow's path as a cached array of interned link ints."""
+    cols = getattr(flow, "_kernel_cols", None)
+    if cols is None:
+        intern = _LINK_INTERN
+        ids = []
+        for link_id in flow.path:
+            gid = intern.get(link_id)
+            if gid is None:
+                gid = len(_LINK_NAMES)
+                intern[link_id] = gid
+                _LINK_NAMES.append(link_id)
+            ids.append(gid)
+        cols = _np.asarray(ids, dtype=_np.intp)
+        flow._kernel_cols = cols
+    return cols
+
+
+def _water_fill_numpy(
+    flows: List[Flow],
+    residual: Dict[LinkId, float],
+    rates: Dict[FlowId, float],
+) -> None:
+    """One max-min water-fill round-for-round with the reference.
+
+    Mutates ``residual`` and ``rates`` exactly like
+    :func:`~repro.network.policies.base.water_fill`.
+    """
+    np = _np
+
+    # ------------------------------------------------------------------
+    # Build phase (vectorized): concatenate the flows' interned paths
+    # and assign every distinct link a column in first-seen order — the
+    # exact order the reference's ``members`` dict iterates during its
+    # bottleneck scan.
+    # ------------------------------------------------------------------
+    objs: List[Flow] = []
+    arrs = []
+    lengths: List[int] = []
+    for flow in flows:
+        rates[flow.flow_id] = 0.0
+        if not flow.path:
+            continue
+        cols = _flow_cols(flow)
+        objs.append(flow)
+        arrs.append(cols)
+        lengths.append(len(cols))
+    n_flows = len(objs)
+    if n_flows == 0:
+        return
+
+    cat = np.concatenate(arrs)
+    total = cat.size
+    # Column assignment over *dense* global-id scratch arrays (the
+    # intern table is small and append-only, so sized-to-registry
+    # scratch beats a sort-based ``np.unique``).  Duplicate-index fancy
+    # assignment applies writes in order, so scattering reversed
+    # positions leaves each link's *first* occurrence — giving columns
+    # in exactly the first-seen order the reference's ``members`` dict
+    # iterates during its bottleneck scan.
+    n_global = len(_LINK_NAMES)
+    count_g = np.bincount(cat, minlength=n_global)
+    present = np.flatnonzero(count_g)
+    pos_g = np.empty(n_global, dtype=np.intp)
+    pos_g[cat[::-1]] = np.arange(total - 1, -1, -1)
+    order = np.argsort(pos_g[present], kind="stable")
+    gids = present[order]  # col -> global link id, first-seen order
+    n_links = gids.size
+    rank_g = np.empty(n_global, dtype=np.intp)
+    rank_g[gids] = np.arange(n_links)
+    cols_cat = rank_g[cat]
+    counts_arr = count_g[gids]
+
+    # Residuals and shares live in ``array.array`` buffers: the fill
+    # loop updates them with plain Python float arithmetic (bit-exact
+    # C doubles, no numpy-scalar boxing overhead) while zero-copy numpy
+    # views serve the vectorized argmin/chain scans.
+    links: List[LinkId] = [_LINK_NAMES[g] for g in gids.tolist()]
+    res = _f64buf("d", [residual.get(link_id, 0.0) for link_id in links])
+    # Equal share per link; elementwise float64 division is
+    # bit-identical to the reference's scalar divisions.
+    shares_arr = np.frombuffer(res) / counts_arr
+    shares_buf = _f64buf("d", shares_arr.tobytes())
+    shares = np.frombuffer(shares_buf)
+    counts: List[int] = counts_arr.tolist()
+
+    # Per-column member positions (which flows cross each link), as one
+    # flat list sliced by per-column offsets; only bottleneck columns
+    # are ever consulted.  Per-flow column paths slice the same flat
+    # ``cols_list`` by flow offsets.
+    flowidx = np.repeat(np.arange(n_flows, dtype=np.intp), lengths)
+    by_col = flowidx[np.argsort(cols_cat, kind="stable")].tolist()
+    cols_list: List[int] = cols_cat.tolist()
+    col_off: List[int] = [0, *accumulate(counts)]
+    flow_off: List[int] = [0, *accumulate(lengths)]
+
+    # ------------------------------------------------------------------
+    # Fill phase: one round per bottleneck, exactly like the reference.
+    # ------------------------------------------------------------------
+    inf = float("inf")
+    alive = [True] * n_flows
+    flow_ids = [flow.flow_id for flow in objs]
+    argmin = shares.argmin  # bound-method hoist: one call per round
+    remaining = n_flows
+    first_valid = 0  # counts only ever decrease, so this only advances
+    while remaining:
+        while first_valid < n_links and counts[first_valid] <= 0:
+            first_valid += 1
+        if first_valid == n_links:
+            break
+        idx = int(argmin())
+        share = shares_buf[idx]  # buffer getitem -> plain Python float
+        if share < _NEAR_TIE_FLOOR:
+            # Above the floor no near-ties are possible, so the
+            # reference's chain provably ends at the first occurrence
+            # of the minimum — exactly what argmin returned.  Below it,
+            # replay the epsilon-improvement chain: the reference walks
+            # links in first-seen order and moves its candidate only on
+            # a > RATE_EPSILON improvement, so the bottleneck is the
+            # end of that chain, not the plain argmin.  Each hop finds
+            # the first later link beating the candidate — one C-speed
+            # compare over the tail.
+            idx = first_valid
+            share = shares_buf[idx]
+            while idx + 1 < n_links:
+                better = shares[idx + 1:] < (share - RATE_EPSILON)
+                hop = int(better.argmax())
+                if not better[hop]:
+                    break
+                idx += 1 + hop
+                share = shares_buf[idx]
+        if share < 0.0:
+            share = 0.0
+
+        # Freeze every unfrozen flow crossing the bottleneck (the
+        # alive check also dedupes flows listing a link twice), then
+        # apply the reference's single-expression drain per touched
+        # link and refresh that link's cached share.
+        frozen: List[int] = []
+        for pos in by_col[col_off[idx]:col_off[idx + 1]]:
+            if alive[pos]:
+                alive[pos] = False
+                frozen.append(pos)
+        if not frozen:  # pragma: no cover - counts>0 implies a flow
+            break
+        freeze_counts: Dict[int, int] = {}
+        fc_get = freeze_counts.get
+        for pos in frozen:
+            rates[flow_ids[pos]] = share
+            for col in cols_list[flow_off[pos]:flow_off[pos + 1]]:
+                freeze_counts[col] = fc_get(col, 0) + 1
+        remaining -= len(frozen)
+        for col, k in freeze_counts.items():
+            count = counts[col] - k
+            counts[col] = count
+            drained = max(0.0, res[col] - share * k)
+            res[col] = drained
+            shares_buf[col] = drained / count if count > 0 else inf
+        counts[idx] = 0  # members.pop(bottleneck)
+        shares_buf[idx] = inf
+
+    for col, link_id in enumerate(links):
+        residual[link_id] = res[col]

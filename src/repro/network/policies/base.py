@@ -37,6 +37,40 @@ class RateAllocator(ABC):
     #: scopes recomputes to the dirty component when this is True.
     incremental_safe: bool = False
 
+    #: Effective compute backend for the shared priority-fill machinery:
+    #: ``"python"`` (default) or ``"numpy"``.  Selected via
+    #: :meth:`use_backend`; both backends are bit-identical, so this is a
+    #: speed knob, never a semantics knob.
+    backend: str = "python"
+
+    def use_backend(self, backend: "Optional[str]") -> str:
+        """Select the priority-fill backend and return the effective one.
+
+        ``None`` defers to the ``REPRO_ALLOC_BACKEND`` environment
+        variable (default ``"python"``); requesting ``"numpy"`` without
+        numpy installed falls back to ``"python"`` silently.  Policies
+        route their group allocation through :meth:`_fill`, so switching
+        backends never touches policy-specific state (arrival indexes,
+        link member lists, change-point hints).
+        """
+        from repro.network import kernels
+
+        effective = kernels.resolve_backend(backend)
+        self.backend = effective
+        if effective == "numpy":
+            self._fill = kernels.priority_fill
+        else:
+            self.__dict__.pop("_fill", None)
+        return effective
+
+    def _fill(
+        self,
+        groups: Iterable[Sequence[Flow]],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        """Backend dispatch point for strict-priority water-filling."""
+        return greedy_priority_fill(groups, capacities)
+
     @abstractmethod
     def allocate(
         self,
@@ -232,17 +266,25 @@ def water_fill(
         bottleneck_share = max(bottleneck_share, 0.0)
 
         # Freeze every unfrozen flow crossing the bottleneck at that share.
+        # Each touched link is drained in ONE clamped expression
+        # (share * frozen-member-count) rather than one subtraction per
+        # frozen flow: repeated float subtraction is order-dependent,
+        # and the single-multiply form is what makes the numpy kernel in
+        # repro.network.kernels bit-identical to this reference.
         frozen: List[Flow] = [
             flow for flow in active.values() if bottleneck in flow.path
         ]
+        freeze_counts: Dict[LinkId, int] = {}
         for flow in frozen:
             rates[flow.flow_id] = bottleneck_share
             del active[flow.flow_id]
             for link_id in flow.path:
-                members[link_id] -= 1
-                residual[link_id] = max(
-                    0.0, residual.get(link_id, 0.0) - bottleneck_share
-                )
+                freeze_counts[link_id] = freeze_counts.get(link_id, 0) + 1
+        for link_id, count in freeze_counts.items():
+            members[link_id] -= count
+            residual[link_id] = max(
+                0.0, residual.get(link_id, 0.0) - bottleneck_share * count
+            )
         members.pop(bottleneck, None)
 
 

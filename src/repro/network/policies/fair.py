@@ -7,10 +7,10 @@ in commercial datacenters.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.network.flow import Flow, FlowId
-from repro.network.policies.base import RateAllocator, water_fill
+from repro.network.policies.base import RateAllocator
 from repro.topology.base import LinkId
 
 
@@ -20,16 +20,15 @@ class FairAllocator(RateAllocator):
     name = "fair"
     incremental_safe = True
 
+    def _groups(self, flows: Sequence[Flow]) -> List[List[Flow]]:
+        # Canonical flow-id order makes the allocation invariant to the
+        # caller's input permutation: water-fill's epsilon tie-break on
+        # near-equal bottleneck shares is otherwise input-order sensitive.
+        return [sorted(flows, key=lambda f: f.flow_id)]
+
     def allocate(
         self,
         flows: Sequence[Flow],
         capacities: Mapping[LinkId, float],
     ) -> Dict[FlowId, float]:
-        # Canonical flow-id order makes the allocation invariant to the
-        # caller's input permutation: water-fill's epsilon tie-break on
-        # near-equal bottleneck shares is otherwise input-order sensitive.
-        ordered = sorted(flows, key=lambda f: f.flow_id)
-        residual: Dict[LinkId, float] = dict(capacities)
-        rates: Dict[FlowId, float] = {}
-        water_fill(ordered, residual, rates)
-        return rates
+        return self._fill(self._groups(flows), capacities)

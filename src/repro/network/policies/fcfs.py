@@ -13,7 +13,6 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.network.flow import Flow, FlowId
 from repro.network.policies.base import (
     RateAllocator,
-    greedy_priority_fill,
     group_by_key,
 )
 from repro.topology.base import LinkId
@@ -44,11 +43,7 @@ class FCFSAllocator(RateAllocator):
         if index < len(self._order) and self._order[index][2] is flow:
             self._order.pop(index)
 
-    def allocate(
-        self,
-        flows: Sequence[Flow],
-        capacities: Mapping[LinkId, float],
-    ) -> Dict[FlowId, float]:
+    def _groups(self, flows: Sequence[Flow]) -> List[List[Flow]]:
         if self._order and len(flows) == len(self._order):
             # Full active set (the tracked population): reuse the
             # persistent order.  Grouping matches group_by_key with zero
@@ -59,7 +54,13 @@ class FCFSAllocator(RateAllocator):
                     groups[-1].append(flow)
                 else:
                     groups.append([flow])
-        else:
-            keys = {flow.flow_id: flow.arrival_time for flow in flows}
-            groups = group_by_key(flows, keys)
-        return greedy_priority_fill(groups, capacities)
+            return groups
+        keys = {flow.flow_id: flow.arrival_time for flow in flows}
+        return group_by_key(flows, keys)
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        return self._fill(self._groups(flows), capacities)

@@ -20,7 +20,6 @@ from repro.network.policies.base import (
     LinkMembershipMixin,
     RateAllocator,
     earliest_adjacent_crossing,
-    greedy_priority_fill,
     group_by_key,
 )
 from repro.topology.base import LinkId
@@ -35,14 +34,16 @@ class LASAllocator(LinkMembershipMixin, RateAllocator):
     name = "las"
     incremental_safe = True
 
+    def _groups(self, flows: Sequence[Flow]):
+        keys = {flow.flow_id: flow.attained for flow in flows}
+        return group_by_key(flows, keys, tolerance=ATTAINED_TIE_TOLERANCE)
+
     def allocate(
         self,
         flows: Sequence[Flow],
         capacities: Mapping[LinkId, float],
     ) -> Dict[FlowId, float]:
-        keys = {flow.flow_id: flow.attained for flow in flows}
-        groups = group_by_key(flows, keys, tolerance=ATTAINED_TIE_TOLERANCE)
-        return greedy_priority_fill(groups, capacities)
+        return self._fill(self._groups(flows), capacities)
 
     def next_change_hint(
         self,

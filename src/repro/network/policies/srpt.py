@@ -21,7 +21,6 @@ from repro.network.policies.base import (
     LinkMembershipMixin,
     RateAllocator,
     earliest_adjacent_crossing,
-    greedy_priority_fill,
 )
 from repro.topology.base import LinkId
 
@@ -35,11 +34,7 @@ class SRPTAllocator(LinkMembershipMixin, RateAllocator):
     name = "srpt"
     incremental_safe = True
 
-    def allocate(
-        self,
-        flows: Sequence[Flow],
-        capacities: Mapping[LinkId, float],
-    ) -> Dict[FlowId, float]:
+    def _groups(self, flows: Sequence[Flow]) -> List[List[Flow]]:
         # Order by (remaining, arrival, id); merge exact remaining+arrival
         # ties into fair-shared groups.
         ordered = sorted(
@@ -56,7 +51,14 @@ class SRPTAllocator(LinkMembershipMixin, RateAllocator):
                     groups[-1].append(flow)
                     continue
             groups.append([flow])
-        return greedy_priority_fill(groups, capacities)
+        return groups
+
+    def allocate(
+        self,
+        flows: Sequence[Flow],
+        capacities: Mapping[LinkId, float],
+    ) -> Dict[FlowId, float]:
+        return self._fill(self._groups(flows), capacities)
 
     def next_change_hint(
         self,

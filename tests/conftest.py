@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.network import kernels
 from repro.network.fabric import NetworkFabric
 from repro.network.policies.registry import make_allocator
 from repro.sim.engine import Engine
 from repro.topology.fabrics import single_rack, single_switch, three_tier_clos
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--alloc-backend",
+        choices=kernels.BACKENDS,
+        default=None,
+        help=(
+            "Run the whole suite with this allocator backend (sets "
+            f"{kernels.BACKEND_ENV}, the default every fabric resolves "
+            "when no explicit backend is passed)."
+        ),
+    )
+
+
+def pytest_configure(config):
+    backend = config.getoption("--alloc-backend")
+    if backend:
+        os.environ[kernels.BACKEND_ENV] = backend
 
 
 @pytest.fixture

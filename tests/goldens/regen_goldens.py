@@ -1,0 +1,96 @@
+"""Regenerate the golden-trace regression corpus.
+
+Each policy gets two committed files under ``tests/goldens/``:
+
+* ``<policy>.records.jsonl`` — one JSON object per completion record
+  (shortest-round-trip float formatting, so equality is bit-equality);
+* ``<policy>.trace.jsonl`` — the telemetry JSONL trace of the same run
+  (arrivals, placement decisions, rate recomputes, completions).
+
+``tests/test_goldens.py`` byte-compares the current simulator output —
+under *both* allocator backends — against these files, so any change to
+allocation arithmetic, event ordering, or trace payloads shows up as a
+corpus diff that must be regenerated (and reviewed) deliberately:
+
+    PYTHONPATH=src python tests/goldens/regen_goldens.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+POLICIES = ("fair", "fcfs", "las", "srpt")
+
+#: The pinned scenario.  Small enough to keep the corpus a few tens of
+#: kilobytes, contended enough (20-host Clos, load 0.7) that every
+#: policy produces multi-round water-fills with real rate churn.
+SCENARIO = dict(
+    pods=2,
+    racks_per_pod=2,
+    hosts_per_rack=5,
+    workload="websearch",
+    load=0.7,
+    num_arrivals=40,
+    seed=13,
+    placement="minload",
+)
+
+
+def generate(policy: str, backend: str = "python"):
+    """Run the pinned scenario; returns (records_text, trace_text)."""
+    from repro.experiments.runner import replay_flow_trace
+    from repro.telemetry import JsonlTraceSink, Telemetry
+    from repro.topology.fabrics import three_tier_clos
+    from repro.workloads import generate_flow_trace, make_distribution
+
+    topo = three_tier_clos(
+        pods=SCENARIO["pods"],
+        racks_per_pod=SCENARIO["racks_per_pod"],
+        hosts_per_rack=SCENARIO["hosts_per_rack"],
+    )
+    trace = generate_flow_trace(
+        hosts=topo.hosts,
+        distribution=make_distribution(SCENARIO["workload"]),
+        load=SCENARIO["load"],
+        edge_capacity=1e9,
+        num_arrivals=SCENARIO["num_arrivals"],
+        seed=SCENARIO["seed"],
+    )
+    buf = io.StringIO()
+    telemetry = Telemetry(trace=JsonlTraceSink(buf))
+    run = replay_flow_trace(
+        trace,
+        topo,
+        network_policy=policy,
+        placement=SCENARIO["placement"],
+        seed=SCENARIO["seed"],
+        alloc_backend=backend,
+        telemetry=telemetry,
+    )
+    telemetry.close()
+    records_text = "".join(
+        json.dumps(dataclasses.asdict(record), sort_keys=True) + "\n"
+        for record in run.records
+    )
+    return records_text, buf.getvalue()
+
+
+def regenerate() -> None:
+    for policy in POLICIES:
+        records_text, trace_text = generate(policy)
+        (GOLDEN_DIR / f"{policy}.records.jsonl").write_text(
+            records_text, encoding="utf-8"
+        )
+        (GOLDEN_DIR / f"{policy}.trace.jsonl").write_text(
+            trace_text, encoding="utf-8"
+        )
+        print(f"wrote {policy}.records.jsonl / {policy}.trace.jsonl")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -14,19 +14,56 @@ every allocator must uphold regardless of input:
   capacity and everyone else gets zero;
 * **permutation invariance** — the allocation is a function of the flow
   *set*, not the order the caller lists it in (bit-for-bit, which the
-  incremental fabric's splicing relies on).
+  incremental fabric's splicing relies on);
+* **backend equivalence** — the numpy kernels return the *exact* same
+  rate map as the Python reference (``==`` on the dicts, no tolerance).
+
+Every invariant runs once per available allocator backend (``python``,
+and ``numpy`` when installed), with the kernel's group-size cutoff
+pinned to 1 so the vectorized path is actually exercised on these
+deliberately small scenarios.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.network import kernels
 from repro.network.flow import Flow
 from repro.network.policies.registry import make_allocator
 
 ALLOCATOR_NAMES = ("fair", "fcfs", "las", "srpt")
+
+
+BACKENDS = kernels.available_backends()
+
+
+class _PinnedAllocator:
+    """Wraps an allocator so GROUP_CUTOFF is pinned to 1 for the duration
+    of each allocate() call on the numpy leg — these scenarios are tiny,
+    and we want the vectorized path actually exercised.  (A fixture can't
+    do this: hypothesis forbids function-scoped fixtures under @given.)"""
+
+    def __init__(self, name: str, backend: str):
+        self._alloc = make_allocator(name, backend=backend)
+        self._pin = backend == "numpy"
+
+    def allocate(self, flows, capacities):
+        if not self._pin:
+            return self._alloc.allocate(flows, capacities)
+        saved = kernels.GROUP_CUTOFF
+        kernels.GROUP_CUTOFF = 1
+        try:
+            return self._alloc.allocate(flows, capacities)
+        finally:
+            kernels.GROUP_CUTOFF = saved
+
+
+def pinned_allocator(name: str, backend: str) -> _PinnedAllocator:
+    return _PinnedAllocator(name, backend)
 
 #: Feasibility slack: absolute bits/sec of float dust tolerated per link.
 CAPACITY_SLACK = 1e-3
@@ -82,12 +119,13 @@ def link_usage(flows, rates) -> Dict[str, float]:
     return used
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(scenarios())
 @settings(**SETTINGS)
-def test_capacity_never_exceeded(scenario):
+def test_capacity_never_exceeded(backend, scenario):
     flows, capacities = scenario
     for name in ALLOCATOR_NAMES:
-        rates = make_allocator(name).allocate(flows, capacities)
+        rates = pinned_allocator(name, backend).allocate(flows, capacities)
         assert set(rates) == {f.flow_id for f in flows}
         assert all(rate >= 0.0 for rate in rates.values()), name
         for link_id, used in link_usage(flows, rates).items():
@@ -96,13 +134,14 @@ def test_capacity_never_exceeded(scenario):
             )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(scenarios())
 @settings(**SETTINGS)
-def test_work_conservation(scenario):
+def test_work_conservation(backend, scenario):
     """No flow's rate can be raised: each has a saturated path link."""
     flows, capacities = scenario
     for name in ALLOCATOR_NAMES:
-        rates = make_allocator(name).allocate(flows, capacities)
+        rates = pinned_allocator(name, backend).allocate(flows, capacities)
         used = link_usage(flows, rates)
         for flow in flows:
             saturated = any(
@@ -116,13 +155,14 @@ def test_work_conservation(scenario):
             )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(scenarios())
 @settings(**SETTINGS)
-def test_fair_max_min_water_level(scenario):
+def test_fair_max_min_water_level(backend, scenario):
     """Max-min characterisation: every flow has a saturated link where no
     other flow receives a (meaningfully) higher rate."""
     flows, capacities = scenario
-    rates = make_allocator("fair").allocate(flows, capacities)
+    rates = pinned_allocator("fair", backend).allocate(flows, capacities)
     used = link_usage(flows, rates)
     on_link: Dict[str, List[Flow]] = {}
     for flow in flows:
@@ -203,11 +243,12 @@ def _priority_key(name: str, flow: Flow):
     return (flow.remaining, flow.arrival_time, flow.flow_id)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(single_link_contention(), st.sampled_from(("fcfs", "las", "srpt")))
 @settings(**SETTINGS)
-def test_priority_dominance_on_shared_link(scenario, name):
+def test_priority_dominance_on_shared_link(backend, scenario, name):
     flows, capacities = scenario
-    rates = make_allocator(name).allocate(flows, capacities)
+    rates = pinned_allocator(name, backend).allocate(flows, capacities)
     winner = min(flows, key=lambda f: _priority_key(name, f))
     for flow in flows:
         if flow.flow_id == winner.flow_id:
@@ -219,18 +260,38 @@ def test_priority_dominance_on_shared_link(scenario, name):
             )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(scenarios(), st.randoms(use_true_random=False))
 @settings(**SETTINGS)
-def test_permutation_invariance(scenario, rng):
+def test_permutation_invariance(backend, scenario, rng):
     """Bit-for-bit identical allocation under any input ordering."""
     flows, capacities = scenario
     shuffled = list(flows)
     rng.shuffle(shuffled)
     for name in ALLOCATOR_NAMES:
-        allocator = make_allocator(name)
+        allocator = pinned_allocator(name, backend)
         baseline = allocator.allocate(flows, capacities)
         permuted = allocator.allocate(shuffled, capacities)
         assert baseline == permuted, f"{name}: allocation depends on input order"
+
+
+@given(scenarios())
+@settings(**SETTINGS)
+def test_backend_equivalence_exact(scenario):
+    """Python and numpy backends agree to exact rate-map equality."""
+    if not kernels.HAVE_NUMPY:
+        pytest.skip("numpy not installed (perf extra)")
+    flows, capacities = scenario
+    for name in ALLOCATOR_NAMES:
+        reference = make_allocator(name, backend="python").allocate(
+            flows, capacities
+        )
+        vectorized = pinned_allocator(name, "numpy").allocate(
+            flows, capacities
+        )
+        assert vectorized == reference, (
+            f"{name}: numpy kernel diverges from the Python reference"
+        )
 
 
 # ----------------------------------------------------------------------

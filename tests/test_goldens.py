@@ -1,0 +1,52 @@
+"""Golden-trace regression corpus: byte-compare against committed files.
+
+The corpus under ``tests/goldens/`` pins one contended 20-host Clos
+scenario per policy (see ``regen_goldens.py`` for the exact knobs and
+the regeneration command).  The simulator's completion records and JSONL
+trace must match the committed bytes exactly — under the Python backend
+*and* the numpy kernel backend, which locks the kernels' bit-identity
+contract to a fixed external artifact rather than only to each other.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.network import kernels
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+_spec = importlib.util.spec_from_file_location(
+    "regen_goldens", GOLDEN_DIR / "regen_goldens.py"
+)
+regen_goldens = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_spec and regen_goldens)
+
+BACKENDS = kernels.available_backends()
+
+
+@pytest.mark.parametrize("policy", regen_goldens.POLICIES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_golden_corpus_byte_identical(policy, backend, monkeypatch):
+    # Route even tiny priority groups through the vectorized kernel so
+    # the numpy leg actually exercises it on this small scenario.
+    if backend == "numpy":
+        monkeypatch.setattr(kernels, "GROUP_CUTOFF", 1)
+    records_text, trace_text = regen_goldens.generate(policy, backend)
+    golden_records = (
+        GOLDEN_DIR / f"{policy}.records.jsonl"
+    ).read_text(encoding="utf-8")
+    golden_trace = (GOLDEN_DIR / f"{policy}.trace.jsonl").read_text(
+        encoding="utf-8"
+    )
+    assert records_text == golden_records, (
+        f"{policy}/{backend}: completion records diverge from the golden "
+        "corpus; if intentional, regenerate via "
+        "`PYTHONPATH=src python tests/goldens/regen_goldens.py` and review"
+    )
+    assert trace_text == golden_trace, (
+        f"{policy}/{backend}: JSONL trace diverges from the golden corpus"
+    )

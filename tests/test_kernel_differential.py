@@ -1,0 +1,197 @@
+"""Differential matrix for the numpy allocator kernels.
+
+The kernel contract (see :mod:`repro.network.kernels`) is byte-identity
+by construction: the vectorized fill evaluates the same four scalar
+IEEE-754 expressions as the Python reference, on the same operands, in
+the same order.  These tests hold the two backends against each other
+end-to-end:
+
+* a seed x policy x workload replay matrix asserting byte-identical
+  completion records, JSONL traces, and causal traces — with
+  ``GROUP_CUTOFF`` pinned to 1 so every group actually exercises the
+  vectorized path;
+* the same matrix under an injected fault plan (degrade + down), since
+  capacity mutations hit the drain clamp where float dust lives;
+* a direct randomized fuzz of :func:`repro.network.kernels.priority_fill`
+  against :func:`repro.network.policies.base.greedy_priority_fill`
+  comparing rate maps with exact ``==`` (no tolerance);
+* a ``slow``-marked soak on the paper's 160-host Clos, mirroring
+  ``test_incremental_alloc.py``'s shadow-verify harness.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import random
+
+import pytest
+
+from repro.experiments.runner import replay_flow_trace
+from repro.faults import FaultPlan, LinkDegrade, LinkDown
+from repro.network import kernels
+from repro.network.flow import Flow
+from repro.network.policies.base import greedy_priority_fill
+from repro.telemetry import (
+    CausalTracer,
+    JsonlTraceSink,
+    MetricsRegistry,
+    Telemetry,
+)
+from repro.topology.fabrics import three_tier_clos
+from repro.workloads import generate_flow_trace, make_distribution
+
+requires_numpy = pytest.mark.skipif(
+    not kernels.HAVE_NUMPY, reason="numpy not installed (perf extra)"
+)
+
+POLICIES = ("fair", "fcfs", "las", "srpt")
+
+
+@pytest.fixture(autouse=True)
+def force_vectorized(monkeypatch):
+    """Pin GROUP_CUTOFF to 1 so even tiny priority groups take the
+    vectorized path instead of the scalar-reference dispatch."""
+    monkeypatch.setattr(kernels, "GROUP_CUTOFF", 1)
+
+
+def small_clos():
+    return three_tier_clos(pods=2, racks_per_pod=2, hosts_per_rack=5)
+
+
+def degrade_plan(topo) -> FaultPlan:
+    hosts = list(topo.hosts)
+    return FaultPlan(
+        events=(
+            LinkDegrade(
+                time=0.02, link=topo.host_uplink(hosts[0]).link_id, factor=0.4
+            ),
+            LinkDown(time=0.05, link=topo.host_downlink(hosts[3]).link_id),
+        ),
+        seed=3,
+        name="kernel-differential",
+    )
+
+
+def run_replay(topo, *, policy, workload, seed, backend, faults=None,
+               num_arrivals=80, load=0.6, placement="minload"):
+    """One replay; returns (records, trace_bytes, causal_events)."""
+    trace = generate_flow_trace(
+        hosts=topo.hosts,
+        distribution=make_distribution(workload),
+        load=load,
+        edge_capacity=1e9,
+        num_arrivals=num_arrivals,
+        seed=seed,
+    )
+    buf = io.StringIO()
+    telemetry = Telemetry(
+        registry=MetricsRegistry(),
+        trace=JsonlTraceSink(buf),
+        causal=CausalTracer(),
+    )
+    run = replay_flow_trace(
+        trace,
+        topo,
+        network_policy=policy,
+        placement=placement,
+        alloc_backend=backend,
+        telemetry=telemetry,
+        faults=faults,
+    )
+    telemetry.close()
+    return run.records, buf.getvalue(), telemetry.causal.events
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "policy,workload,seed",
+    list(itertools.product(POLICIES, ("websearch", "hadoop"), (11, 23))),
+)
+def test_numpy_backend_matches_python(policy, workload, seed):
+    topo = small_clos()
+    py = run_replay(
+        topo, policy=policy, workload=workload, seed=seed, backend="python"
+    )
+    vec = run_replay(
+        topo, policy=policy, workload=workload, seed=seed, backend="numpy"
+    )
+    assert vec[0] == py[0]  # completion records, byte for byte
+    assert vec[1] == py[1]  # JSONL trace text
+    assert vec[2] == py[2]  # causal event stream
+
+
+@requires_numpy
+@pytest.mark.parametrize("policy", POLICIES)
+def test_numpy_backend_matches_python_under_faults(policy):
+    topo = small_clos()
+    plan = degrade_plan(topo)
+    py = run_replay(
+        topo, policy=policy, workload="websearch", seed=7,
+        backend="python", faults=plan,
+    )
+    vec = run_replay(
+        topo, policy=policy, workload="websearch", seed=7,
+        backend="numpy", faults=plan,
+    )
+    assert vec == py
+
+
+@requires_numpy
+def test_priority_fill_fuzz_exact():
+    """Randomized groups/capacities: exact rate-map equality, including
+    duplicate links within a path and near-zero residual capacities."""
+    rng = random.Random(99)
+    for trial in range(300):
+        n_links = rng.randint(1, 24)
+        links = [f"l{i}" for i in range(n_links)]
+        capacities = {}
+        for link in links:
+            if rng.random() < 0.25:
+                capacities[link] = rng.random() * 1e-8  # float-dust regime
+            else:
+                capacities[link] = rng.choice([1e9, 1e10, rng.random() * 4e10])
+        flows = []
+        for fid in range(rng.randint(1, 50)):
+            hops = rng.randint(1, min(6, n_links))
+            path = tuple(rng.choice(links) for _ in range(hops))
+            flow = Flow(
+                flow_id=fid, src="s", dst="d", size=1e9,
+                arrival_time=0.0, path=path,
+            )
+            flows.append(flow)
+        n_groups = rng.randint(1, 4)
+        groups = [[] for _ in range(n_groups)]
+        for flow in flows:
+            groups[rng.randrange(n_groups)].append(flow)
+        groups = [g for g in groups if g]
+        reference = greedy_priority_fill(groups, capacities)
+        vectorized = kernels.priority_fill(groups, capacities)
+        assert vectorized == reference, f"trial {trial} diverged"
+
+
+@requires_numpy
+@pytest.mark.slow
+def test_kernel_soak_clos_160():
+    """Backend differential soak on the paper's 160-host Clos macro cell,
+    with and without an injected fault plan."""
+    topo = three_tier_clos()  # 4 pods x 4 racks x 10 hosts
+    for policy, seed, faulted in (
+        ("fair", 1, False),
+        ("fair", 2, True),
+        ("srpt", 3, False),
+        ("las", 4, True),
+        ("fcfs", 5, False),
+    ):
+        plan = degrade_plan(topo) if faulted else None
+        py = run_replay(
+            topo, policy=policy, workload="websearch", seed=seed,
+            backend="python", faults=plan, num_arrivals=400, load=0.7,
+            placement="mindist",
+        )
+        vec = run_replay(
+            topo, policy=policy, workload="websearch", seed=seed,
+            backend="numpy", faults=plan, num_arrivals=400, load=0.7,
+            placement="mindist",
+        )
+        assert vec == py, f"{policy}/seed={seed}/faulted={faulted} diverged"
