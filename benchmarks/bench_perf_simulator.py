@@ -335,6 +335,116 @@ def test_perf_incremental_allocation(benchmark):
     )
 
 
+def test_perf_observability_overhead(benchmark, tmp_path):
+    """Cost of the live observability layer on a served session.
+
+    The same (scenario, seed) session on the 160-host Clos runs three
+    ways: bare (null telemetry), metrics registry only, and the full
+    live layer — default SLO specs evaluated every heartbeat, the
+    flight recorder riding the causal stream, rollup export, and the
+    stall watchdog.  The determinism contract is asserted first (all
+    three produce byte-identical decision logs); the wall-clock ratios
+    go into the artifact so `repro bench-compare` flags the live layer
+    getting expensive.  Also times the rollup substrate itself: sketch
+    observations per second.
+    """
+    from repro.service import PlacementServer, ServiceScenario
+    from repro.service.server import decisions_as_jsonl
+    from repro.telemetry import FlightRecorder, create_telemetry
+    from repro.telemetry.slo import default_slo_specs
+    from repro.telemetry.timeseries import QuantileSketch
+
+    scenario = ServiceScenario(
+        name="bench-observability",
+        pods=4,
+        racks_per_pod=4,
+        hosts_per_rack=10,
+        duration=1.0,
+        seed=42,
+        arrivals={"kind": "poisson", "load": 0.1},
+    )
+
+    def run_bare():
+        server = PlacementServer(scenario, status_interval=0.25)
+        server.run()
+        return decisions_as_jsonl(server.last_daemon)
+
+    def run_metrics():
+        server = PlacementServer(
+            scenario, telemetry=create_telemetry(), status_interval=0.25
+        )
+        server.run()
+        return decisions_as_jsonl(server.last_daemon)
+
+    def run_live(tag):
+        out = tmp_path / f"live-{tag}"
+        tele = create_telemetry(causal=True)
+        server = PlacementServer(
+            scenario,
+            telemetry=tele,
+            status_interval=0.25,
+            slo_specs=default_slo_specs(),
+            recorder=FlightRecorder(str(out), registry=tele.registry),
+            rollups_out=str(out / "rollups.json"),
+            stall_after=60.0,
+        )
+        server.run()
+        return decisions_as_jsonl(server.last_daemon)
+
+    bare = run_bare()
+    assert bare == run_metrics()  # the differential contract
+    assert bare == run_live("check")
+    assert bare.count("\n") > 100
+
+    def best_of(fn, rounds=2):
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    wall_bare = best_of(run_bare)
+    wall_metrics = best_of(run_metrics)
+    wall_live = benchmark.pedantic(
+        lambda: best_of(lambda: run_live("timed")), rounds=1, iterations=1
+    )
+
+    # The rollup substrate on its own: sketch ingest throughput.
+    rng = random.Random(13)
+    values = [rng.uniform(1e-6, 10.0) for _ in range(200_000)]
+    sketch = QuantileSketch()
+    t0 = time.perf_counter()
+    for value in values:
+        sketch.add(value)
+    sketch_wall = time.perf_counter() - t0
+    assert sketch.count == len(values)
+
+    live_ratio = wall_live / wall_bare if wall_bare > 0 else None
+    benchmark.extra_info["live_overhead_ratio"] = (
+        round(live_ratio, 3) if live_ratio else None
+    )
+    _update_artifact(
+        "observability_overhead",
+        {
+            "hosts": 160,
+            "duration": scenario.duration,
+            "decisions": bare.count("\n"),
+            "bare_wall_seconds": wall_bare,
+            "metrics_wall_seconds": wall_metrics,
+            "live_wall_seconds": wall_live,
+            "metrics_overhead_ratio": (
+                wall_metrics / wall_bare if wall_bare > 0 else None
+            ),
+            "live_overhead_ratio": live_ratio,
+            "sketch_observations": len(values),
+            "sketch_events_per_second": (
+                len(values) / sketch_wall if sketch_wall > 0 else None
+            ),
+        },
+    )
+
+
 def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
     """Campaign orchestrator: jobs=1 vs jobs=N wall time + cache hits.
 

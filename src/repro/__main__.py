@@ -456,10 +456,11 @@ def run_status_cli(argv) -> int:
     from repro.campaign import DEFAULT_STALL_THRESHOLD
 
     parser.add_argument(
-        "--stall-threshold", type=float, metavar="SECONDS",
-        default=DEFAULT_STALL_THRESHOLD,
+        "--stall-threshold", "--stall-after", type=float, metavar="SECONDS",
+        default=DEFAULT_STALL_THRESHOLD, dest="stall_threshold",
         help="flag a non-terminal cell silent for longer than this "
-             "(default: %(default)s)",
+             "(default: %(default)s; --stall-after matches the serve "
+             "flag of the same name)",
     )
     args = parser.parse_args(argv)
     from repro.campaign import (
@@ -727,9 +728,40 @@ def run_serve_cli(argv) -> int:
         help="print the deterministic report JSON to stdout instead of "
              "the text summary",
     )
+    live = parser.add_argument_group(
+        "live observability",
+        "windowed rollups, burn-rate SLO alerts, and the flight "
+        "recorder — observers only: arming them never changes the "
+        "deterministic decision log or report",
+    )
+    live.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="evaluate these SLOs at every heartbeat: a JSON spec file "
+             "(see examples/service_slo.json) or the literal 'default' "
+             "for the stock service objectives",
+    )
+    live.add_argument(
+        "--recorder", metavar="DIR", default=None,
+        help="arm the flight recorder: keep the recent causal-event "
+             "ring in memory and dump a replayable post-mortem bundle "
+             "into DIR on SLO breach, stall, or crash",
+    )
+    live.add_argument(
+        "--rollups-out", metavar="PATH", default=None,
+        help="write the windowed rollup store as JSON when the session "
+             "ends (check offline with 'repro slo check')",
+    )
+    live.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="flag a stall (status record + recorder dump) when no new "
+             "decision lands for this many simulated seconds while "
+             "requests queue",
+    )
     args = parser.parse_args(argv)
     if args.status_interval <= 0:
         parser.error("--status-interval must be positive")
+    if args.stall_after is not None and args.stall_after <= 0:
+        parser.error("--stall-after must be positive")
     from dataclasses import replace as _replace
 
     from repro.errors import ConfigError, FaultError, WorkloadError
@@ -752,11 +784,27 @@ def run_serve_cli(argv) -> int:
             faults = FaultPlan.load(args.faults)
         except FaultError as exc:
             parser.error(str(exc))
+    slo_specs = None
+    if args.slo:
+        from repro.telemetry.slo import load_slo_specs
+
+        try:
+            slo_specs = load_slo_specs(args.slo)
+        except ConfigError as exc:
+            parser.error(str(exc))
     tele = None
-    if args.metrics_out or args.prometheus_out:
+    live_layer = bool(args.slo or args.recorder or args.rollups_out)
+    if args.metrics_out or args.prometheus_out or live_layer:
         from repro.telemetry import create_telemetry
 
-        tele = create_telemetry()
+        # The recorder rides the causal stream (its ring feeds
+        # `repro explain`-compatible bundles).
+        tele = create_telemetry(causal=bool(args.recorder))
+    recorder = None
+    if args.recorder:
+        from repro.telemetry import FlightRecorder
+
+        recorder = FlightRecorder(args.recorder, registry=tele.registry)
     status = None
     if args.status_path:
         from repro.campaign import resolve_status_path
@@ -770,6 +818,10 @@ def run_serve_cli(argv) -> int:
         status=status,
         status_interval=args.status_interval,
         prometheus_out=args.prometheus_out,
+        slo_specs=slo_specs,
+        recorder=recorder,
+        rollups_out=args.rollups_out,
+        stall_after=args.stall_after,
     )
     try:
         report = server.run()
@@ -797,6 +849,24 @@ def run_serve_cli(argv) -> int:
         tele.close()
         tele.registry.write_json(args.metrics_out)
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    slo_engine = server.last_slo_engine
+    if slo_engine is not None:
+        for alert in slo_engine.alerts:
+            burns = ""
+            if alert.burn_fast is not None and alert.burn_slow is not None:
+                burns = (
+                    f" (burn fast={alert.burn_fast:.2f}"
+                    f" slow={alert.burn_slow:.2f})"
+                )
+            print(
+                f"slo {alert.state}: {alert.slo} at t={alert.t:g}{burns}",
+                file=sys.stderr,
+            )
+    if recorder is not None:
+        for path in recorder.dumps:
+            print(f"post-mortem bundle: {path}", file=sys.stderr)
+    if args.rollups_out:
+        print(f"rollups written to {args.rollups_out}", file=sys.stderr)
     return 0
 
 
@@ -843,6 +913,169 @@ def run_faults_cli(argv) -> int:
     return 0
 
 
+def run_top_cli(argv) -> int:
+    """``repro top``: live dashboard over a serve/campaign status stream.
+
+    Redraws at a wall-clock interval until the stream settles (every
+    cell finished) or the user interrupts; ``--once`` renders a single
+    frame and exits with 1 when a cell is stalled (CI-friendly).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Watch a live status stream (what 'repro serve "
+                    "--status PATH' or a campaign supervisor appends "
+                    "to): per-cell decision rates, SLO burn-rate table, "
+                    "and recent alert/stall events.",
+    )
+    parser.add_argument(
+        "target",
+        help="status file, or a directory containing status.jsonl",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="wall seconds between redraws (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (exit code 1 flags stalls)",
+    )
+    from repro.campaign import DEFAULT_STALL_THRESHOLD
+
+    parser.add_argument(
+        "--stall-after", type=float, metavar="SECONDS",
+        default=DEFAULT_STALL_THRESHOLD,
+        help="flag a non-settled cell silent for longer than this "
+             "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be positive")
+    import time as _time
+
+    from repro.campaign import read_status, resolve_status_path
+    from repro.telemetry.top import render_top, stream_settled
+
+    path = resolve_status_path(args.target)
+
+    def frame():
+        try:
+            records = read_status(path)
+        except OSError as exc:
+            parser.error(f"cannot read status file: {exc}")
+        return records, render_top(
+            records, stall_threshold=args.stall_after
+        )
+
+    if args.once:
+        records, text = frame()
+        print(text)
+        return 1 if "STALLED" in text else 0
+    try:
+        while True:
+            records, text = frame()
+            # Clear screen + home, then the frame (plain ANSI, no deps).
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            if stream_settled(records):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def run_slo_cli(argv) -> int:
+    """``repro slo``: offline SLO evaluation against saved rollups.
+
+    ``repro slo check SPEC ROLLUPS`` exits 0 when every objective holds,
+    1 when any burns beyond threshold in both windows, 2 on bad inputs —
+    so CI can gate on a serve session's rollup file.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro slo",
+        description="Evaluate declarative SLO specs against a saved "
+                    "rollup store ('repro serve --rollups-out').",
+    )
+    parser.add_argument("action", choices=["check"])
+    parser.add_argument(
+        "spec",
+        help="SLO spec JSON (see examples/service_slo.json) or the "
+             "literal 'default' for the stock service objectives",
+    )
+    parser.add_argument("rollups", help="a --rollups-out JSON file")
+    parser.add_argument(
+        "--at", type=float, default=None, metavar="SIM_SECONDS",
+        help="evaluate at this simulated time (default: the store's "
+             "last sample)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit per-SLO burn rates as machine-readable JSON",
+    )
+    args = parser.parse_args(argv)
+    from repro.errors import ConfigError
+    from repro.telemetry.slo import load_slo_specs
+    from repro.telemetry.timeseries import TimeseriesStore
+
+    try:
+        specs = load_slo_specs(args.spec)
+        with open(args.rollups, "r", encoding="utf-8") as fp:
+            store = TimeseriesStore.from_dict(json.load(fp))
+    except (ConfigError, OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    now = args.at if args.at is not None else store.last_sample
+    if now is None:
+        print("error: rollup store has no samples", file=sys.stderr)
+        return 2
+    results = []
+    breached = False
+    for spec in specs:
+        fast = spec.burn_rate(store, window=spec.fast_window, now=now)
+        slow = spec.burn_rate(store, window=spec.slow_window, now=now)
+        firing = (
+            fast is not None
+            and slow is not None
+            and fast >= spec.burn_threshold
+            and slow >= spec.burn_threshold
+        )
+        breached = breached or firing
+        results.append(
+            {
+                "slo": spec.name,
+                "kind": spec.kind,
+                "metric": spec.metric,
+                "burn_fast": fast,
+                "burn_slow": slow,
+                "burn_threshold": spec.burn_threshold,
+                "firing": firing,
+            }
+        )
+    if args.json:
+        json.dump(
+            {"at": now, "breached": breached, "slos": results},
+            sys.stdout, indent=2, sort_keys=True,
+        )
+        sys.stdout.write("\n")
+    else:
+        width = max(len(r["slo"]) for r in results)
+
+        def fmt(value):
+            return f"{value:.2f}" if value is not None else "-"
+
+        print(f"slo check at t={now:g} over {args.rollups}")
+        print(
+            f"  {'slo':<{width}}  {'burn_fast':>9}  {'burn_slow':>9}  state"
+        )
+        for r in results:
+            state = "FIRING" if r["firing"] else "ok"
+            print(
+                f"  {r['slo']:<{width}}  {fmt(r['burn_fast']):>9}  "
+                f"{fmt(r['burn_slow']):>9}  {state}"
+            )
+        print("breached" if breached else "all objectives hold")
+    return 1 if breached else 0
+
+
 #: Subcommands with their own parsers, dispatched before the figure CLI.
 _SUBCOMMANDS = {
     "status": run_status_cli,
@@ -852,6 +1085,8 @@ _SUBCOMMANDS = {
     "explain": run_explain_cli,
     "trace": run_trace_cli,
     "serve": run_serve_cli,
+    "top": run_top_cli,
+    "slo": run_slo_cli,
 }
 
 

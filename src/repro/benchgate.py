@@ -37,8 +37,13 @@ __all__ = [
 
 #: Metric keys where smaller is better (suffix match on the key name).
 #: ``decision_latency_seconds`` covers the streaming-service percentiles
-#: (``p99_decision_latency_seconds`` etc.).
-_LOWER_BETTER_SUFFIXES = ("wall_seconds", "decision_latency_seconds")
+#: (``p99_decision_latency_seconds`` etc.); ``overhead_ratio`` covers
+#: the observability-layer cost ratios (enabled/bare wall clock).
+_LOWER_BETTER_SUFFIXES = (
+    "wall_seconds",
+    "decision_latency_seconds",
+    "overhead_ratio",
+)
 
 #: Metric keys where larger is better (suffix match on the key name).
 #: ``placements_per_second`` is the streaming-service throughput metric.

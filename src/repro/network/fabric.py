@@ -136,6 +136,7 @@ class NetworkFabric:
             reg.histogram("fabric.recompute.component_flows") if metrics_on else None
         )
         self._hist_fct = reg.histogram("fabric.fct_seconds") if metrics_on else None
+        self._hist_fct_gap = reg.histogram("fabric.fct_gap") if metrics_on else None
         self._timer_alloc = reg.timer("allocator") if metrics_on else None
         self._ctr_aborted = reg.counter("fabric.flows_aborted") if metrics_on else None
         self._ctr_rerouted = reg.counter("fabric.flows_rerouted") if metrics_on else None
@@ -590,6 +591,11 @@ class NetworkFabric:
         if self._ctr_completed is not None:
             self._ctr_completed.inc()
             self._hist_fct.observe(record.fct)
+            if record.optimal_fct > 0:
+                # FCT stretch vs the contention-free optimum: the
+                # paper's headline ratio, live as a histogram so SLOs
+                # can bound its tail.
+                self._hist_fct_gap.observe(record.fct / record.optimal_fct)
         if self._trace.active:
             self._trace.emit(
                 "flow_completion",

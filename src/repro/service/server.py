@@ -185,6 +185,10 @@ class PlacementServer:
         status_interval: float = 1.0,
         prometheus_out: Optional[str] = None,
         prometheus_prefix: str = "repro_",
+        slo_specs=None,
+        recorder=None,
+        rollups_out: Optional[str] = None,
+        stall_after: Optional[float] = None,
     ) -> None:
         """Args:
             scenario: the session's full configuration.
@@ -198,6 +202,19 @@ class PlacementServer:
                 events); attaching/removing ``status`` is not.
             prometheus_out: path refreshed with the metrics snapshot in
                 Prometheus text format at every heartbeat.
+            slo_specs: optional :class:`~repro.telemetry.slo.SLOSpec`
+                list evaluated at every heartbeat against windowed
+                rollups; alert transitions go to the status stream, the
+                recorder, and the ``slo.*`` counters — never the
+                deterministic record/trace streams.
+            recorder: optional
+                :class:`~repro.telemetry.recorder.FlightRecorder`; an
+                SLO breach, a serve stall, or a crash dumps a replayable
+                post-mortem bundle into its directory.
+            rollups_out: path written with the rollup store's JSON when
+                the session ends (``repro slo check`` consumes it).
+            stall_after: dump/flag a stall when no new decision lands
+                for this many simulated seconds while requests queue.
         """
         if telemetry is None:
             from repro.telemetry import NULL_TELEMETRY
@@ -210,6 +227,14 @@ class PlacementServer:
         self._status_interval = float(status_interval)
         self._prometheus_out = prometheus_out
         self._prometheus_prefix = prometheus_prefix
+        self._slo_specs = list(slo_specs) if slo_specs else []
+        self._recorder = recorder
+        self._rollups_out = rollups_out
+        self._stall_after = stall_after
+        #: SLO engine of the last :meth:`run` (alert history lives here).
+        self.last_slo_engine = None
+        #: Rollup store of the last :meth:`run`.
+        self.last_rollups = None
         #: The placement daemon of the last completed :meth:`run` (its
         #: ``decisions`` are the session's deterministic decision log).
         self.last_daemon = None
@@ -254,8 +279,47 @@ class PlacementServer:
             ctr_batches = reg.counter("service.batches")
             ctr_decisions = reg.counter("service.decisions")
             timer_decision = reg.timer("service.decision")
+            hist_queue_wait = reg.histogram("service.queue_wait_seconds")
+            hist_batch_size = reg.histogram("service.batch_size")
+            hist_decision_wall = reg.histogram(
+                "service.decision_latency_seconds"
+            )
         else:
             ctr_batches = ctr_decisions = timer_decision = None
+            hist_queue_wait = hist_batch_size = hist_decision_wall = None
+
+        # Live observability layer: windowed rollups, SLO burn rates,
+        # and the flight recorder.  All three are observers — they read
+        # registry/causal state at heartbeats and never touch the
+        # simulated trajectory (the differential determinism tests pin
+        # this).
+        store = None
+        slo_engine = None
+        recorder = self._recorder
+        if self._slo_specs or self._rollups_out is not None:
+            from repro.telemetry.timeseries import TimeseriesStore
+
+            store = TimeseriesStore(bin_width=self._status_interval)
+        if self._slo_specs:
+            from repro.telemetry.slo import SLOEngine
+
+            slo_engine = SLOEngine(self._slo_specs, store, reg)
+        if recorder is not None and telemetry.causal.active:
+            recorder.attach(telemetry.causal.events)
+        if telemetry.causal.active:
+            # Open a causal run so flow events group for `repro explain`
+            # (figure runs do this in the runner; serve owns its own).
+            telemetry.causal.begin_run(
+                0.0,
+                placement="neat",
+                network_policy=scenario.network_policy,
+                capacities={
+                    link.link_id: link.capacity
+                    for link in topology.links()
+                },
+            )
+        self.last_slo_engine = slo_engine
+        self.last_rollups = store
 
         arrivals = iter(scenario.build_source(topology))
         queue_waits: List[float] = []
@@ -365,6 +429,8 @@ class PlacementServer:
                     placed = daemon.place_batch(requests, predictor)
                 for queued, request, host in zip(kept, requests, placed):
                     queue_waits.append(engine.now - queued.admitted_at)
+                    if hist_queue_wait is not None:
+                        hist_queue_wait.observe(engine.now - queued.admitted_at)
                     try:
                         fabric.submit(
                             request.data_node,
@@ -385,10 +451,18 @@ class PlacementServer:
                 decision_wall.extend(
                     [elapsed / len(requests)] * len(requests)
                 )
+                if hist_decision_wall is not None:
+                    # Wall-clock, observation-only (like the timers):
+                    # never feeds back into the simulated trajectory.
+                    hist_decision_wall.observe(
+                        elapsed / len(requests), count=len(requests)
+                    )
             state["batches"] += 1
             if ctr_batches is not None:
                 ctr_batches.inc()
             batch_sizes.append(float(len(batch)))
+            if hist_batch_size is not None:
+                hist_batch_size.observe(float(len(batch)))
             state["busy_until"] = engine.now + (
                 scenario.batch_overhead
                 + scenario.per_request_cost * len(batch)
@@ -399,18 +473,100 @@ class PlacementServer:
         # ------------------------------------------------------------------
         # Heartbeats: always scheduled, so observers don't change the run.
         # ------------------------------------------------------------------
+        stall = {"decisions": 0, "since": 0.0, "flagged": False}
+
+        def post_mortem(reason: str, offending=None) -> None:
+            if recorder is None:
+                return
+            metrics = reg.as_dict() if reg.enabled else None
+            if metrics is not None and telemetry.profiler.enabled:
+                metrics = dict(metrics)
+                metrics["profile"] = telemetry.profiler.as_dict()
+            recorder.dump(
+                reason,
+                now=engine.now,
+                offending=offending,
+                metrics=metrics,
+                scenario=scenario.to_dict(),
+                faults=self._faults.to_dict() if self._faults else None,
+                context={
+                    "seed": scenario.seed,
+                    "scenario": scenario.name,
+                    "sim_time": engine.now,
+                    "decisions": state["decisions"],
+                    "queue_depth": admission.depth,
+                    "firing": slo_engine.firing if slo_engine else [],
+                },
+            )
+
+        def check_stall(now: float) -> None:
+            if self._stall_after is None:
+                return
+            if state["decisions"] != stall["decisions"]:
+                stall["decisions"] = state["decisions"]
+                stall["since"] = now
+                stall["flagged"] = False
+                return
+            stalled = (
+                admission.depth > 0
+                and now - stall["since"] >= self._stall_after
+            )
+            if stalled and not stall["flagged"]:
+                stall["flagged"] = True
+                if self._status is not None:
+                    self._status.emit(
+                        "stall",
+                        spec=scenario.name,
+                        sim_time=now,
+                        stalled_for=now - stall["since"],
+                        queue_depth=admission.depth,
+                        decisions=state["decisions"],
+                    )
+                post_mortem("stall")
+
         def heartbeat() -> None:
+            now = engine.now
+            if store is not None and reg.enabled:
+                store.sample(now, reg)
+            if recorder is not None:
+                recorder.poll()
+            if slo_engine is not None:
+                for alert in slo_engine.evaluate(now):
+                    event = alert.as_event()
+                    if recorder is not None:
+                        recorder.observe(event)
+                    if self._status is not None:
+                        self._status.emit(
+                            "slo_alert",
+                            **{k: v for k, v in event.items() if k != "ev"},
+                        )
+                    if alert.state == "firing":
+                        post_mortem(
+                            f"slo-breach-{alert.slo}",
+                            offending={
+                                "slo": alert.slo,
+                                "state": alert.state,
+                                "burn_fast": alert.burn_fast,
+                                "burn_slow": alert.burn_slow,
+                                "spec": alert.spec.to_dict(),
+                            },
+                        )
+            check_stall(now)
             if self._status is not None:
+                extra = {}
+                if slo_engine is not None:
+                    extra["slo"] = slo_engine.summary(now)
                 self._status.emit(
                     "cell",
                     cell=0,
                     spec=scenario.name,
                     state="running",
-                    sim_time=engine.now,
+                    sim_time=now,
                     decisions=state["decisions"],
                     queue_depth=admission.depth,
                     rejected=admission.rejected,
                     events_processed=engine.events_processed,
+                    **extra,
                 )
             self._write_prometheus()
             if engine.pending_events > 0:
@@ -433,7 +589,26 @@ class PlacementServer:
             )
         pump()
         engine.schedule(self._status_interval, heartbeat, label="service-heartbeat")
-        engine.run()
+        try:
+            engine.run()
+        except BaseException:
+            # Post-mortem before the exception propagates: the bundle
+            # carries the exact (scenario, seed) so the crash replays.
+            post_mortem("crash")
+            if self._status is not None:
+                self._status.emit(
+                    "cell",
+                    cell=0,
+                    spec=scenario.name,
+                    state="crashed",
+                    sim_time=engine.now,
+                    decisions=state["decisions"],
+                    queue_depth=admission.depth,
+                    rejected=admission.rejected,
+                    events_processed=engine.events_processed,
+                )
+            self._write_rollups(store)
+            raise
         wall_total = _time.perf_counter() - wall_begin
 
         predicted = [
@@ -481,8 +656,28 @@ class PlacementServer:
                 events_processed=engine.events_processed,
             )
         self._write_prometheus()
+        if telemetry.causal.active:
+            telemetry.causal.end_run(engine.now, records=len(fabric.records))
+        if store is not None and reg.enabled:
+            store.sample(engine.now, reg)  # capture the final partial bin
+        if recorder is not None:
+            recorder.poll()
+        self._write_rollups(store)
         self.last_daemon = daemon
         return report
+
+    def _write_rollups(self, store) -> None:
+        if self._rollups_out is None or store is None:
+            return
+        import json
+        import os
+
+        parent = os.path.dirname(self._rollups_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self._rollups_out, "w", encoding="utf-8") as fp:
+            json.dump(store.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
 
     def _write_prometheus(self) -> None:
         if self._prometheus_out is None:

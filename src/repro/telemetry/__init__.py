@@ -71,6 +71,20 @@ from repro.telemetry.trace import (
     TraceSink,
     read_trace,
 )
+from repro.telemetry.timeseries import (
+    QuantileSketch,
+    TimeseriesStore,
+    merge_rollups,
+    merge_sketches,
+)
+from repro.telemetry.slo import (
+    SLOAlert,
+    SLOEngine,
+    SLOSpec,
+    default_slo_specs,
+    load_slo_specs,
+)
+from repro.telemetry.recorder import FlightRecorder
 
 __all__ = [
     "Telemetry",
@@ -99,6 +113,16 @@ __all__ = [
     "render_profile",
     "merge_snapshots",
     "render_report",
+    "QuantileSketch",
+    "TimeseriesStore",
+    "merge_sketches",
+    "merge_rollups",
+    "SLOSpec",
+    "SLOAlert",
+    "SLOEngine",
+    "load_slo_specs",
+    "default_slo_specs",
+    "FlightRecorder",
 ]
 
 

@@ -11,9 +11,12 @@ Mapping:
 * counters  -> ``<prefix><name>_total`` (TYPE counter)
 * gauges    -> ``<prefix><name>`` (TYPE gauge)
 * timers    -> ``<prefix><name>_seconds_total`` + ``<prefix><name>_calls_total``
-* histograms-> TYPE summary: ``{quantile="0.5"|"0.95"}`` series plus
-  ``_sum`` / ``_count`` (merged snapshots lack quantiles; those emit
-  only sum/count)
+* histograms-> TYPE histogram: real cumulative ``_bucket{le="..."}``
+  series rendered from the registry's log-bucketed quantile sketch
+  (closed by ``le="+Inf"``), plus ``_sum`` / ``_count``.  Legacy
+  summaries without a serialized sketch fall back to TYPE summary
+  with ``{quantile="0.5"|"0.95"}`` series (or bare sum/count when even
+  quantiles are missing).
 * profiler  -> ``<prefix>span_*`` series labelled by flame path, when the
   snapshot carries a ``profile`` section (``--profile`` runs do)
 
@@ -66,6 +69,7 @@ def render_prometheus(snapshot: Dict, *, prefix: str = "repro_") -> str:
     # empty snapshot — metrics were off — still renders empty.)
     from repro.telemetry.report import (
         DEGRADED_COUNTERS,
+        OBSERVABILITY_COUNTERS,
         SERVICE_COUNTERS,
         SERVICE_GAUGES,
     )
@@ -73,7 +77,9 @@ def render_prometheus(snapshot: Dict, *, prefix: str = "repro_") -> str:
     counters = dict(snapshot.get("counters", {}))
     gauges = dict(snapshot.get("gauges", {}))
     if counters:
-        for raw in DEGRADED_COUNTERS + SERVICE_COUNTERS:
+        for raw in (
+            DEGRADED_COUNTERS + SERVICE_COUNTERS + OBSERVABILITY_COUNTERS
+        ):
             counters.setdefault(raw, 0)
         for raw in SERVICE_GAUGES:
             gauges.setdefault(raw, 0)
@@ -97,8 +103,21 @@ def render_prometheus(snapshot: Dict, *, prefix: str = "repro_") -> str:
 
     for raw, summary in snapshot.get("histograms", {}).items():
         name = _name(prefix, raw)
-        header(name, "summary", f"histogram {raw}")
         count = summary.get("count", 0)
+        if "sketch" in summary:
+            from repro.telemetry.timeseries import QuantileSketch
+
+            sketch = QuantileSketch.from_dict(summary["sketch"])
+            header(name, "histogram", f"histogram {raw}")
+            for bound, cumulative in sketch.cumulative_buckets():
+                lines.append(
+                    f'{name}_bucket{{le="{_num(bound)}"}} {_num(cumulative)}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {_num(count)}')
+            lines.append(f"{name}_sum {_num(sketch.total)}")
+            lines.append(f"{name}_count {_num(count)}")
+            continue
+        header(name, "summary", f"histogram {raw}")
         if count:
             for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
                 if key in summary:

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.metrics.stats import percentile
+from repro.telemetry.timeseries import QuantileSketch, merge_sketches
 
 __all__ = [
     "Counter",
@@ -72,31 +72,39 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution of observed values (count/sum always; raw values up
-    to ``max_samples`` for percentile summaries)."""
+    """Distribution of observed values.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_values", "_cap")
+    Exact ``count``/``sum``/``min``/``max`` plus a fixed-memory
+    log-bucketed :class:`~repro.telemetry.timeseries.QuantileSketch`
+    (relative quantile error bounded by its ``alpha``, default 1%) in
+    place of the former unbounded raw-sample list — a histogram now
+    costs the same after a million observations as after a hundred,
+    merges exactly across workers, and feeds windowed rollups via
+    sketch deltas.
+    """
 
-    def __init__(self, name: str, *, max_samples: int = 100_000) -> None:
+    __slots__ = ("name", "count", "total", "min", "max", "sketch")
+
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self._values: List[float] = []
-        self._cap = max_samples
+        self.sketch = QuantileSketch()
 
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
+    def observe(self, value: float, count: int = 1) -> None:
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        if len(self._values) < self._cap:
-            self._values.append(value)
+        self.sketch.add(value, count)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
         if self.count == 0:
             return {"count": 0}
         return {
@@ -104,8 +112,10 @@ class Histogram:
             "mean": self.total / self.count,
             "min": self.min,
             "max": self.max,
-            "p50": percentile(self._values, 50),
-            "p95": percentile(self._values, 95),
+            "p50": self.sketch.quantile(0.50),
+            "p95": self.sketch.quantile(0.95),
+            "p99": self.sketch.quantile(0.99),
+            "sketch": self.sketch.to_dict(),
         }
 
 
@@ -170,7 +180,7 @@ class _NullGauge(Gauge):
 class _NullHistogram(Histogram):
     __slots__ = ()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, count: int = 1) -> None:
         pass
 
 
@@ -231,6 +241,22 @@ class MetricsRegistry:
         if metric is None:
             metric = self._timers[name] = Timer(name)
         return metric
+
+    # ------------------------------------------------------------------
+    # Read-only iteration (windowed-rollup sampling)
+    # ------------------------------------------------------------------
+    def counters_by_name(self) -> Dict[str, Counter]:
+        """Live counter objects by name (treat as read-only)."""
+        return self._counters
+
+    def gauges_by_name(self) -> Dict[str, Gauge]:
+        return self._gauges
+
+    def histograms_by_name(self) -> Dict[str, Histogram]:
+        return self._histograms
+
+    def timers_by_name(self) -> Dict[str, Timer]:
+        return self._timers
 
     # ------------------------------------------------------------------
     # Export
@@ -304,8 +330,10 @@ def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
     campaign-level view: counters sum, gauges keep the maximum
     (high-water semantics), timers sum calls and wall seconds, and
     histograms combine ``count``/``mean``/``min``/``max`` exactly.
-    Sample-based percentiles (p50/p95) cannot be merged from summaries
-    and are therefore omitted from merged histograms.
+    Summaries that carry a serialized quantile sketch (every snapshot
+    written since the sketch-backed registry) additionally merge their
+    sketches, so merged histograms keep p50/p95/p99; legacy summaries
+    without one merge exact stats only and omit the quantiles.
 
     Raises:
         ValueError: when the snapshots are *heterogeneous* — the same
@@ -350,28 +378,48 @@ def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
                 continue
             into = histograms.get(name)
             if into is None:
-                histograms[name] = {
+                into = histograms[name] = {
                     "count": count,
                     "total": summary["mean"] * count,
                     "min": summary["min"],
                     "max": summary["max"],
+                    "sketches": [],
+                    "sketchless": 0,
                 }
             else:
                 into["count"] += count
                 into["total"] += summary["mean"] * count
                 into["min"] = min(into["min"], summary["min"])
                 into["max"] = max(into["max"], summary["max"])
+            if "sketch" in summary:
+                into["sketches"].append(
+                    QuantileSketch.from_dict(summary["sketch"])
+                )
+            else:
+                into["sketchless"] += 1
     return {
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "histograms": {
-            name: {
-                "count": h["count"],
-                "mean": h["total"] / h["count"],
-                "min": h["min"],
-                "max": h["max"],
-            }
-            for name, h in sorted(histograms.items())
+            name: _merged_histogram(h) for name, h in sorted(histograms.items())
         },
         "timers": dict(sorted(timers.items())),
     }
+
+
+def _merged_histogram(h: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "count": h["count"],
+        "mean": h["total"] / h["count"],  # type: ignore[operator]
+        "min": h["min"],
+        "max": h["max"],
+    }
+    # Quantiles are claimed only when *every* input carried a sketch —
+    # a partial merge would silently misweight the sketchless runs.
+    if h["sketches"] and not h["sketchless"]:
+        merged = merge_sketches(h["sketches"])  # type: ignore[arg-type]
+        out["p50"] = merged.quantile(0.50)
+        out["p95"] = merged.quantile(0.95)
+        out["p99"] = merged.quantile(0.99)
+        out["sketch"] = merged.to_dict()
+    return out

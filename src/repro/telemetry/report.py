@@ -18,6 +18,7 @@ __all__ = [
     "DEGRADED_COUNTERS",
     "SERVICE_COUNTERS",
     "SERVICE_GAUGES",
+    "OBSERVABILITY_COUNTERS",
     "render_report",
     "render_snapshot",
     "snapshot_as_dict",
@@ -49,6 +50,15 @@ SERVICE_COUNTERS = (
 
 #: Service gauges zero-defaulted alongside (queue depth high-water mark).
 SERVICE_GAUGES = ("service.queue_depth",)
+
+#: Live-observability counters (SLO engine + flight recorder),
+#: zero-defaulted the same way: "no alert ever fired" and "no
+#: post-mortem was ever dumped" are explicit, alertable zeros.
+OBSERVABILITY_COUNTERS = (
+    "slo.evaluations",
+    "slo.alerts_fired",
+    "recorder.dumps_written",
+)
 
 
 def _fmt(value: float) -> str:
@@ -98,11 +108,13 @@ def _snapshot_lines(snapshot) -> List[str]:
             if summary.get("count", 0) == 0:
                 lines.append(f"  {name}: empty")
                 continue
-            quantiles = (
-                f" p50={_fmt(summary['p50'])} p95={_fmt(summary['p95'])}"
-                if "p50" in summary
-                else ""  # merged snapshots have no sample quantiles
-            )
+            quantiles = ""
+            if "p50" in summary:
+                quantiles = (
+                    f" p50={_fmt(summary['p50'])} p95={_fmt(summary['p95'])}"
+                )
+                if "p99" in summary:
+                    quantiles += f" p99={_fmt(summary['p99'])}"
             lines.append(
                 f"  {name}: n={summary['count']}"
                 f" mean={_fmt(summary['mean'])}"
@@ -145,6 +157,18 @@ def _service_lines(snapshot) -> List[str]:
     return lines
 
 
+def _observability_lines(snapshot) -> List[str]:
+    """The live SLO/recorder section (zero unless the live layer ran)."""
+    counters = snapshot.get("counters")
+    if not counters:
+        return []
+    lines = ["", "live SLO layer (zero unless --slo/--recorder armed)"]
+    width = max(len(name) for name in OBSERVABILITY_COUNTERS)
+    for name in OBSERVABILITY_COUNTERS:
+        lines.append(f"  {name:<{width}}  {_fmt(counters.get(name, 0))}")
+    return lines
+
+
 def _profile_lines(profile) -> List[str]:
     lines = ["", "span profile (flame view; excl = self time)"]
     for line in render_profile(profile).splitlines():
@@ -159,6 +183,7 @@ def render_snapshot(snapshot) -> str:
     lines += _snapshot_lines(snapshot)
     lines += _degraded_lines(snapshot)
     lines += _service_lines(snapshot)
+    lines += _observability_lines(snapshot)
     decisions = snapshot.get("placement_decisions")
     if decisions and decisions.get("decisions"):
         lines += ["", "placement decisions"]
@@ -180,7 +205,9 @@ def snapshot_as_dict(snapshot) -> dict:
     pass through untouched.
     """
     counters = dict(snapshot.get("counters", {}))
-    for name in DEGRADED_COUNTERS + SERVICE_COUNTERS:
+    for name in (
+        DEGRADED_COUNTERS + SERVICE_COUNTERS + OBSERVABILITY_COUNTERS
+    ):
         counters.setdefault(name, 0)
     gauges = dict(snapshot.get("gauges", {}))
     for name in SERVICE_GAUGES:
@@ -194,6 +221,9 @@ def snapshot_as_dict(snapshot) -> dict:
         "timers": dict(snapshot.get("timers", {})),
         "degraded": {name: counters[name] for name in DEGRADED_COUNTERS},
         "service": service,
+        "observability": {
+            name: counters[name] for name in OBSERVABILITY_COUNTERS
+        },
     }
     for key, value in snapshot.items():
         if key not in out:
@@ -210,6 +240,7 @@ def render_report(telemetry) -> str:
     lines += _snapshot_lines(snapshot)
     lines += _degraded_lines(snapshot)
     lines += _service_lines(snapshot)
+    lines += _observability_lines(snapshot)
 
     if telemetry.profiler.enabled:
         lines += _profile_lines(telemetry.profiler.as_dict())

@@ -227,10 +227,19 @@ class TestPrometheus:
         assert "repro_engine_heap 3.0" in text
         assert "repro_placement_seconds_total" in text
         assert "repro_placement_calls_total 1.0" in text
-        assert '# TYPE repro_fct summary' in text
-        assert 'repro_fct{quantile="0.5"} 2.0' in text
+        assert '# TYPE repro_fct histogram' in text
+        assert 'repro_fct_bucket{le="+Inf"} 3.0' in text
         assert "repro_fct_sum 6.0" in text
         assert "repro_fct_count 3.0" in text
+        # Real cumulative buckets from the sketch: monotone, closed by
+        # +Inf, and consistent with the total count.
+        bucket_counts = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_fct_bucket")
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+        assert bucket_counts[-1] == 3.0
         assert (
             'repro_span_inclusive_seconds_total{path="engine.event;alloc"} 0.5'
             in text
@@ -311,7 +320,13 @@ class TestMergeSnapshots:
         assert merged["gauges"]["g"] == 2.5
         assert merged["timers"]["t"]["calls"] == 1
         hist = merged["histograms"]["h"]
-        assert hist == {"count": 2, "mean": 2.0, "min": 1.0, "max": 3.0}
+        assert hist["count"] == 2
+        assert hist["mean"] == 2.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+        # Sketch-backed snapshots keep their quantiles through a merge.
+        assert hist["p50"] == pytest.approx(1.0, rel=0.02)
+        assert hist["p99"] == pytest.approx(3.0, rel=0.02)
 
     def test_heterogeneous_same_run_kinds_error(self):
         a = {"counters": {"m": 1.0}}

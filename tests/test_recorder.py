@@ -1,0 +1,146 @@
+"""Flight-recorder tests: ring bounds, header pinning, bundle dumps."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import FlightRecorder, MetricsRegistry
+
+
+def event(i, kind="flow_start"):
+    return {"ev": kind, "t": float(i), "i": i}
+
+
+class TestRing:
+    def test_capacity_bound(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=8)
+        source = []
+        rec.attach(source)
+        source.extend(event(i) for i in range(50))
+        assert rec.poll() == 50
+        body = [e for e in rec.events if e["ev"] == "flow_start"]
+        assert len(body) == 8
+        assert [e["i"] for e in body] == list(range(42, 50))
+
+    def test_poll_ingests_by_offset(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=16)
+        source = [event(0)]
+        rec.attach(source)
+        assert rec.poll() == 1
+        assert rec.poll() == 0
+        source.append(event(1))
+        assert rec.poll() == 1
+        assert [e["i"] for e in rec.events] == [0, 1]
+
+    def test_observe_appends(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=4)
+        rec.observe({"ev": "slo_alert", "t": 1.0, "slo": "x"})
+        assert rec.events[-1]["ev"] == "slo_alert"
+
+    def test_run_start_header_survives_eviction(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=4)
+        source = [{"ev": "run_start", "t": 0.0, "run": 0}]
+        source.extend(event(i) for i in range(1, 20))
+        rec.attach(source)
+        rec.poll()
+        events = rec.events
+        # The header was evicted from the 4-slot ring but is re-prepended.
+        assert events[0]["ev"] == "run_start"
+        assert len(events) == 5
+        # While still inside the ring it is not duplicated.
+        rec2 = FlightRecorder(str(tmp_path), capacity=64)
+        rec2.attach(source)
+        rec2.poll()
+        starts = [e for e in rec2.events if e["ev"] == "run_start"]
+        assert len(starts) == 1
+
+    def test_rejects_bad_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path), capacity=0)
+
+
+class TestDump:
+    def full_dump(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=16)
+        source = [{"ev": "run_start", "t": 0.0}, event(1), event(2)]
+        rec.attach(source)
+        path = rec.dump(
+            "SLO breach: drop-rate",
+            now=6.5,
+            offending={"slo": "drop-rate", "burn_fast": 2.9},
+            metrics={"counters": {"service.decisions": 10}},
+            scenario={"name": "tiny", "duration": 1.0},
+            faults={"name": "outage", "events": []},
+            context={"seed": 42, "scenario": "tiny.json"},
+        )
+        return rec, path
+
+    def test_dump_writes_bundle(self, tmp_path):
+        rec, path = self.full_dump(tmp_path)
+        name = os.path.basename(path)
+        assert name == "bundle-001-slo-breach-drop-rate"
+        files = sorted(os.listdir(path))
+        assert files == [
+            "bundle.json",
+            "events.jsonl",
+            "faults.json",
+            "metrics.json",
+            "scenario.json",
+        ]
+        with open(os.path.join(path, "events.jsonl")) as fp:
+            events = [json.loads(line) for line in fp]
+        assert [e["ev"] for e in events] == [
+            "run_start",
+            "flow_start",
+            "flow_start",
+        ]
+        with open(os.path.join(path, "scenario.json")) as fp:
+            assert json.load(fp)["name"] == "tiny"
+
+    def test_manifest_contents(self, tmp_path):
+        rec, path = self.full_dump(tmp_path)
+        with open(os.path.join(path, "bundle.json")) as fp:
+            manifest = json.load(fp)
+        assert manifest["reason"] == "SLO breach: drop-rate"
+        assert manifest["t"] == 6.5
+        assert manifest["events"] == 3
+        assert manifest["offending"]["slo"] == "drop-rate"
+        assert manifest["context"]["seed"] == 42
+        assert manifest["replay"] == (
+            "repro serve bundle-001-slo-breach-drop-rate/scenario.json "
+            "--seed 42 --faults bundle-001-slo-breach-drop-rate/faults.json"
+        )
+        assert sorted(manifest["files"]) == sorted(os.listdir(path))
+
+    def test_dump_without_optional_parts(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=4)
+        path = rec.dump("stall", now=2.0)
+        assert sorted(os.listdir(path)) == ["bundle.json", "events.jsonl"]
+        with open(os.path.join(path, "bundle.json")) as fp:
+            manifest = json.load(fp)
+        assert "replay" not in manifest
+        assert "offending" not in manifest
+
+    def test_sequential_dumps_and_counter(self, tmp_path):
+        reg = MetricsRegistry()
+        rec = FlightRecorder(str(tmp_path), capacity=4, registry=reg)
+        first = rec.dump("stall", now=1.0)
+        second = rec.dump("stall", now=2.0)
+        assert os.path.basename(first) == "bundle-001-stall"
+        assert os.path.basename(second) == "bundle-002-stall"
+        assert rec.dumps == [first, second]
+        assert rec.dumps_written == 2
+        assert reg.counter("recorder.dumps_written").value == 2
+
+    def test_dump_polls_attached_source_first(self, tmp_path):
+        rec = FlightRecorder(str(tmp_path), capacity=16)
+        source = [event(1)]
+        rec.attach(source)
+        rec.poll()
+        source.append(event(2))  # appended after the last explicit poll
+        path = rec.dump("crash", now=3.0)
+        with open(os.path.join(path, "events.jsonl")) as fp:
+            assert sum(1 for _ in fp) == 2

@@ -1,0 +1,271 @@
+"""SLO engine tests: spec validation, burn rates, alert state machine.
+
+The burn-rate semantics under test: every SLO kind reduces to "budget
+consumption speed" where 1.0 means exactly on objective, an alert fires
+only when BOTH the fast and slow windows burn at/above threshold, and
+it resolves when the fast window recovers.  Evaluation is a pure
+function of (specs, store, now) — the same rollups give the same
+alerts, and nothing here touches simulation streams.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SLOEngine,
+    SLOSpec,
+    default_slo_specs,
+    load_slo_specs,
+)
+from repro.telemetry.timeseries import QuantileSketch, TimeseriesStore
+
+
+def latency_spec(**overrides):
+    spec = dict(
+        name="lat",
+        kind="latency",
+        metric="svc.latency",
+        threshold=0.1,
+        objective=0.9,
+        fast_window=2.0,
+        slow_window=6.0,
+    )
+    spec.update(overrides)
+    return SLOSpec(**spec)
+
+
+def store_with_latencies(bins):
+    """A store whose 'svc.latency' histogram holds one sketch per bin:
+    ``bins`` maps sim-time -> list of observed latencies."""
+    store = TimeseriesStore(bin_width=1.0, bins=60)
+    for t, values in bins.items():
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        store.record_sketch(float(t), "svc.latency", sketch)
+    return store
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            SLOSpec(name="x", kind="nope", metric="m")
+
+    def test_needs_name_and_metric(self):
+        with pytest.raises(ConfigError):
+            SLOSpec(name="", kind="gauge", metric="m", bound=1.0)
+        with pytest.raises(ConfigError):
+            SLOSpec(name="x", kind="gauge", metric="", bound=1.0)
+
+    def test_window_ordering(self):
+        with pytest.raises(ConfigError):
+            latency_spec(fast_window=10.0, slow_window=5.0)
+
+    def test_latency_needs_valid_objective_and_threshold(self):
+        with pytest.raises(ConfigError):
+            latency_spec(objective=1.0)
+        with pytest.raises(ConfigError):
+            latency_spec(threshold=0.0)
+
+    def test_ratio_needs_total_and_budget(self):
+        with pytest.raises(ConfigError):
+            SLOSpec(name="r", kind="ratio", metric="bad")
+        with pytest.raises(ConfigError):
+            SLOSpec(name="r", kind="ratio", metric="bad", total="t", budget=0.0)
+
+    def test_quantile_and_gauge_need_bound(self):
+        with pytest.raises(ConfigError):
+            SLOSpec(name="q", kind="quantile", metric="m", q=0.99)
+        with pytest.raises(ConfigError):
+            SLOSpec(name="g", kind="gauge", metric="m")
+        with pytest.raises(ConfigError):
+            SLOSpec(name="q", kind="quantile", metric="m", q=1.5, bound=1.0)
+
+    def test_round_trip(self):
+        spec = latency_spec(description="d")
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+        ratio = SLOSpec(
+            name="r", kind="ratio", metric="bad", total="all", budget=0.02
+        )
+        assert SLOSpec.from_dict(ratio.to_dict()) == ratio
+
+
+class TestLoading:
+    def test_default_specs(self):
+        specs = default_slo_specs()
+        assert len(specs) == len(DEFAULT_SLOS)
+        assert load_slo_specs("default") == specs
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"slos": [latency_spec().to_dict()]}))
+        specs = load_slo_specs(str(path))
+        assert specs == [latency_spec()]
+
+    def test_load_bare_list_and_dict(self):
+        raw = latency_spec().to_dict()
+        assert load_slo_specs([raw]) == [latency_spec()]
+        assert load_slo_specs({"slos": [raw]}) == [latency_spec()]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_slo_specs(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_slo_specs(str(bad))
+        with pytest.raises(ConfigError):
+            load_slo_specs({"nope": []})
+        with pytest.raises(ConfigError):
+            load_slo_specs([])
+
+    def test_unknown_keys_rejected(self):
+        raw = latency_spec().to_dict()
+        raw["surprise"] = 1
+        with pytest.raises(ConfigError):
+            load_slo_specs([raw])
+
+    def test_duplicate_names_rejected(self):
+        raw = latency_spec().to_dict()
+        with pytest.raises(ConfigError):
+            load_slo_specs([raw, dict(raw)])
+
+
+class TestBurnRates:
+    def test_latency_burn(self):
+        # 2 of 10 observations above threshold; budget is 10% -> burn 2.0.
+        store = store_with_latencies({5: [0.01] * 8 + [1.0] * 2})
+        spec = latency_spec()
+        assert spec.burn_rate(store, window=2.0, now=6.0) == pytest.approx(2.0)
+
+    def test_latency_burn_none_without_data(self):
+        store = store_with_latencies({})
+        assert latency_spec().burn_rate(store, window=2.0, now=6.0) is None
+
+    def test_ratio_burn(self):
+        store = TimeseriesStore(bin_width=1.0, bins=60)
+        store.record_counter(5.0, "bad", 4.0)
+        store.record_counter(5.0, "all", 100.0)
+        spec = SLOSpec(
+            name="r", kind="ratio", metric="bad", total="all",
+            budget=0.02, fast_window=2.0, slow_window=6.0,
+        )
+        # 4% bad over a 2% budget -> burn 2.0.
+        assert spec.burn_rate(store, window=2.0, now=6.0) == pytest.approx(2.0)
+
+    def test_ratio_burn_none_without_denominator(self):
+        store = TimeseriesStore(bin_width=1.0, bins=60)
+        store.record_counter(5.0, "bad", 4.0)
+        spec = SLOSpec(
+            name="r", kind="ratio", metric="bad", total="all", budget=0.02
+        )
+        assert spec.burn_rate(store, window=30.0, now=6.0) is None
+
+    def test_quantile_burn(self):
+        store = store_with_latencies({5: [1.0] * 99 + [8.0]})
+        spec = SLOSpec(
+            name="q", kind="quantile", metric="svc.latency",
+            q=0.5, bound=2.0, fast_window=2.0, slow_window=6.0,
+        )
+        assert spec.burn_rate(store, window=2.0, now=6.0) == pytest.approx(
+            0.5, rel=0.03
+        )
+
+    def test_gauge_burn(self):
+        store = TimeseriesStore(bin_width=1.0, bins=60)
+        store.record_gauge(5.0, "depth", 30.0)
+        spec = SLOSpec(
+            name="g", kind="gauge", metric="depth", bound=10.0,
+            fast_window=2.0, slow_window=6.0,
+        )
+        assert spec.burn_rate(store, window=2.0, now=6.0) == pytest.approx(3.0)
+
+
+class TestEngine:
+    def breach_store(self):
+        # Bad latencies throughout both windows: burn 5.0 everywhere.
+        return store_with_latencies(
+            {t: [0.01] * 5 + [1.0] * 5 for t in range(10)}
+        )
+
+    def test_fires_only_when_both_windows_burn(self):
+        # Bad values only in the most recent bin: the fast window burns,
+        # the slow one is diluted below threshold -> no alert.
+        store = store_with_latencies(
+            {t: [0.01] * 10 for t in range(9)} | {9: [1.0] * 10}
+        )
+        spec = latency_spec(burn_threshold=3.0)
+        engine = SLOEngine([spec], store)
+        assert engine.evaluate(10.0) == []
+        assert engine.firing == []
+
+    def test_fire_and_resolve(self):
+        store = self.breach_store()
+        spec = latency_spec()
+        engine = SLOEngine([spec], store)
+        fired = engine.evaluate(9.0)
+        assert [a.state for a in fired] == ["firing"]
+        assert engine.firing == ["lat"]
+        # Still breaching: no duplicate transition.
+        assert engine.evaluate(9.5) == []
+        # Recovery: fresh bins are healthy, fast window recovers first.
+        for t in (10, 11, 12):
+            sketch = QuantileSketch()
+            for _ in range(10):
+                sketch.add(0.01)
+            store.record_sketch(float(t), "svc.latency", sketch)
+        resolved = engine.evaluate(12.9)
+        assert [a.state for a in resolved] == ["resolved"]
+        assert engine.firing == []
+        assert engine.alerts_fired == 1
+        assert len(engine.alerts) == 2
+
+    def test_counters_on_registry(self):
+        reg = MetricsRegistry()
+        engine = SLOEngine([latency_spec()], self.breach_store(), reg)
+        engine.evaluate(9.0)
+        engine.evaluate(9.5)
+        assert reg.counter("slo.evaluations").value == 2
+        assert reg.counter("slo.alerts_fired").value == 1
+
+    def test_alert_event_shape(self):
+        engine = SLOEngine([latency_spec()], self.breach_store())
+        (alert,) = engine.evaluate(9.0)
+        event = alert.as_event()
+        assert event["ev"] == "slo_alert"
+        assert event["slo"] == "lat"
+        assert event["state"] == "firing"
+        assert event["burn_fast"] >= 1.0 and event["burn_slow"] >= 1.0
+
+    def test_summary(self):
+        engine = SLOEngine([latency_spec()], self.breach_store())
+        engine.evaluate(9.0)
+        summary = engine.summary(9.0)
+        assert summary["firing"] == ["lat"]
+        assert summary["alerts_fired"] == 1
+        assert "lat" in summary["burn"]
+
+    def test_duplicate_spec_names_rejected(self):
+        store = TimeseriesStore()
+        with pytest.raises(ConfigError):
+            SLOEngine([latency_spec(), latency_spec()], store)
+
+    def test_deterministic_evaluation(self):
+        """Same rollups, same sequence of alerts — twice."""
+        def run():
+            engine = SLOEngine([latency_spec()], self.breach_store())
+            out = []
+            for t in (8.0, 9.0, 9.5):
+                out.extend(
+                    (a.slo, a.state, a.t, a.burn_fast, a.burn_slow)
+                    for a in engine.evaluate(t)
+                )
+            return out
+
+        assert run() == run()
