@@ -445,21 +445,45 @@ def test_perf_observability_overhead(benchmark, tmp_path):
     )
 
 
-def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
-    """Campaign orchestrator: jobs=1 vs jobs=N wall time + cache hits.
+def _noop_cell(spec):
+    """Cheapest possible cell: isolates pure orchestration cost."""
+    return {
+        "network_policy": spec.network_policy,
+        "load": spec.config.load,
+        "seed": spec.config.seed,
+    }
 
-    The speedup factor is recorded, not asserted — CI machines may
-    expose a single core, where the pool's fork overhead dominates these
-    deliberately tiny cells.  What *is* asserted is the orchestrator's
-    contract: parallel equals serial byte for byte, and a second pass is
-    served entirely from the cache.
+
+def test_perf_campaign_executor_throughput(benchmark, tmp_path):
+    """Campaign orchestrator: cell throughput and scheduling overhead.
+
+    The old jobs=1-vs-jobs=N "speedup" sat at ~1.0 on single-core CI
+    runners, where fork overhead cancels any parallelism — a meaningless
+    number to gate on.  What a scheduler bench *can* measure anywhere:
+
+    * ``serial_cells_per_second`` — end-to-end throughput of real cells
+      through the in-process executor (simulation dominated);
+    * ``scheduling_overhead_seconds_per_cell`` — the orchestrator's own
+      cost, isolated by draining a large campaign of no-op cells through
+      the full claim/record/fold machinery (streaming mode, so the
+      fixed-memory aggregation path is in the measured loop);
+    * ``queue_overhead_seconds_per_cell`` — the same no-op drain through
+      the on-disk work-queue protocol (lease, commit, done marker),
+      i.e. the distributed executor's per-cell filesystem tax.
+
+    What is *asserted* is the orchestrator's contract: parallel equals
+    serial byte for byte (batch report and streaming aggregate), and a
+    second pass is served entirely from the cache.
     """
     from repro.campaign import (
         ResultCache,
+        WorkQueue,
         canonical_json,
         flow_grid,
         run_campaign,
+        run_worker,
     )
+    from repro.campaign.spec import Campaign, RunSpec
     from repro.experiments.config import MacroConfig
 
     jobs = min(4, max(2, os.cpu_count() or 2))
@@ -474,18 +498,16 @@ def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
         placements=("minload", "mindist"),
     )
 
+    def serial_run():
+        return run_campaign(campaign, jobs=1)
+
     start = time.perf_counter()
-    serial = run_campaign(campaign, jobs=1)
+    serial = benchmark.pedantic(serial_run, rounds=1, iterations=1)
     serial_wall = time.perf_counter() - start
-
-    def parallel_run():
-        return run_campaign(campaign, jobs=jobs)
-
-    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
-    parallel_wall = parallel.wall_seconds
-    assert [canonical_json(p) for p in serial.payloads()] == [
-        canonical_json(p) for p in parallel.payloads()
-    ]
+    parallel = run_campaign(campaign, jobs=jobs, streaming=True)
+    assert canonical_json(parallel.aggregate_payload()) == canonical_json(
+        serial.aggregate_payload()
+    )
 
     cache = ResultCache(tmp_path / "cache")
     run_campaign(campaign, jobs=1, cache=cache)
@@ -498,10 +520,41 @@ def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
         canonical_json(p) for p in serial.payloads()
     ]
 
-    speedup = serial_wall / parallel_wall if parallel_wall > 0 else None
+    # Scheduling overhead, isolated: no-op cells through (a) the
+    # in-process streaming executor and (b) the on-disk work queue.
+    noop_cells = 200
+    noop = Campaign(
+        name="bench-noop",
+        cells=tuple(
+            RunSpec(
+                kind="flow_macro",
+                config=MacroConfig(
+                    pods=1, racks_per_pod=2, hosts_per_rack=2,
+                    num_arrivals=1, seed=seed,
+                ),
+            )
+            for seed in range(noop_cells)
+        ),
+    )
+    t0 = time.perf_counter()
+    noop_report = run_campaign(
+        noop, jobs=1, cell_fn=_noop_cell, streaming=True
+    )
+    executor_wall = time.perf_counter() - t0
+    assert noop_report.aggregate_payload()["completed"] == noop_cells
+
+    queue_dir = tmp_path / "queue"
+    WorkQueue.seed(queue_dir, noop)
+    t0 = time.perf_counter()
+    summary = run_worker(queue_dir, cell_fn=_noop_cell)
+    queue_wall = time.perf_counter() - t0
+    assert summary.ok == noop_cells
+
+    cells = len(campaign.cells)
+    serial_throughput = cells / serial_wall if serial_wall > 0 else None
     benchmark.extra_info["jobs"] = jobs
-    benchmark.extra_info["speedup"] = (
-        round(speedup, 2) if speedup else None
+    benchmark.extra_info["serial_cells_per_second"] = (
+        round(serial_throughput, 3) if serial_throughput else None
     )
     # Campaign payloads carry per-placement causal blame shares; fold
     # their across-seed tails into the artifact so regressions in the
@@ -522,13 +575,17 @@ def test_perf_campaign_parallel_speedup(benchmark, tmp_path):
         )
     }
     _update_artifact(
-        "campaign_parallel_speedup",
+        "campaign_executor_throughput",
         {
-            "cells": len(campaign.cells),
+            "cells": cells,
             "jobs": jobs,
             "serial_wall_seconds": serial_wall,
-            "parallel_wall_seconds": parallel_wall,
-            "speedup": speedup,
+            "serial_cells_per_second": serial_throughput,
+            "noop_cells": noop_cells,
+            "scheduling_overhead_seconds_per_cell": (
+                executor_wall / noop_cells
+            ),
+            "queue_overhead_seconds_per_cell": queue_wall / noop_cells,
             "cache_cold": cold,
             "cache_warm": warm,
             "blame_shares": blame_shares,

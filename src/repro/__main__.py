@@ -65,7 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
                "artifacts; 'explain DIR' prints the causal blame breakdown "
                "of a --causal trace; 'trace export DIR' converts a causal "
                "trace to Chrome/Perfetto JSON; 'serve SCENARIO.json' runs "
-               "an open-loop streaming placement session.",
+               "an open-loop streaming placement session; "
+               "'campaign-worker DIR' drains cells from a shared campaign "
+               "queue (see 'run --distributed').",
     )
     parser.add_argument(
         "figure",
@@ -101,7 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a structured JSONL event trace (flow lifecycle, rate "
-             "recomputes, bus messages, placement decisions + outcomes)",
+             "recomputes, bus messages, placement decisions + outcomes); "
+             "a .gz suffix writes a deterministic gzip stream",
+    )
+    obs.add_argument(
+        "--trace-rotate-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the --trace file every BYTES of uncompressed JSONL "
+             "(PATH.1..PATH.N backups; default: one unbounded file)",
+    )
+    obs.add_argument(
+        "--trace-backups", type=int, default=4, metavar="N",
+        help="rotated trace segments kept beyond the active one "
+             "(default: %(default)s)",
     )
     obs.add_argument(
         "--metrics-out", metavar="PATH", default=None,
@@ -168,6 +181,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="append live per-cell health records (JSONL) here — a file, "
              "or a directory that gets status.jsonl; watch with "
              "'python -m repro status PATH'",
+    )
+    camp.add_argument(
+        "--stream", action="store_true",
+        help="streaming aggregation: fold each cell's result into a "
+             "fixed-memory campaign aggregate as it lands instead of "
+             "holding every payload (byte-identical to the batch "
+             "aggregate; use for thousand-cell grids)",
+    )
+    dist = parser.add_argument_group(
+        "distributed campaigns ('run' only)",
+        "cells become claimable lease files in a shared queue directory; "
+        "add workers anywhere with 'python -m repro campaign-worker DIR'",
+    )
+    dist.add_argument(
+        "--distributed", metavar="DIR", default=None,
+        help="seed DIR as a work queue and supervise it instead of "
+             "running in-process; results stream into a fixed-memory "
+             "aggregate, byte-identical to a serial run",
+    )
+    dist.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume the campaign seeded in DIR: finished cells fold "
+             "straight from the queue's cache, the rest execute, and "
+             "the final aggregate is byte-identical to an uninterrupted "
+             "run (grid flags are ignored; the manifest is authoritative)",
+    )
+    dist.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="local worker processes for --distributed/--resume "
+             "(default: %(default)s; 0 coordinates external "
+             "campaign-worker processes only)",
+    )
+    dist.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="seconds of lease silence before a cell counts as abandoned "
+             "and may be stolen by another worker (default: 30)",
+    )
+    dist.add_argument(
+        "--aggregate-out", metavar="PATH", default=None,
+        help="write the campaign aggregate payload as canonical JSON "
+             "(works in every mode; identical bytes across serial, "
+             "parallel, distributed, and resumed runs)",
     )
     sweep = parser.add_argument_group(
         "campaign sweep ('run' only)",
@@ -246,6 +301,8 @@ def telemetry_from_args(args: argparse.Namespace):
         profile=args.profile,
         wall_clock=args.wall_clock,
         causal=bool(args.causal),
+        trace_rotate_bytes=args.trace_rotate_bytes,
+        trace_backups=args.trace_backups,
     )
 
 
@@ -387,9 +444,58 @@ def run_all_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_campaign_outputs(report, args: argparse.Namespace) -> int:
+    """Render a campaign report (batch or streaming) and write outputs."""
+    from repro.campaign import (
+        canonical_json,
+        render_aggregate,
+        render_campaign_report,
+    )
+
+    if report.aggregate is not None:
+        print(render_aggregate(report.aggregate))
+        print(f"cache: {report.cache_stats}")
+    else:
+        print(render_campaign_report(report))
+    if args.aggregate_out:
+        with open(args.aggregate_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(report.aggregate_payload()))
+            fh.write("\n")
+        print(f"aggregate written to {args.aggregate_out}")
+    return 1 if report.quarantined else 0
+
+
 def run_campaign_cli(args: argparse.Namespace) -> int:
     """``repro run``: a declarative seed x network x load sweep."""
-    from repro.campaign import flow_grid, render_campaign_report, run_campaign
+    from repro.campaign import flow_grid, run_campaign
+
+    if args.distributed and args.resume:
+        print(
+            "error: --distributed seeds a fresh queue and --resume reopens "
+            "one; give exactly one",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
+        return 2
+
+    if args.resume:
+        from repro.campaign import run_distributed_campaign
+        from repro.errors import ConfigError
+
+        try:
+            report = run_distributed_campaign(
+                args.resume,
+                workers=args.workers,
+                retries=args.cell_retries,
+                resume=True,
+                progress=_progress,
+            )
+        except (ConfigError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _emit_campaign_outputs(report, args)
 
     base = config_from_args(args)
     if args.state_ttl is not None or args.push_node_state:
@@ -425,6 +531,28 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
         coflows=args.coflows,
         faults=fault_axis,
     )
+    if args.distributed:
+        from repro.campaign import DEFAULT_LEASE_TTL, run_distributed_campaign
+        from repro.errors import ConfigError
+
+        try:
+            report = run_distributed_campaign(
+                args.distributed,
+                campaign,
+                workers=args.workers,
+                retries=args.cell_retries,
+                lease_ttl=(
+                    args.lease_ttl
+                    if args.lease_ttl is not None
+                    else DEFAULT_LEASE_TTL
+                ),
+                progress=_progress,
+            )
+        except (ConfigError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _emit_campaign_outputs(report, args)
+
     report = run_campaign(
         campaign,
         jobs=args.jobs,
@@ -433,9 +561,9 @@ def run_campaign_cli(args: argparse.Namespace) -> int:
         retries=args.cell_retries,
         progress=_progress,
         status_path=status_from_args(args),
+        streaming=args.stream,
     )
-    print(render_campaign_report(report))
-    return 1 if report.quarantined else 0
+    return _emit_campaign_outputs(report, args)
 
 
 def run_status_cli(argv) -> int:
@@ -1077,8 +1205,86 @@ def run_slo_cli(argv) -> int:
 
 
 #: Subcommands with their own parsers, dispatched before the figure CLI.
+def run_campaign_worker_cli(argv) -> int:
+    """``repro campaign-worker``: drain cells from a shared queue.
+
+    Point any number of these (on any machine sharing the filesystem)
+    at a directory seeded by ``repro run --distributed DIR``; each
+    atomically claims cells via exclusive-create lease files, executes
+    them, and commits results through the queue's content-addressed
+    cache.  Exit code 1 flags quarantined cells, 2 a bad queue.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign-worker",
+        description="Work-stealing campaign worker over a shared queue "
+                    "directory (seeded by 'repro run --distributed DIR'). "
+                    "Claims are exclusive-create lease files; leases "
+                    "silent beyond the queue's TTL are stolen, so a "
+                    "crashed worker's cell is re-claimed automatically.",
+    )
+    parser.add_argument(
+        "queue",
+        help="campaign queue directory (must contain manifest.json)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="identity recorded in leases and done markers "
+             "(default: host:pid)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts beyond the first before a cell is quarantined, "
+             "counting claims lost to crashed workers "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="claim-poll interval while waiting (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="keep polling until the whole queue completes instead of "
+             "exiting at the first empty claim (for workers started "
+             "alongside or before the supervisor)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --wait, give up after this long without claiming "
+             "anything (guards orphaned workers)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after claiming this many cells",
+    )
+    args = parser.parse_args(argv)
+    from repro.campaign import run_worker
+    from repro.errors import ConfigError
+
+    try:
+        summary = run_worker(
+            args.queue,
+            worker_id=args.worker_id,
+            retries=args.retries,
+            poll=args.poll,
+            wait=args.wait,
+            idle_timeout=args.idle_timeout,
+            max_cells=args.max_cells,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"worker {summary.worker}: claimed={summary.claimed} "
+        f"ok={summary.ok} cached={summary.cached} failed={summary.failed}"
+    )
+    for error in summary.errors:
+        print(f"  {error}", file=sys.stderr)
+    return 1 if summary.failed else 0
+
+
 _SUBCOMMANDS = {
     "status": run_status_cli,
+    "campaign-worker": run_campaign_worker_cli,
     "report": run_report_cli,
     "bench-compare": run_bench_compare_cli,
     "faults": run_faults_cli,
@@ -1199,6 +1405,11 @@ def main(argv=None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.trace_rotate_bytes is not None and args.trace_rotate_bytes < 1:
+        parser.error("--trace-rotate-bytes must be >= 1")
+    if args.trace_backups < 1:
+        parser.error("--trace-backups must be >= 1")
 
     if args.figure == "all":
         return run_all_summary(args)

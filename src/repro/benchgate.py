@@ -43,6 +43,7 @@ _LOWER_BETTER_SUFFIXES = (
     "wall_seconds",
     "decision_latency_seconds",
     "overhead_ratio",
+    "seconds_per_cell",
 )
 
 #: Metric keys where larger is better (suffix match on the key name).
@@ -51,6 +52,7 @@ _HIGHER_BETTER_SUFFIXES = (
     "events_per_second",
     "speedup",
     "placements_per_second",
+    "cells_per_second",
 )
 
 #: Artifact sections that are not benchmark cells.

@@ -41,6 +41,7 @@ from repro.campaign.aggregate import (
     render_campaign_report,
 )
 from repro.campaign.cache import CacheStats, ResultCache
+from repro.campaign.distributed import run_distributed_campaign
 from repro.campaign.executor import (
     CampaignReport,
     CellOutcome,
@@ -49,7 +50,26 @@ from repro.campaign.executor import (
 )
 from repro.campaign.figures import build_all_campaign
 from repro.campaign.hashing import canonical_json, content_hash, spec_key
-from repro.campaign.spec import Campaign, RunSpec, derive_seeds, flow_grid
+from repro.campaign.queue import (
+    DEFAULT_LEASE_TTL,
+    MANIFEST_FILENAME,
+    Claim,
+    WorkerSummary,
+    WorkQueue,
+    run_worker,
+)
+from repro.campaign.spec import (
+    Campaign,
+    RunSpec,
+    derive_seeds,
+    flow_grid,
+    spec_from_json_dict,
+)
+from repro.campaign.streaming import (
+    CampaignAggregate,
+    StreamingStat,
+    render_aggregate,
+)
 from repro.campaign.status import (
     DEFAULT_STALL_THRESHOLD,
     STATUS_FILENAME,
@@ -66,6 +86,17 @@ __all__ = [
     "RunSpec",
     "flow_grid",
     "derive_seeds",
+    "spec_from_json_dict",
+    "WorkQueue",
+    "Claim",
+    "WorkerSummary",
+    "run_worker",
+    "run_distributed_campaign",
+    "CampaignAggregate",
+    "StreamingStat",
+    "render_aggregate",
+    "DEFAULT_LEASE_TTL",
+    "MANIFEST_FILENAME",
     "canonical_json",
     "content_hash",
     "spec_key",

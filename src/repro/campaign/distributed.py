@@ -1,0 +1,242 @@
+"""Distributed campaign supervision: a pure coordinator over a queue.
+
+:func:`run_distributed_campaign` never executes a cell itself.  It seeds
+(or re-opens) the :class:`~repro.campaign.queue.WorkQueue`, optionally
+spawns local worker *processes* (each just calls
+:func:`~repro.campaign.queue.run_worker` — the same loop ``repro
+campaign-worker`` runs, so local and remote workers are
+indistinguishable), and folds finished cells into a fixed-memory
+:class:`~repro.campaign.streaming.CampaignAggregate` **in cell-index
+order**: the supervisor only ever looks at the next unfolded index, so
+out-of-order completions wait on disk (done marker + cache), not in
+memory — the filesystem is the reorder buffer, and supervisor RSS is
+O(groups), not O(cells).
+
+Resume is the same function with ``resume=True``: the campaign is
+reconstructed from the queue manifest, already-done cells fold straight
+from disk, the rest execute, and the final aggregate payload is
+byte-identical to an uninterrupted run (ok/cached both count as
+completed; nothing run-shaped enters the payload).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.campaign.executor import (
+    CampaignReport,
+    CellOutcome,
+    execute_cell,
+)
+from repro.campaign.queue import (
+    DEFAULT_LEASE_TTL,
+    WorkQueue,
+    run_worker,
+)
+from repro.campaign.spec import Campaign, RunSpec
+from repro.campaign.status import StatusWriter
+from repro.campaign.streaming import CampaignAggregate
+from repro.errors import ConfigError
+
+__all__ = ["run_distributed_campaign"]
+
+#: Supervisor poll interval while waiting for the next done marker.
+_TICK = 0.05
+
+
+def _spawn_local_workers(
+    directory: Path,
+    count: int,
+    cell_fn: Callable[[RunSpec], Dict[str, object]],
+    retries: int,
+    poll: float,
+) -> List:
+    """Start ``count`` worker processes over the queue directory.
+
+    Plain :mod:`multiprocessing` processes targeting the module-level
+    :func:`run_worker` — picklable by reference, so custom (module-
+    level) cell functions work exactly as they do on the process pool.
+    Workers run with ``wait=True``: they keep polling until the queue
+    completes, which lets them start before the supervisor has folded
+    anything and lets them steal expired leases from each other.
+    """
+    import multiprocessing
+
+    workers = []
+    for _ in range(count):
+        proc = multiprocessing.Process(
+            target=run_worker,
+            args=(str(directory),),
+            kwargs={
+                "cell_fn": cell_fn,
+                "retries": retries,
+                "poll": poll,
+                "wait": True,
+            },
+            daemon=True,
+        )
+        proc.start()
+        workers.append(proc)
+    return workers
+
+
+def run_distributed_campaign(
+    directory: Union[str, Path],
+    campaign: Optional[Campaign] = None,
+    *,
+    workers: int = 2,
+    cell_fn: Callable[[RunSpec], Dict[str, object]] = execute_cell,
+    retries: int = 1,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = 0.2,
+    resume: bool = False,
+    wall_timeout: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Run (or resume) ``campaign`` through a shared queue directory.
+
+    Args:
+        directory: the queue directory; created when seeding, must
+            already be a queue when ``resume`` is set.
+        campaign: the grid to run.  Optional with ``resume`` (the
+            manifest is authoritative); when both are given the manifest
+            must describe the same cells.
+        workers: local worker processes to spawn.  ``0`` spawns none —
+            the supervisor then coordinates *external* workers
+            (``repro campaign-worker DIR`` on any machine sharing the
+            filesystem) and simply waits for them.
+        cell_fn: cell implementation for the spawned local workers
+            (module-level, picklable).
+        retries: attempts before a cell is quarantined (lease steals of
+            a crashed worker's cell consume attempts too).
+        lease_ttl: seconds of lease silence before a cell counts as
+            abandoned and becomes stealable.
+        poll: worker claim-poll interval.
+        resume: re-open an existing queue instead of requiring a fresh
+            seed; finished cells fold from disk without re-running.
+        wall_timeout: give up (RuntimeError) when the campaign has not
+            completed after this many wall seconds — guards a dead
+            external-worker fleet.
+        progress: optional line sink for per-cell progress.
+
+    Returns:
+        A :class:`CampaignReport` whose outcomes carry **no payloads**
+        (memory stays bounded); the streaming aggregate rides in
+        ``report.aggregate`` and ``report.aggregate_payload()``.
+    """
+    started = time.perf_counter()
+    directory = Path(directory)
+    if resume:
+        queue = WorkQueue.open(directory)
+        if campaign is not None:
+            seeded = [
+                spec.to_json_dict() for spec in queue.campaign.cells
+            ]
+            given = [spec.to_json_dict() for spec in campaign.cells]
+            if seeded != given:
+                raise ConfigError(
+                    f"queue {directory} holds campaign "
+                    f"{queue.campaign.name!r}, which does not match the "
+                    "grid passed for resume"
+                )
+        campaign = queue.campaign
+    else:
+        if campaign is None:
+            raise ConfigError(
+                "run_distributed_campaign needs a campaign unless resuming"
+            )
+        queue = WorkQueue.seed(directory, campaign, lease_ttl=lease_ttl)
+
+    total = len(campaign.cells)
+    status = StatusWriter(queue.status_path)
+    status.emit(
+        "campaign_start", campaign=campaign.name, cells=total, jobs=workers
+    )
+
+    procs = (
+        _spawn_local_workers(directory, workers, cell_fn, retries, poll)
+        if workers > 0
+        else []
+    )
+
+    aggregate = CampaignAggregate(campaign.name, total)
+    outcomes: List[CellOutcome] = []
+    try:
+        next_index = 0
+        while next_index < total:
+            marker = queue.done_marker(next_index)
+            if marker is None:
+                if wall_timeout is not None and (
+                    time.perf_counter() - started > wall_timeout
+                ):
+                    raise RuntimeError(
+                        f"campaign did not complete within {wall_timeout:g}s "
+                        f"({next_index}/{total} cells folded); queue "
+                        f"progress: {queue.progress()}"
+                    )
+                if procs and not any(p.is_alive() for p in procs):
+                    # Every local worker exited but work remains: the
+                    # queue can only finish if external workers exist.
+                    if not queue.is_complete():
+                        raise RuntimeError(
+                            "all local workers exited with "
+                            f"{queue.progress()['pending']} cells pending"
+                        )
+                time.sleep(_TICK)
+                continue
+            cell_status = marker["status"]
+            payload = (
+                queue.result_for(next_index)
+                if cell_status != "failed"
+                else None
+            )
+            aggregate.fold(next_index, cell_status, payload)
+            outcomes.append(
+                CellOutcome(
+                    index=next_index,
+                    spec=campaign.cells[next_index],
+                    status=cell_status,
+                    payload=None,  # streaming: never retained
+                    attempts=int(marker.get("attempts", 1)),
+                    error=marker.get("error"),
+                )
+            )
+            if progress is not None:
+                tag = {"ok": "done", "cached": "cached", "failed": "FAILED"}[
+                    cell_status
+                ]
+                err = marker.get("error")
+                suffix = f" ({err})" if err else ""
+                progress(
+                    f"[{next_index + 1}/{total}] {tag:6s} "
+                    f"{campaign.cells[next_index].describe()}{suffix}"
+                )
+            next_index += 1
+    finally:
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+    report = CampaignReport(
+        campaign=campaign,
+        outcomes=outcomes,
+        jobs=workers,
+        cache_stats=queue.cache.stats,
+        wall_seconds=time.perf_counter() - started,
+        aggregate=aggregate,
+    )
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    status.emit(
+        "campaign_end",
+        ok=counts.get("ok", 0),
+        cached=counts.get("cached", 0),
+        failed=counts.get("failed", 0),
+        wall_seconds=report.wall_seconds,
+    )
+    return report

@@ -33,13 +33,16 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.campaign.cache import CacheStats, ResultCache
 from repro.campaign.hashing import spec_key
 from repro.campaign.spec import Campaign, RunSpec
 from repro.campaign.status import StatusWriter
 from repro.metrics.stats import afct, average_gap
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from repro.campaign.streaming import CampaignAggregate
 
 #: Supervisor poll interval (wall seconds) while futures are in flight.
 _TICK = 0.1
@@ -226,13 +229,21 @@ class CellOutcome:
 
 @dataclass
 class CampaignReport:
-    """Every cell's outcome, in cell order, plus campaign-level totals."""
+    """Every cell's outcome, in cell order, plus campaign-level totals.
+
+    In streaming mode (``run_campaign(streaming=True)`` or the
+    distributed supervisor) outcomes carry no payloads — per-cell
+    results fold into :attr:`aggregate` as they land and are dropped, so
+    report memory is bounded by the aggregate's group count, not the
+    campaign size.
+    """
 
     campaign: Campaign
     outcomes: List[CellOutcome]
     jobs: int
     cache_stats: CacheStats = field(default_factory=CacheStats)
     wall_seconds: float = 0.0
+    aggregate: Optional["CampaignAggregate"] = None
 
     @property
     def completed(self) -> List[CellOutcome]:
@@ -255,6 +266,23 @@ class CampaignReport:
             for o in self.completed
             if o.payload is not None and "metrics" in o.payload
         )
+
+    def aggregate_payload(self) -> Dict[str, object]:
+        """The campaign-level streaming aggregate as a canonical dict.
+
+        Streaming runs return their live aggregate; batch runs build
+        one by folding the retained payloads in index order — the same
+        code path, which is exactly what makes "streaming equals batch"
+        a byte-level identity rather than an approximation.
+        """
+        if self.aggregate is not None:
+            return self.aggregate.payload()
+        from repro.campaign.streaming import CampaignAggregate
+
+        folded = CampaignAggregate(self.campaign.name, len(self.outcomes))
+        for outcome in self.outcomes:
+            folded.fold(outcome.index, outcome.status, outcome.payload)
+        return folded.payload()
 
     def failure_report(self) -> str:
         """Human-readable quarantine report (empty string when clean)."""
@@ -435,6 +463,7 @@ def run_campaign(
     retries: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     status_path=None,
+    streaming: bool = False,
 ) -> CampaignReport:
     """Execute every cell of ``campaign`` under supervision.
 
@@ -455,11 +484,24 @@ def run_campaign(
             live health records (JSONL) here — rendered by
             ``repro status``.  Wall timestamps stay in this file only;
             payloads and the cache are untouched.
+        streaming: fold every result into a fixed-memory
+            :class:`~repro.campaign.streaming.CampaignAggregate` as it
+            lands and drop the payload — outcomes then carry no
+            payloads and report memory is bounded regardless of
+            campaign size.  A small reorder buffer (bounded by the
+            completion-order skew, i.e. ``jobs``) restores cell-index
+            fold order so the aggregate is byte-identical to a serial
+            run's.
     """
     started = time.perf_counter()
     total = len(campaign.cells)
     outcomes: Dict[int, CellOutcome] = {}
     done_count = 0
+    aggregate: Optional["CampaignAggregate"] = None
+    if streaming:
+        from repro.campaign.streaming import CampaignAggregate
+
+        aggregate = CampaignAggregate(campaign.name, total)
     status = StatusWriter(status_path) if status_path is not None else None
     if status is not None:
         status.emit(
@@ -472,7 +514,9 @@ def run_campaign(
             index=index,
             spec=spec,
             status=state,
-            payload=payload,
+            # Streaming mode never retains payloads: the cell folds
+            # into the aggregate below and its memory is released.
+            payload=None if aggregate is not None else payload,
             attempts=attempts,
             error=error,
             wall_seconds=wall,
@@ -481,6 +525,8 @@ def run_campaign(
         done_count += 1
         if state == "ok" and cache is not None:
             cache.store(key_for(index), payload)
+        if aggregate is not None:
+            aggregate.add(index, state, payload)
         if status is not None:
             fields = {
                 "cell": index,
@@ -542,6 +588,7 @@ def run_campaign(
         jobs=jobs,
         cache_stats=cache.stats if cache is not None else CacheStats(),
         wall_seconds=time.perf_counter() - started,
+        aggregate=aggregate,
     )
     if status is not None:
         counts: Dict[str, int] = {}

@@ -1,0 +1,578 @@
+"""Filesystem work-queue for distributed campaign execution.
+
+A campaign becomes a *queue directory* that any number of worker
+processes — on this machine or any machine sharing the filesystem —
+drain cooperatively:
+
+``manifest.json``
+    The campaign itself: every cell's lossless JSON spec
+    (:meth:`~repro.campaign.spec.RunSpec.to_json_dict`) plus its
+    content-address (:func:`~repro.campaign.hashing.spec_key`).  Seeding
+    is idempotent: re-seeding an existing queue verifies the manifest
+    matches and changes nothing.
+``leases/NNNNN.json``
+    One lease per in-flight cell.  A claim is an **exclusive create**
+    (``O_CREAT | O_EXCL``) — the filesystem arbitrates, exactly one
+    claimant wins.  Workers renew their lease (mtime touch) while the
+    cell runs; a lease whose mtime is older than the TTL belongs to a
+    crashed worker and may be *stolen*: unlink, then exclusive-create
+    again, so racing stealers still resolve to one winner.
+``done/NNNNN.json``
+    Atomic terminal marker per cell: status (``ok``/``cached``/
+    ``failed``), the cell's cache key, attempts, worker id.  The marker
+    is written *after* the payload lands in the cache, so a visible
+    marker always has a readable result behind it; the first terminal
+    marker wins, so a racing double-commit cannot rewrite an outcome.
+``cache/``
+    The standard content-addressed
+    :class:`~repro.campaign.cache.ResultCache`.  Because commits are
+    idempotent (same key, byte-identical blob), a stolen cell that its
+    "crashed" owner later finishes anyway is harmless — both writes
+    store the same bytes.
+``status.jsonl``
+    The live health stream (``repro status`` / ``repro top`` work on a
+    queue directory unchanged).
+
+Crash-resume falls out of the layout: progress *is* the set of done
+markers plus the cache, so a supervisor restart
+(``repro run --resume DIR``) reconstructs exactly where the campaign
+stood and finishes it, byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import repro
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import _CellRunner, execute_cell
+from repro.campaign.hashing import canonical_json, spec_key
+from repro.campaign.spec import Campaign, RunSpec, spec_from_json_dict
+from repro.campaign.status import STATUS_FILENAME, StatusWriter
+from repro.errors import ConfigError
+
+__all__ = [
+    "WorkQueue",
+    "Claim",
+    "WorkerSummary",
+    "run_worker",
+    "DEFAULT_LEASE_TTL",
+    "MANIFEST_FILENAME",
+]
+
+MANIFEST_FILENAME = "manifest.json"
+_LEASE_DIRNAME = "leases"
+_DONE_DIRNAME = "done"
+_CACHE_DIRNAME = "cache"
+
+#: Seconds of lease silence after which a cell counts as abandoned.
+DEFAULT_LEASE_TTL = 30.0
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One successfully claimed cell: run it, then commit."""
+
+    index: int
+    spec: RunSpec
+    key: str
+    attempt: int  # 1 for a fresh claim, previous + 1 for a steal
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(payload))
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class WorkQueue:
+    """One campaign's shared work directory (see module docstring).
+
+    Construct via :meth:`seed` (supervisor) or :meth:`open` (worker or
+    resuming supervisor), never directly.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        campaign: Campaign,
+        keys: List[str],
+        lease_ttl: float,
+    ) -> None:
+        self.directory = Path(directory)
+        self.campaign = campaign
+        self.keys = keys
+        self.lease_ttl = float(lease_ttl)
+        self.cache = ResultCache(self.directory / _CACHE_DIRNAME)
+        self.status_path = self.directory / STATUS_FILENAME
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def seed(
+        cls,
+        directory: Union[str, Path],
+        campaign: Campaign,
+        *,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> "WorkQueue":
+        """Create (or idempotently re-open) a queue for ``campaign``.
+
+        A manifest that already exists must describe the *same* cells
+        (matching content keys); anything else is a configuration error
+        — two different campaigns must never share a queue directory.
+        """
+        if lease_ttl <= 0:
+            raise ConfigError(f"lease_ttl must be positive, got {lease_ttl!r}")
+        directory = Path(directory)
+        keys = [spec_key(spec) for spec in campaign.cells]
+        manifest_path = directory / MANIFEST_FILENAME
+        if manifest_path.exists():
+            existing = cls.open(directory)
+            if existing.keys != keys:
+                raise ConfigError(
+                    f"queue {directory} already holds a different campaign "
+                    f"({existing.campaign.name!r}); refusing to re-seed"
+                )
+            return existing
+        for sub in (_LEASE_DIRNAME, _DONE_DIRNAME, _CACHE_DIRNAME):
+            (directory / sub).mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            manifest_path,
+            {
+                "campaign": campaign.name,
+                "version": repro.__version__,
+                "lease_ttl": lease_ttl,
+                "cells": [spec.to_json_dict() for spec in campaign.cells],
+                "keys": keys,
+            },
+        )
+        return cls(directory, campaign, keys, lease_ttl)
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "WorkQueue":
+        """Open an existing queue (workers and resuming supervisors)."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_FILENAME
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            raise ConfigError(
+                f"{directory} is not a campaign queue (no {MANIFEST_FILENAME})"
+            ) from None
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ConfigError(f"unreadable queue manifest: {exc}") from exc
+        version = manifest.get("version")
+        if version != repro.__version__:
+            raise ConfigError(
+                f"queue {directory} was seeded by repro {version}; this is "
+                f"{repro.__version__} — results would not be comparable"
+            )
+        cells = tuple(
+            spec_from_json_dict(raw) for raw in manifest.get("cells", [])
+        )
+        campaign = Campaign(
+            name=manifest.get("campaign", "queue"), cells=cells
+        )
+        keys = list(manifest.get("keys", []))
+        if len(keys) != len(cells):
+            raise ConfigError("queue manifest keys do not match its cells")
+        for index, spec in enumerate(cells):
+            if spec_key(spec) != keys[index]:
+                raise ConfigError(
+                    f"queue manifest cell {index} does not hash to its "
+                    "recorded key — manifest is corrupt or hand-edited"
+                )
+        for sub in (_LEASE_DIRNAME, _DONE_DIRNAME, _CACHE_DIRNAME):
+            (directory / sub).mkdir(parents=True, exist_ok=True)
+        return cls(
+            directory,
+            campaign,
+            keys,
+            float(manifest.get("lease_ttl", DEFAULT_LEASE_TTL)),
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _lease_path(self, index: int) -> Path:
+        return self.directory / _LEASE_DIRNAME / f"{index:05d}.json"
+
+    def _done_path(self, index: int) -> Path:
+        return self.directory / _DONE_DIRNAME / f"{index:05d}.json"
+
+    # ------------------------------------------------------------------
+    # Claiming
+    # ------------------------------------------------------------------
+    def _try_exclusive_lease(
+        self, index: int, worker: str, attempt: int
+    ) -> bool:
+        """Exclusive-create the lease file; False when someone else won."""
+        path = self._lease_path(index)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(
+                canonical_json(
+                    {"worker": worker, "attempt": attempt, "cell": index}
+                )
+            )
+            fh.write("\n")
+        return True
+
+    def _stale_attempt(self, index: int) -> int:
+        """Attempt count recorded in an (expired) lease, 1 if unreadable."""
+        try:
+            with open(self._lease_path(index), "r", encoding="utf-8") as fh:
+                return int(json.load(fh).get("attempt", 1))
+        except (OSError, ValueError):
+            return 1
+
+    def claim(
+        self, worker: str, *, now: Optional[float] = None
+    ) -> Optional[Claim]:
+        """Claim the lowest-index cell that is neither done nor leased.
+
+        A lease older than the TTL is stolen: the stale lease is
+        unlinked and re-created exclusively, so concurrent stealers (or
+        a stealer racing the original claimant's unlink) still resolve
+        to exactly one winner.  Returns None when every remaining cell
+        is done or validly leased.
+        """
+        if now is None:
+            now = time.time()
+        for index in range(len(self.campaign.cells)):
+            if self._done_path(index).exists():
+                continue
+            if self._try_exclusive_lease(index, worker, 1):
+                return Claim(
+                    index, self.campaign.cells[index], self.keys[index], 1
+                )
+            # Lease exists: steal only if its holder has gone silent.
+            try:
+                age = now - self._lease_path(index).stat().st_mtime
+            except OSError:
+                age = None  # lease vanished: commit or release raced us
+            if age is not None and age > self.lease_ttl:
+                attempt = self._stale_attempt(index) + 1
+                try:
+                    os.unlink(self._lease_path(index))
+                except OSError:
+                    pass  # another stealer got there first
+                if self._try_exclusive_lease(index, worker, attempt):
+                    if self._done_path(index).exists():
+                        # The "crashed" owner committed between our
+                        # staleness check and the steal; undo.
+                        self.release(index)
+                        continue
+                    return Claim(
+                        index,
+                        self.campaign.cells[index],
+                        self.keys[index],
+                        attempt,
+                    )
+        return None
+
+    def renew(self, index: int) -> None:
+        """Refresh a held lease's mtime (heartbeat while a cell runs)."""
+        try:
+            os.utime(self._lease_path(index))
+        except OSError:
+            pass  # stolen out from under us; commit idempotency covers it
+
+    def release(self, index: int) -> None:
+        """Drop a lease without committing (cell becomes claimable)."""
+        try:
+            os.unlink(self._lease_path(index))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Committing and reading results
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        claim: Claim,
+        status: str,
+        payload: Optional[Dict[str, object]] = None,
+        *,
+        worker: str = "",
+        error: Optional[str] = None,
+    ) -> None:
+        """Commit a cell's terminal result and drop its lease.
+
+        The payload goes into the content-addressed cache *first*, the
+        done marker second — a marker's existence therefore implies its
+        result is readable.  The first terminal marker wins: a second
+        commit for an already-done cell (a benign re-claim of a cell
+        that finished between the done check and the lease grab, or a
+        stolen cell whose original owner finished anyway) only drops
+        the lease — it must never rewrite the recorded outcome, so a
+        late loser cannot downgrade an ``ok`` cell to ``failed``.
+        """
+        if status not in ("ok", "cached", "failed"):
+            raise ConfigError(f"cannot commit status {status!r}")
+        if self._done_path(claim.index).exists():
+            self.release(claim.index)
+            return
+        if status == "ok":
+            if payload is None:
+                raise ConfigError("an ok commit needs a payload")
+            self.cache.store(claim.key, payload)
+        marker: Dict[str, object] = {
+            "cell": claim.index,
+            "status": status,
+            "key": claim.key,
+            "attempts": claim.attempt,
+            "worker": worker,
+        }
+        if error is not None:
+            marker["error"] = error
+        _atomic_write_json(self._done_path(claim.index), marker)
+        self.release(claim.index)
+
+    def done_marker(self, index: int) -> Optional[Dict[str, object]]:
+        """The cell's terminal marker, or None while it is unfinished."""
+        try:
+            with open(self._done_path(index), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ConfigError(
+                f"corrupt done marker for cell {index}: {exc}"
+            ) from exc
+
+    def result_for(self, index: int) -> Optional[Dict[str, object]]:
+        """A finished cell's payload from the cache (None for failed)."""
+        marker = self.done_marker(index)
+        if marker is None:
+            raise ConfigError(f"cell {index} has not finished")
+        if marker["status"] == "failed":
+            return None
+        payload = self.cache.lookup(self.keys[index])
+        if payload is None:
+            raise ConfigError(
+                f"cell {index} is marked done but its result is missing "
+                "from the queue cache"
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def progress(self) -> Dict[str, int]:
+        """Queue-wide counts: total / done / failed / leased / pending."""
+        total = len(self.campaign.cells)
+        done = failed = leased = 0
+        for index in range(total):
+            marker = self.done_marker(index)
+            if marker is not None:
+                done += 1
+                if marker["status"] == "failed":
+                    failed += 1
+            elif self._lease_path(index).exists():
+                leased += 1
+        return {
+            "total": total,
+            "done": done,
+            "failed": failed,
+            "leased": leased,
+            "pending": total - done - leased,
+        }
+
+    def is_complete(self) -> bool:
+        """True once every cell has a terminal marker."""
+        return all(
+            self._done_path(i).exists()
+            for i in range(len(self.campaign.cells))
+        )
+
+
+# ----------------------------------------------------------------------
+# The worker loop (`repro campaign-worker DIR`)
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerSummary:
+    """What one worker pass did (returned by :func:`run_worker`)."""
+
+    worker: str
+    claimed: int = 0
+    ok: int = 0
+    cached: int = 0
+    failed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return self.ok + self.failed
+
+
+def run_worker(
+    directory: Union[str, Path],
+    *,
+    worker_id: Optional[str] = None,
+    cell_fn: Callable[[RunSpec], Dict[str, object]] = execute_cell,
+    retries: int = 1,
+    poll: float = 0.2,
+    wait: bool = False,
+    idle_timeout: Optional[float] = None,
+    max_cells: Optional[int] = None,
+) -> WorkerSummary:
+    """Drain cells from a queue directory until none are claimable.
+
+    Claim -> cache short-circuit -> execute (renewing the lease from a
+    heartbeat thread so slow cells are not stolen) -> commit.  A cell
+    that raises is retried in place; once its total attempts (including
+    claims consumed by crashed predecessors) exceed ``1 + retries`` it
+    is committed as ``failed`` — quarantine, exactly like the in-process
+    executor.
+
+    Args:
+        directory: a seeded queue directory (see :meth:`WorkQueue.seed`).
+        worker_id: identity written into leases and done markers
+            (default ``host:pid``).
+        cell_fn: the cell implementation (tests substitute cheap ones).
+        retries: extra attempts before a cell is quarantined.
+        poll: seconds between claim retries while waiting.
+        wait: keep polling for claimable work until the queue completes
+            (for workers started before or alongside the supervisor);
+            without it the worker exits at the first empty claim.
+        idle_timeout: with ``wait``, give up after this many seconds
+            without a successful claim (guards orphaned workers).
+        max_cells: stop after claiming this many cells (tests).
+    """
+    queue = WorkQueue.open(directory)
+    if worker_id is None:
+        worker_id = f"{os.uname().nodename}:{os.getpid()}"
+    status = StatusWriter(queue.status_path)
+    runner = _CellRunner(cell_fn, queue.status_path)
+    summary = WorkerSummary(worker=worker_id)
+    last_claim = time.time()
+
+    while True:
+        if max_cells is not None and summary.claimed >= max_cells:
+            break
+        claim = queue.claim(worker_id)
+        if claim is None:
+            if not wait or queue.is_complete():
+                break
+            if (
+                idle_timeout is not None
+                and time.time() - last_claim > idle_timeout
+            ):
+                break
+            time.sleep(poll)
+            continue
+        last_claim = time.time()
+        summary.claimed += 1
+
+        # Cache short-circuit: a previous campaign (or a previous pass of
+        # this one) already computed this exact cell.
+        hit = queue.cache.lookup(claim.key)
+        if hit is not None:
+            queue.commit(claim, "cached", worker=worker_id)
+            status.emit(
+                "cell",
+                cell=claim.index,
+                state="cached",
+                attempt=claim.attempt,
+                spec=claim.spec.describe(),
+                worker=worker_id,
+            )
+            summary.cached += 1
+            continue
+
+        if claim.attempt > 1 + retries:
+            error = (
+                f"quarantined: {claim.attempt - 1} prior attempt(s) "
+                "abandoned their lease"
+            )
+            queue.commit(claim, "failed", worker=worker_id, error=error)
+            status.emit(
+                "cell",
+                cell=claim.index,
+                state="failed",
+                attempt=claim.attempt,
+                spec=claim.spec.describe(),
+                worker=worker_id,
+                error=error,
+            )
+            summary.failed += 1
+            summary.errors.append(f"cell {claim.index}: {error}")
+            continue
+
+        # Heartbeat the lease while the cell runs so a slow cell is not
+        # mistaken for a crashed worker.
+        stop = threading.Event()
+        interval = max(queue.lease_ttl / 3.0, 0.05)
+
+        def _renew(index: int = claim.index) -> None:
+            while not stop.wait(interval):
+                queue.renew(index)
+
+        heartbeat = threading.Thread(target=_renew, daemon=True)
+        heartbeat.start()
+        try:
+            attempt = claim.attempt
+            while True:
+                try:
+                    payload = runner(claim.index, claim.spec, attempt - 1)
+                except Exception as exc:  # noqa: BLE001 - quarantine path
+                    error = f"error: {exc!r}"
+                    if attempt >= 1 + retries:
+                        queue.commit(
+                            claim, "failed", worker=worker_id, error=error
+                        )
+                        status.emit(
+                            "cell",
+                            cell=claim.index,
+                            state="failed",
+                            attempt=attempt,
+                            spec=claim.spec.describe(),
+                            worker=worker_id,
+                            error=error,
+                        )
+                        summary.failed += 1
+                        summary.errors.append(
+                            f"cell {claim.index}: {error}"
+                        )
+                        break
+                    attempt += 1
+                    continue
+                queue.commit(claim, "ok", payload, worker=worker_id)
+                status.emit(
+                    "cell",
+                    cell=claim.index,
+                    state="ok",
+                    attempt=attempt,
+                    spec=claim.spec.describe(),
+                    worker=worker_id,
+                )
+                summary.ok += 1
+                break
+        finally:
+            stop.set()
+            heartbeat.join(timeout=5)
+    return summary

@@ -96,6 +96,59 @@ class RunSpec:
             f"load={self.config.load:g} seed={self.config.seed}"
         )
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Lossless JSON form: canonical fields plus display-only ones.
+
+        Unlike :meth:`canonical_dict` (which feeds the content hash and
+        therefore excludes labels), this keeps the cell's label and the
+        fault plan's name, so a spec written into a work-queue manifest
+        round-trips through :func:`spec_from_json_dict` into an equal
+        spec — same display, same cache key.
+        """
+        payload = self.canonical_dict()
+        payload["faults"] = (
+            self.faults.to_dict() if self.faults is not None else None
+        )
+        payload["label"] = self.label
+        return payload
+
+
+def spec_from_json_dict(raw: Dict[str, object]) -> RunSpec:
+    """Reconstruct a :class:`RunSpec` from :meth:`RunSpec.to_json_dict`.
+
+    The queue manifest is the cross-process wire format of a campaign:
+    a worker on another machine rebuilds each cell from this dict, and
+    the reconstruction is exact — ``spec_key`` of the rebuilt spec is
+    byte-identical to the original's, which is what lets distributed
+    workers share one content-addressed cache with the supervisor.
+    """
+    if not isinstance(raw, dict):
+        raise ConfigError(f"spec entry must be an object, got {type(raw)!r}")
+    try:
+        config_raw = dict(raw["config"])
+        kind = raw["kind"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed spec entry: missing {exc}") from exc
+    width = config_raw.get("coflow_width")
+    if isinstance(width, list):
+        config_raw["coflow_width"] = tuple(width)
+    try:
+        config = MacroConfig(**config_raw)
+    except TypeError as exc:
+        raise ConfigError(f"malformed spec config: {exc}") from exc
+    faults_raw = raw.get("faults")
+    faults = FaultPlan.from_dict(faults_raw) if faults_raw is not None else None
+    return RunSpec(
+        kind=kind,
+        config=config,
+        network_policy=raw.get("network_policy", "fair"),
+        placements=tuple(raw.get("placements", ())),
+        predictor=raw.get("predictor", "fair"),
+        figure=raw.get("figure"),
+        faults=faults,
+        label=raw.get("label", ""),
+    )
+
 
 @dataclass(frozen=True)
 class Campaign:

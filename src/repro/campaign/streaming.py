@@ -1,0 +1,304 @@
+"""Fixed-memory streaming aggregation of campaign cell payloads.
+
+The batch :class:`~repro.campaign.executor.CampaignReport` holds every
+cell's payload in memory — fine for dozens of cells, fatal for a
+10k-cell grid.  :class:`CampaignAggregate` is the streaming alternative:
+cells fold in one at a time and are never retained, so the aggregate's
+memory is bounded by the number of *distinct groups and metric names*,
+not the number of cells.
+
+Determinism contract (what makes resumed/distributed runs testable):
+
+* **Fold order is cell-index order**, always.  Float addition is not
+  associative, so "any completion order" cannot be byte-identical; the
+  executor therefore reorders completions back into index order before
+  folding (:meth:`CampaignAggregate.add` buffers out-of-order arrivals;
+  the distributed supervisor uses the done-marker directory on disk as
+  its reorder buffer and calls :meth:`fold` directly).
+* **The payload excludes run-shaped facts.**  ``ok`` and ``cached``
+  both count as completed, and attempts / wall seconds / worker ids
+  never enter the aggregate — so an uninterrupted run, a killed-then-
+  resumed run, and a two-worker distributed run of the same grid emit
+  byte-identical aggregate payloads (``canonical_json`` of
+  :meth:`payload`).
+* Group statistics use exact count/sum/min/max plus the mergeable
+  :class:`~repro.telemetry.timeseries.QuantileSketch` for tails, and
+  per-cell metric registries fold through
+  :class:`~repro.telemetry.registry.SnapshotAccumulator` — the same
+  arithmetic ``merge_snapshots`` uses for batch merging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import SnapshotAccumulator
+from repro.telemetry.timeseries import QuantileSketch, TimeseriesStore, merge_rollups
+
+__all__ = ["CampaignAggregate", "StreamingStat", "render_aggregate"]
+
+
+class StreamingStat:
+    """Exact count/sum/min/max plus sketch quantiles for one series.
+
+    The mean is ``sum / count`` with the sum accumulated in fold order,
+    so two folds that see the same values in the same order produce the
+    same float — the building block of the byte-identity guarantee.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "sketch")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sketch = QuantileSketch()
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.sketch.add(value)
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.sketch.quantile(0.50),
+            "p95": self.sketch.quantile(0.95),
+            "p99": self.sketch.quantile(0.99),
+        }
+
+
+def _group_key(network_policy: str, load: float) -> str:
+    # repr() round-trips the float exactly, so the key is collision-free
+    # and stable across runs (JSON object keys must be strings).
+    return f"{network_policy}|{load!r}"
+
+
+class CampaignAggregate:
+    """Streaming campaign-level fold of per-cell payloads.
+
+    Feed cells through :meth:`add` in any order (a small reorder buffer
+    restores index order) or through :meth:`fold` in strict index order.
+    Memory is ``O(groups + metric names + buffered out-of-order cells)``
+    regardless of campaign size.
+    """
+
+    def __init__(self, campaign: str, cells: int) -> None:
+        if cells < 1:
+            raise ConfigError("campaign aggregate needs at least one cell")
+        self.campaign = campaign
+        self.cells = cells
+        self._next = 0
+        self._buffer: Dict[int, Tuple[str, Optional[Dict[str, object]]]] = {}
+        self._completed = 0
+        self._failed_cells: List[int] = []
+        self._grid: Dict[str, Dict[str, StreamingStat]] = {}
+        self._blame: Dict[str, Dict[str, Dict[str, StreamingStat]]] = {}
+        self._metrics = SnapshotAccumulator()
+        self._rollups: Optional[TimeseriesStore] = None
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    @property
+    def folded(self) -> int:
+        """Cells folded so far (contiguous prefix of the index space)."""
+        return self._next
+
+    @property
+    def buffered(self) -> int:
+        """Out-of-order completions waiting for their predecessors."""
+        return len(self._buffer)
+
+    @property
+    def complete(self) -> bool:
+        return self._next >= self.cells
+
+    def add(
+        self, index: int, status: str, payload: Optional[Dict[str, object]]
+    ) -> None:
+        """Accept one cell in any order; folds once contiguous.
+
+        The buffer holds at most the campaign's completion-order skew
+        (bounded by the worker count in practice); cells fold the moment
+        every lower index has arrived, in index order.
+        """
+        if not 0 <= index < self.cells:
+            raise ConfigError(
+                f"cell index {index} outside campaign of {self.cells} cells"
+            )
+        if index < self._next or index in self._buffer:
+            raise ConfigError(f"cell {index} aggregated twice")
+        self._buffer[index] = (status, payload)
+        while self._next in self._buffer:
+            state, cell_payload = self._buffer.pop(self._next)
+            self._fold_one(state, cell_payload)
+            self._next += 1
+
+    def fold(
+        self, index: int, status: str, payload: Optional[Dict[str, object]]
+    ) -> None:
+        """Fold the next cell; ``index`` must be exactly ``folded``.
+
+        The distributed supervisor uses this: it advances through the
+        done-marker directory in index order, so nothing ever buffers in
+        memory — the filesystem is the reorder buffer.
+        """
+        if index != self._next:
+            raise ConfigError(
+                f"streaming fold is index-ordered: expected cell "
+                f"{self._next}, got {index}"
+            )
+        self._fold_one(status, payload)
+        self._next += 1
+
+    def _fold_one(
+        self, status: str, payload: Optional[Dict[str, object]]
+    ) -> None:
+        index = self._next
+        if status not in ("ok", "cached", "failed"):
+            raise ConfigError(f"cell {index} has unknown status {status!r}")
+        if status == "failed" or payload is None:
+            self._failed_cells.append(index)
+            return
+        self._completed += 1
+        per_placement = payload.get("per_placement")
+        if isinstance(per_placement, dict):
+            key = _group_key(payload["network_policy"], payload["load"])
+            group = self._grid.setdefault(key, {})
+            blame_group = self._blame.setdefault(key, {})
+            for name in sorted(per_placement):
+                stats = per_placement[name]
+                if not isinstance(stats, dict):
+                    continue
+                gap = stats.get("average_gap")
+                if gap is not None:
+                    group.setdefault(name, StreamingStat()).add(gap)
+                blame = stats.get("blame")
+                if isinstance(blame, dict):
+                    components = blame_group.setdefault(name, {})
+                    for component in sorted(blame):
+                        share = blame[component]
+                        if isinstance(share, dict) and "mean" in share:
+                            components.setdefault(
+                                component, StreamingStat()
+                            ).add(share["mean"])
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            self._metrics.add(metrics)
+        rollups = payload.get("rollups")
+        if isinstance(rollups, dict):
+            store = TimeseriesStore.from_dict(rollups)
+            if self._rollups is None:
+                self._rollups = store
+            else:
+                self._rollups = merge_rollups([self._rollups, store])
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, object]:
+        """The campaign-level aggregate as a canonical-JSON-safe dict.
+
+        Deliberately excludes everything that varies between an
+        uninterrupted run and a resumed one (ok-vs-cached split,
+        attempts, wall clock, worker identities): completed cells count
+        as completed however their result reached the fold.
+        """
+        out: Dict[str, object] = {
+            "campaign": self.campaign,
+            "cells": self.cells,
+            "folded": self._next,
+            "completed": self._completed,
+            "failed": len(self._failed_cells),
+            "failed_cells": list(self._failed_cells),
+            "grid": {
+                key: {
+                    name: stat.as_dict()
+                    for name, stat in sorted(group.items())
+                }
+                for key, group in sorted(self._grid.items())
+            },
+            "blame": {
+                key: {
+                    name: {
+                        component: stat.as_dict()
+                        for component, stat in sorted(components.items())
+                    }
+                    for name, components in sorted(group.items())
+                }
+                for key, group in sorted(self._blame.items())
+                if group
+            },
+            "metrics": self._metrics.as_dict(),
+        }
+        if self._rollups is not None:
+            out["rollups"] = self._rollups.to_dict()
+        return out
+
+
+def render_aggregate(aggregate: CampaignAggregate) -> str:
+    """Text summary of a streaming aggregate (grid table + counters)."""
+    from repro.metrics.report import format_table
+
+    payload = aggregate.payload()
+    lines = [
+        f"campaign {payload['campaign']}: {payload['completed']}/"
+        f"{payload['cells']} cells completed "
+        f"({payload['failed']} failed, streaming aggregation)"
+    ]
+    grid = payload["grid"]
+    if grid:
+        rows = []
+        for key in sorted(grid):
+            net, _, load = key.partition("|")
+            for placement, stat in sorted(grid[key].items()):
+                if not stat.get("count"):
+                    continue
+                rows.append(
+                    [
+                        net,
+                        f"{float(load):g}",
+                        placement,
+                        f"{stat['mean']:.3f}",
+                        f"{stat['p50']:.3f}",
+                        f"{stat['p95']:.3f}",
+                        f"{stat['p99']:.3f}",
+                        str(stat["count"]),
+                    ]
+                )
+        if rows:
+            lines.append("")
+            lines.append(
+                format_table(
+                    [
+                        "network", "load", "placement", "gap mean",
+                        "p50", "p95", "p99", "seeds",
+                    ],
+                    rows,
+                )
+            )
+    counters = payload["metrics"].get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("merged counters (all cells):")
+        for metric, value in sorted(counters.items()):
+            lines.append(f"  {metric} = {value:g}")
+    failed = payload["failed_cells"]
+    if failed:
+        lines.append("")
+        lines.append(
+            f"FAILED cells: {', '.join(str(i) for i in failed)}"
+        )
+    return "\n".join(lines)

@@ -68,7 +68,9 @@ from repro.telemetry.causal import (
 from repro.telemetry.trace import (
     NULL_TRACE,
     JsonlTraceSink,
+    RotatingJsonlTraceSink,
     TraceSink,
+    read_rotated_trace,
     read_trace,
 )
 from repro.telemetry.timeseries import (
@@ -99,8 +101,10 @@ __all__ = [
     "Timer",
     "TraceSink",
     "JsonlTraceSink",
+    "RotatingJsonlTraceSink",
     "NULL_TRACE",
     "read_trace",
+    "read_rotated_trace",
     "CausalTracer",
     "NullCausalTracer",
     "NULL_CAUSAL",
@@ -207,11 +211,14 @@ def create_telemetry(
     causal: bool = False,
     timeline_interval: Optional[float] = None,
     wall_clock: bool = False,
+    trace_rotate_bytes: Optional[int] = None,
+    trace_backups: int = 4,
 ) -> Telemetry:
     """Convenience factory for a fully armed :class:`Telemetry`.
 
     Args:
-        trace_path: write a JSONL trace here (omit for no trace file).
+        trace_path: write a JSONL trace here (omit for no trace file);
+            a ``.gz`` suffix writes a deterministic gzip stream.
         metrics: collect counters/gauges/histograms/timers.
         decisions: collect the placement-decision log.
         profile: attach a :class:`SpanProfiler` (hierarchical wall-clock
@@ -223,12 +230,23 @@ def create_telemetry(
             interval (seconds of simulation time).
         wall_clock: stamp trace records with wall time (breaks
             byte-identical determinism; ``wall*`` fields only).
+        trace_rotate_bytes: rotate the trace every this-many
+            uncompressed bytes (``path.1`` … ``path.N`` backups; read
+            the set back with :func:`read_rotated_trace`); None writes
+            one unbounded file.
+        trace_backups: rotated segments kept beyond the active one.
     """
-    sink: Optional[TraceSink] = (
-        JsonlTraceSink(trace_path, wall_clock=wall_clock)
-        if trace_path is not None
-        else None
-    )
+    sink: Optional[TraceSink] = None
+    if trace_path is not None:
+        if trace_rotate_bytes is not None:
+            sink = RotatingJsonlTraceSink(
+                trace_path,
+                max_bytes=trace_rotate_bytes,
+                backups=trace_backups,
+                wall_clock=wall_clock,
+            )
+        else:
+            sink = JsonlTraceSink(trace_path, wall_clock=wall_clock)
     return Telemetry(
         registry=MetricsRegistry() if metrics else None,
         trace=sink,

@@ -26,7 +26,7 @@ import json
 import time
 from typing import Dict, Optional
 
-from repro.telemetry.timeseries import QuantileSketch, merge_sketches
+from repro.telemetry.timeseries import QuantileSketch
 
 __all__ = [
     "Counter",
@@ -322,6 +322,103 @@ class NullMetricsRegistry(MetricsRegistry):
 NULL_REGISTRY = NullMetricsRegistry()
 
 
+class SnapshotAccumulator:
+    """Fixed-memory incremental fold of registry snapshots.
+
+    The streaming campaign executor feeds one cell's
+    :meth:`MetricsRegistry.as_dict` snapshot at a time through
+    :meth:`add` and never retains the snapshot afterwards — the
+    accumulator's state is bounded by the number of *distinct metric
+    names*, not the number of cells.  :func:`merge_snapshots` is a thin
+    wrapper over this class, so "fold one at a time" and "merge the
+    whole batch" are literally the same arithmetic in the same order —
+    the foundation of the streaming/batch byte-identity guarantee.
+
+    Merge semantics (unchanged from the original ``merge_snapshots``):
+    counters sum, gauges keep the maximum (high-water), timers sum calls
+    and wall seconds, histograms combine count/mean/min/max exactly and
+    merge their quantile sketches when every input carried one.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+        self._histograms: Dict[str, Dict[str, object]] = {}
+        self._kind_of: Dict[str, str] = {}
+        self._snapshots = 0
+
+    @property
+    def snapshots_folded(self) -> int:
+        return self._snapshots
+
+    def _claim(self, name: str, kind: str) -> None:
+        previous = self._kind_of.setdefault(name, kind)
+        if previous != kind:
+            raise ValueError(
+                f"cannot merge heterogeneous snapshots: metric {name!r} "
+                f"is a {previous} in one snapshot and a {kind} in another"
+            )
+
+    def add(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold one snapshot into the accumulator (snapshot not retained)."""
+        self._snapshots += 1
+        for name, value in snapshot.get("counters", {}).items():
+            self._claim(name, "counter")
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self._claim(name, "gauge")
+            if name not in self._gauges or value > self._gauges[name]:
+                self._gauges[name] = value
+        for name, stats in snapshot.get("timers", {}).items():
+            self._claim(name, "timer")
+            into = self._timers.setdefault(
+                name, {"calls": 0, "wall_seconds": 0.0}
+            )
+            into["calls"] += stats.get("calls", 0)
+            into["wall_seconds"] += stats.get("wall_seconds", 0.0)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self._claim(name, "histogram")
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            into = self._histograms.get(name)
+            if into is None:
+                into = self._histograms[name] = {
+                    "count": count,
+                    "total": summary["mean"] * count,
+                    "min": summary["min"],
+                    "max": summary["max"],
+                    "sketch": None,
+                    "sketchless": 0,
+                }
+            else:
+                into["count"] += count
+                into["total"] += summary["mean"] * count
+                into["min"] = min(into["min"], summary["min"])
+                into["max"] = max(into["max"], summary["max"])
+            if "sketch" in summary:
+                incoming = QuantileSketch.from_dict(summary["sketch"])
+                if into["sketch"] is None:
+                    into["sketch"] = incoming
+                else:
+                    into["sketch"].merge(incoming)  # type: ignore[union-attr]
+            else:
+                into["sketchless"] += 1
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """The merged snapshot (same shape as ``merge_snapshots``)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: _merged_histogram(h)
+                for name, h in sorted(self._histograms.items())
+            },
+            "timers": dict(sorted(self._timers.items())),
+        }
+
+
 def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
     """Fold several :meth:`MetricsRegistry.as_dict` snapshots into one.
 
@@ -335,6 +432,10 @@ def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
     sketches, so merged histograms keep p50/p95/p99; legacy summaries
     without one merge exact stats only and omit the quantiles.
 
+    Implemented as one :class:`SnapshotAccumulator` pass, so batch
+    merging and the campaign executor's streaming fold are the same
+    arithmetic in the same order.
+
     Raises:
         ValueError: when the snapshots are *heterogeneous* — the same
             metric name appears under different kinds (e.g. a counter in
@@ -342,69 +443,10 @@ def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
             distribution would silently corrupt both, so the conflict is
             an error naming the metric and both kinds.
     """
-    counters: Dict[str, float] = {}
-    gauges: Dict[str, float] = {}
-    timers: Dict[str, Dict[str, float]] = {}
-    histograms: Dict[str, Dict[str, float]] = {}
-    kind_of: Dict[str, str] = {}
-
-    def claim(name: str, kind: str) -> None:
-        previous = kind_of.setdefault(name, kind)
-        if previous != kind:
-            raise ValueError(
-                f"cannot merge heterogeneous snapshots: metric {name!r} "
-                f"is a {previous} in one snapshot and a {kind} in another"
-            )
-
+    accumulator = SnapshotAccumulator()
     for snapshot in snapshots:
-        for name, value in snapshot.get("counters", {}).items():
-            claim(name, "counter")
-            counters[name] = counters.get(name, 0.0) + value
-        for name, value in snapshot.get("gauges", {}).items():
-            claim(name, "gauge")
-            if name not in gauges or value > gauges[name]:
-                gauges[name] = value
-        for name, stats in snapshot.get("timers", {}).items():
-            claim(name, "timer")
-            into = timers.setdefault(
-                name, {"calls": 0, "wall_seconds": 0.0}
-            )
-            into["calls"] += stats.get("calls", 0)
-            into["wall_seconds"] += stats.get("wall_seconds", 0.0)
-        for name, summary in snapshot.get("histograms", {}).items():
-            claim(name, "histogram")
-            count = summary.get("count", 0)
-            if not count:
-                continue
-            into = histograms.get(name)
-            if into is None:
-                into = histograms[name] = {
-                    "count": count,
-                    "total": summary["mean"] * count,
-                    "min": summary["min"],
-                    "max": summary["max"],
-                    "sketches": [],
-                    "sketchless": 0,
-                }
-            else:
-                into["count"] += count
-                into["total"] += summary["mean"] * count
-                into["min"] = min(into["min"], summary["min"])
-                into["max"] = max(into["max"], summary["max"])
-            if "sketch" in summary:
-                into["sketches"].append(
-                    QuantileSketch.from_dict(summary["sketch"])
-                )
-            else:
-                into["sketchless"] += 1
-    return {
-        "counters": dict(sorted(counters.items())),
-        "gauges": dict(sorted(gauges.items())),
-        "histograms": {
-            name: _merged_histogram(h) for name, h in sorted(histograms.items())
-        },
-        "timers": dict(sorted(timers.items())),
-    }
+        accumulator.add(snapshot)
+    return accumulator.as_dict()
 
 
 def _merged_histogram(h: Dict[str, object]) -> Dict[str, object]:
@@ -416,10 +458,10 @@ def _merged_histogram(h: Dict[str, object]) -> Dict[str, object]:
     }
     # Quantiles are claimed only when *every* input carried a sketch —
     # a partial merge would silently misweight the sketchless runs.
-    if h["sketches"] and not h["sketchless"]:
-        merged = merge_sketches(h["sketches"])  # type: ignore[arg-type]
-        out["p50"] = merged.quantile(0.50)
-        out["p95"] = merged.quantile(0.95)
-        out["p99"] = merged.quantile(0.99)
-        out["sketch"] = merged.to_dict()
+    if h["sketch"] is not None and not h["sketchless"]:
+        merged = h["sketch"]
+        out["p50"] = merged.quantile(0.50)  # type: ignore[union-attr]
+        out["p95"] = merged.quantile(0.95)  # type: ignore[union-attr]
+        out["p99"] = merged.quantile(0.99)  # type: ignore[union-attr]
+        out["sketch"] = merged.to_dict()  # type: ignore[union-attr]
     return out

@@ -30,12 +30,67 @@ Event vocabulary produced by the stack:
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import math
+import os
 import time
 from typing import IO, Dict, List, Mapping, Optional, Union
 
-__all__ = ["TraceSink", "JsonlTraceSink", "NULL_TRACE", "read_trace"]
+__all__ = [
+    "TraceSink",
+    "JsonlTraceSink",
+    "RotatingJsonlTraceSink",
+    "NULL_TRACE",
+    "read_trace",
+    "read_rotated_trace",
+]
+
+
+def _is_gzip_path(path: str) -> bool:
+    # Rotation renames "t.jsonl.gz" to "t.jsonl.gz.1", so a numeric
+    # rotation suffix after ".gz" still names a gzip stream.
+    base, dot, suffix = path.rpartition(".")
+    if dot and suffix.isdigit():
+        path = base
+    return path.endswith(".gz")
+
+
+def _open_trace_for_write(path: str) -> IO[str]:
+    """Open a trace path for writing, transparently gzip for ``*.gz``.
+
+    The gzip stream is built with ``mtime=0`` and no embedded filename,
+    so two same-seed runs produce **byte-identical compressed files** —
+    the determinism contract survives compression.  Closing the returned
+    wrapper closes the whole chain (gzip trailer included).
+    """
+    if not _is_gzip_path(path):
+        return open(path, "w", encoding="utf-8", newline="")
+    raw = open(path, "wb")
+    try:
+        gz = gzip.GzipFile(filename="", mode="wb", fileobj=raw, mtime=0)
+    except BaseException:
+        raw.close()
+        raise
+
+    wrapper = io.TextIOWrapper(gz, encoding="utf-8", newline="")
+    original_close = wrapper.close
+
+    def close_chain() -> None:
+        try:
+            original_close()  # flushes text buffer, closes gz (trailer)
+        finally:
+            raw.close()
+
+    wrapper.close = close_chain  # type: ignore[method-assign]
+    return wrapper
+
+
+def _open_trace_for_read(path: str) -> IO[str]:
+    if _is_gzip_path(path):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
 
 
 def _json_safe(value):
@@ -80,7 +135,9 @@ class JsonlTraceSink(TraceSink):
     """Writes one JSON object per line to a file or file-like object.
 
     Args:
-        target: path to (over)write, or an open text file object.
+        target: path to (over)write, or an open text file object.  A
+            path ending in ``.gz`` writes a deterministic gzip stream
+            (``mtime=0``), still byte-identical across same-seed runs.
         wall_clock: also stamp every record with ``wall`` (unix seconds).
             Off by default so traces are byte-identical across same-seed
             runs; when on, determinism holds *modulo* ``wall*`` fields.
@@ -92,7 +149,7 @@ class JsonlTraceSink(TraceSink):
         self, target: Union[str, IO[str]], *, wall_clock: bool = False
     ) -> None:
         if isinstance(target, str):
-            self._fp: IO[str] = open(target, "w", encoding="utf-8")
+            self._fp: IO[str] = _open_trace_for_write(target)
             self._owns_fp = True
         else:
             self._fp = target
@@ -133,16 +190,114 @@ class JsonlTraceSink(TraceSink):
             self._fp.flush()
 
 
+class RotatingJsonlTraceSink(TraceSink):
+    """A :class:`JsonlTraceSink` that rotates by size, keeping backups.
+
+    A thousand-cell campaign's traces outgrow any single file; this sink
+    caps the active segment at ``max_bytes`` of *uncompressed* JSONL and
+    rotates: ``path`` becomes ``path.1``, the previous ``path.1``
+    becomes ``path.2``, … and the segment beyond ``backups`` is deleted.
+    Rotation points are byte counts of the serialized records, so two
+    same-seed runs rotate at identical events and every surviving
+    segment is byte-identical (gzip segments included — ``.gz`` paths
+    compress each segment deterministically with ``mtime=0``).
+
+    Read the whole set back with :func:`read_rotated_trace`.
+    """
+
+    active = True
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_bytes: int = 4 * 1024 * 1024,
+        backups: int = 4,
+        wall_clock: bool = False,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes!r}")
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups!r}")
+        self._path = path
+        self._max_bytes = max_bytes
+        self._backups = backups
+        self._wall_clock = wall_clock
+        self._fp: IO[str] = _open_trace_for_write(path)
+        self._segment_bytes = 0
+        self._events_written = 0
+        self._rotations = 0
+        self._closed = False
+
+    @property
+    def events_written(self) -> int:
+        return self._events_written
+
+    @property
+    def rotations(self) -> int:
+        return self._rotations
+
+    def _rotate(self) -> None:
+        self._fp.close()
+        oldest = f"{self._path}.{self._backups}"
+        try:
+            os.remove(oldest)
+        except OSError:
+            pass
+        for n in range(self._backups - 1, 0, -1):
+            src = f"{self._path}.{n}"
+            if os.path.exists(src):
+                os.replace(src, f"{self._path}.{n + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self._fp = _open_trace_for_write(self._path)
+        self._segment_bytes = 0
+        self._rotations += 1
+
+    def emit(
+        self,
+        event: str,
+        sim_time: float,
+        fields: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if self._closed:
+            return
+        record = {"event": event, "t": sim_time}
+        if self._wall_clock:
+            record["wall"] = time.time()
+        if fields:
+            for key, value in fields.items():
+                record[key] = _json_safe(value)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        # Rotate *before* writing when the record would overflow the
+        # segment, so a record never straddles two files and rotation
+        # points depend only on the byte stream (deterministic).
+        if (
+            self._segment_bytes
+            and self._segment_bytes + len(line) > self._max_bytes
+        ):
+            self._rotate()
+        self._fp.write(line)
+        self._segment_bytes += len(line)
+        self._events_written += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fp.close()
+
+
 def read_trace(path: str) -> List[Dict[str, object]]:
     """Read a JSONL trace back into a list of event dicts.
 
-    Tolerates a truncated final line (a run killed mid-write leaves at
-    most one partial record; it is dropped).  A malformed line anywhere
-    *else* is corruption, not truncation, and raises ``ValueError``.
+    Transparently decompresses ``*.gz`` traces.  Tolerates a truncated
+    final line (a run killed mid-write leaves at most one partial
+    record; it is dropped).  A malformed line anywhere *else* is
+    corruption, not truncation, and raises ``ValueError``.
     """
     events: List[Dict[str, object]] = []
     bad_line: Optional[int] = None
-    with open(path, "r", encoding="utf-8") as fp:
+    with _open_trace_for_read(path) as fp:
         for number, line in enumerate(fp, 1):
             if bad_line is not None:
                 raise ValueError(
@@ -156,4 +311,25 @@ def read_trace(path: str) -> List[Dict[str, object]]:
                 events.append(json.loads(line))
             except json.JSONDecodeError:
                 bad_line = number
+    return events
+
+
+def read_rotated_trace(path: str) -> List[Dict[str, object]]:
+    """Read a rotated trace set back as one event list, oldest first.
+
+    Segments are ``path.N`` (highest N = oldest) followed by the active
+    ``path``; a plain un-rotated trace (no ``path.1``) reads the same as
+    :func:`read_trace`.
+    """
+    segments: List[str] = []
+    n = 1
+    while os.path.exists(f"{path}.{n}"):
+        segments.append(f"{path}.{n}")
+        n += 1
+    segments.reverse()  # oldest (highest N) first
+    if os.path.exists(path):
+        segments.append(path)
+    events: List[Dict[str, object]] = []
+    for segment in segments:
+        events.extend(read_trace(segment))
     return events

@@ -1,0 +1,357 @@
+"""Property tests for streaming aggregation: merge laws, byte-identity,
+bounded memory.
+
+The streaming byte-identity guarantee rests on three algebraic facts,
+each locked here with hypothesis:
+
+* :class:`~repro.telemetry.registry.SnapshotAccumulator` folding
+  snapshots one at a time equals :func:`merge_snapshots` on the batch —
+  and over *integer-valued* metrics (exact float arithmetic within
+  2**53) the merge is order-independent, so any worker completion order
+  produces the same merged registry.
+* :class:`~repro.telemetry.timeseries.QuantileSketch` merging is
+  commutative and associative exactly (bucket counts add).
+* :class:`~repro.campaign.streaming.CampaignAggregate` fed completions
+  in *any permutation* (via its reorder buffer) emits the same canonical
+  payload bytes as a strict index-order fold — for arbitrary float
+  payloads, because the buffer restores index order before any float
+  touches an accumulator.
+
+Plus the ISSUE's scale guarantee: a >=1k-cell streaming campaign folds
+under a peak-memory bound that does not grow with the cell count.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import Campaign, RunSpec, canonical_json, run_campaign
+from repro.campaign.streaming import CampaignAggregate, render_aggregate
+from repro.errors import ConfigError
+from repro.experiments.config import MacroConfig
+from repro.telemetry import MetricsRegistry, QuantileSketch, merge_snapshots
+from repro.telemetry.registry import SnapshotAccumulator
+
+import pytest
+
+SETTINGS = dict(max_examples=60, deadline=None, derandomize=True)
+
+TINY = MacroConfig(
+    pods=1, racks_per_pod=2, hosts_per_rack=4,
+    workload="websearch", num_arrivals=50,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_METRIC_NAMES = ["flows.done", "bus.rtt", "engine.events", "queue.depth"]
+
+# Integer-valued metrics: float addition over ints (well inside 2**53)
+# is exact and commutative, so merged registries must be *identical*
+# under any fold order, not merely close.
+_int_values = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def _snapshots(draw):
+    """One MetricsRegistry.as_dict() built from integer observations."""
+    registry = MetricsRegistry()
+    for name in draw(
+        st.lists(st.sampled_from(_METRIC_NAMES), max_size=4, unique=True)
+    ):
+        kind = hash(name) % 4  # fixed kind per name: homogeneous inputs
+        if kind == 0:
+            registry.counter(name).inc(draw(_int_values))
+        elif kind == 1:
+            registry.gauge(name).set(draw(_int_values))
+        elif kind == 2:
+            for value in draw(
+                st.lists(_int_values, min_size=1, max_size=8)
+            ):
+                registry.histogram(name).observe(value)
+        else:
+            timer = registry.timer(name)
+            timer.calls += draw(st.integers(min_value=1, max_value=9))
+            timer.wall_seconds += draw(_int_values)
+    return registry.as_dict()
+
+
+_snapshot_lists = st.lists(_snapshots(), min_size=1, max_size=6)
+
+
+# ----------------------------------------------------------------------
+# Merge laws: registry snapshots
+# ----------------------------------------------------------------------
+class TestSnapshotMergeLaws:
+    @given(_snapshot_lists)
+    @settings(**SETTINGS)
+    def test_incremental_fold_equals_batch_merge(self, snapshots):
+        accumulator = SnapshotAccumulator()
+        for snapshot in snapshots:
+            accumulator.add(snapshot)
+        assert accumulator.as_dict() == merge_snapshots(snapshots)
+        assert accumulator.snapshots_folded == len(snapshots)
+
+    @given(_snapshot_lists, st.randoms(use_true_random=False))
+    @settings(**SETTINGS)
+    def test_integer_merge_is_order_independent(self, snapshots, rng):
+        shuffled = list(snapshots)
+        rng.shuffle(shuffled)
+        assert canonical_json(merge_snapshots(shuffled)) == canonical_json(
+            merge_snapshots(snapshots)
+        )
+
+    def test_heterogeneous_snapshots_are_rejected(self):
+        as_counter = {"counters": {"m": 1.0}}
+        as_gauge = {"gauges": {"m": 1.0}}
+        accumulator = SnapshotAccumulator()
+        accumulator.add(as_counter)
+        with pytest.raises(ValueError, match="heterogeneous"):
+            accumulator.add(as_gauge)
+
+    @given(_snapshot_lists)
+    @settings(**SETTINGS)
+    def test_merged_histograms_keep_exact_stats_and_quantiles(
+        self, snapshots
+    ):
+        merged = merge_snapshots(snapshots)
+        for name, summary in merged["histograms"].items():
+            inputs = [
+                s["histograms"][name]
+                for s in snapshots
+                if s.get("histograms", {}).get(name, {}).get("count")
+            ]
+            assert summary["count"] == sum(i["count"] for i in inputs)
+            assert summary["min"] == min(i["min"] for i in inputs)
+            assert summary["max"] == max(i["max"] for i in inputs)
+            # Every registry summary carries a sketch, so the merged one
+            # must keep the quantiles.
+            assert "p95" in summary and "sketch" in summary
+
+
+# ----------------------------------------------------------------------
+# Merge laws: quantile sketches
+# ----------------------------------------------------------------------
+class TestSketchMergeLaws:
+    @given(
+        st.lists(
+            st.lists(_int_values, min_size=1, max_size=20),
+            min_size=2,
+            max_size=5,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(**SETTINGS)
+    def test_sketch_merge_is_order_independent(self, batches, rng):
+        def merged(order):
+            out = QuantileSketch()
+            for batch in order:
+                part = QuantileSketch()
+                for value in batch:
+                    part.add(value)
+                out.merge(part)
+            return out.to_dict()
+
+        shuffled = list(batches)
+        rng.shuffle(shuffled)
+        assert merged(shuffled) == merged(batches)
+
+    @given(st.lists(_int_values, min_size=1, max_size=30))
+    @settings(**SETTINGS)
+    def test_merge_into_empty_is_an_exact_copy(self, values):
+        one = QuantileSketch()
+        for value in values:
+            one.add(value)
+        empty = QuantileSketch()
+        empty.merge(one)
+        assert empty.to_dict() == one.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Streaming campaign aggregate: permutation-invariance, exactness
+# ----------------------------------------------------------------------
+_gaps = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _cell_payloads(draw):
+    """(status, payload) for one synthetic flow-macro cell."""
+    status = draw(
+        st.sampled_from(["ok", "ok", "ok", "cached", "failed"])
+    )
+    if status == "failed":
+        return (status, None)
+    payload = {
+        "network_policy": draw(st.sampled_from(["fair", "sebf"])),
+        "load": draw(st.sampled_from([0.5, 0.7, 0.9])),
+        "per_placement": {
+            name: {"average_gap": draw(_gaps)}
+            for name in draw(
+                st.lists(
+                    st.sampled_from(["minload", "mindist", "neat"]),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+        },
+    }
+    return (status, payload)
+
+
+class TestCampaignAggregate:
+    @given(
+        st.lists(_cell_payloads(), min_size=1, max_size=12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(**SETTINGS)
+    def test_any_arrival_order_matches_index_order_exactly(
+        self, cells, rng
+    ):
+        # Strict index-order fold: the reference.
+        reference = CampaignAggregate("prop", len(cells))
+        for index, (status, payload) in enumerate(cells):
+            reference.fold(index, status, payload)
+
+        # Arbitrary completion order through the reorder buffer. Floats
+        # are arbitrary here, so equality holds only because add()
+        # defers every fold until the index prefix is contiguous.
+        order = list(range(len(cells)))
+        rng.shuffle(order)
+        streamed = CampaignAggregate("prop", len(cells))
+        for index in order:
+            status, payload = cells[index]
+            streamed.add(index, status, payload)
+
+        assert streamed.complete and streamed.buffered == 0
+        assert canonical_json(streamed.payload()) == canonical_json(
+            reference.payload()
+        )
+
+    @given(st.lists(_cell_payloads(), min_size=1, max_size=8))
+    @settings(**SETTINGS)
+    def test_grid_means_are_exact_fold_order_sums(self, cells):
+        aggregate = CampaignAggregate("prop", len(cells))
+        expected = {}
+        for index, (status, payload) in enumerate(cells):
+            aggregate.fold(index, status, payload)
+            if status == "failed":
+                continue
+            group = f"{payload['network_policy']}|{payload['load']!r}"
+            for name, stats in payload["per_placement"].items():
+                expected.setdefault((group, name), []).append(
+                    stats["average_gap"]
+                )
+        grid = aggregate.payload()["grid"]
+        for (group, name), gaps in expected.items():
+            stat = grid[group][name]
+            assert stat["count"] == len(gaps)
+            total = 0.0
+            for gap in gaps:  # same order, same float sum
+                total += gap
+            assert stat["mean"] == total / len(gaps)
+            assert stat["min"] == min(gaps)
+            assert stat["max"] == max(gaps)
+
+    def test_duplicate_and_out_of_range_cells_are_rejected(self):
+        aggregate = CampaignAggregate("dup", 3)
+        aggregate.add(1, "ok", None)
+        with pytest.raises(ConfigError, match="twice"):
+            aggregate.add(1, "ok", None)
+        aggregate.add(0, "ok", None)  # folds 0 then the buffered 1
+        with pytest.raises(ConfigError, match="twice"):
+            aggregate.add(0, "ok", None)
+        with pytest.raises(ConfigError, match="outside campaign"):
+            aggregate.add(3, "ok", None)
+        with pytest.raises(ConfigError, match="index-ordered"):
+            aggregate.fold(0, "ok", None)
+
+    def test_render_aggregate_mentions_groups_and_failures(self):
+        aggregate = CampaignAggregate("demo", 2)
+        aggregate.fold(0, "ok", {
+            "network_policy": "fair",
+            "load": 0.5,
+            "per_placement": {"minload": {"average_gap": 1.25}},
+        })
+        aggregate.fold(1, "failed", None)
+        text = render_aggregate(aggregate)
+        assert "1/2 cells completed" in text
+        assert "minload" in text
+        assert "FAILED cells: 1" in text
+
+
+# ----------------------------------------------------------------------
+# Scale: >=1k cells under a fixed memory bound
+# ----------------------------------------------------------------------
+def _micro_cell(spec: RunSpec) -> dict:
+    seed = spec.config.seed
+    return {
+        "network_policy": spec.network_policy,
+        "load": spec.config.load,
+        "per_placement": {
+            "minload": {"average_gap": 1.0 + (seed % 17) / 16.0},
+            "mindist": {"average_gap": 1.5 + (seed % 13) / 12.0},
+        },
+    }
+
+
+def _thousand_cell_campaign(cells: int) -> Campaign:
+    specs = tuple(
+        RunSpec(
+            kind="flow_macro",
+            config=MacroConfig(
+                pods=1, racks_per_pod=2, hosts_per_rack=2,
+                num_arrivals=1, seed=seed,
+            ),
+        )
+        for seed in range(cells)
+    )
+    return Campaign(name=f"scale-{cells}", cells=specs)
+
+
+class TestBoundedMemory:
+    def test_streaming_thousand_cell_campaign_memory_is_flat(self):
+        def peak_bytes(cells: int) -> tuple:
+            campaign = _thousand_cell_campaign(cells)
+            tracemalloc.start()
+            try:
+                report = run_campaign(
+                    campaign, jobs=1, cell_fn=_micro_cell, streaming=True
+                )
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return report, peak
+
+        small_report, small_peak = peak_bytes(125)
+        report, peak = peak_bytes(1000)
+
+        payload = report.aggregate_payload()
+        assert payload["cells"] == 1000
+        assert payload["completed"] == 1000
+        assert all(o.payload is None for o in report.outcomes)
+
+        # Fixed-memory claim: 8x the cells must not cost 8x the peak.
+        # The aggregate is O(groups); outcome bookkeeping is O(cells)
+        # but tiny. Allow 3x slack for allocator noise.
+        assert peak < max(3 * small_peak, small_peak + 2_000_000), (
+            f"peak grew from {small_peak} to {peak} bytes"
+        )
+        # And an absolute ceiling: a thousand folded cells stay well
+        # under the footprint of retaining a thousand payloads.
+        assert peak < 32 * 1024 * 1024
+
+    def test_streaming_report_payload_matches_batch(self):
+        campaign = _thousand_cell_campaign(64)
+        streaming = run_campaign(
+            campaign, jobs=1, cell_fn=_micro_cell, streaming=True
+        )
+        batch = run_campaign(campaign, jobs=1, cell_fn=_micro_cell)
+        assert canonical_json(
+            streaming.aggregate_payload()
+        ) == canonical_json(batch.aggregate_payload())

@@ -1,0 +1,152 @@
+"""Tests for rotating and gzip-compressed trace sinks.
+
+The campaign layer's scale story needs traces that (a) do not grow one
+unbounded file and (b) stay byte-identical across same-seed runs even
+compressed — gzip streams are built with ``mtime=0`` and no embedded
+filename, and rotation points are counted in *uncompressed* bytes so two
+identical event streams rotate at identical records.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JsonlTraceSink,
+    RotatingJsonlTraceSink,
+    create_telemetry,
+    read_rotated_trace,
+    read_trace,
+)
+
+
+def _emit_events(sink, count: int) -> None:
+    for i in range(count):
+        sink.emit("tick", float(i), {"i": i, "payload": "x" * 40})
+    sink.close()
+
+
+# ----------------------------------------------------------------------
+# Gzip sinks
+# ----------------------------------------------------------------------
+class TestGzipTraces:
+    def test_gz_trace_round_trips(self, tmp_path):
+        path = str(tmp_path / "t.jsonl.gz")
+        _emit_events(JsonlTraceSink(path), 25)
+        events = read_trace(path)
+        assert [e["i"] for e in events] == list(range(25))
+        # It really is gzip on disk, not plain text with a .gz name.
+        assert (tmp_path / "t.jsonl.gz").read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_gz_traces_are_byte_identical_across_runs(self, tmp_path):
+        paths = [str(tmp_path / f"run{i}.jsonl.gz") for i in (1, 2)]
+        for path in paths:
+            _emit_events(JsonlTraceSink(path), 50)
+        first, second = (
+            (tmp_path / f"run{i}.jsonl.gz").read_bytes() for i in (1, 2)
+        )
+        assert first == second
+
+    def test_gz_matches_uncompressed_content(self, tmp_path):
+        plain = str(tmp_path / "t.jsonl")
+        compressed = str(tmp_path / "t.jsonl.gz")
+        _emit_events(JsonlTraceSink(plain), 30)
+        _emit_events(JsonlTraceSink(compressed), 30)
+        assert read_trace(plain) == read_trace(compressed)
+        with open(plain, "rb") as fh:
+            raw = fh.read()
+        with gzip.open(compressed, "rb") as fh:
+            assert fh.read() == raw
+
+
+# ----------------------------------------------------------------------
+# Rotation
+# ----------------------------------------------------------------------
+class TestRotation:
+    def test_rotates_by_uncompressed_bytes_keeping_backups(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = RotatingJsonlTraceSink(path, max_bytes=600, backups=3)
+        _emit_events(sink, 40)
+        assert sink.rotations > 0
+        assert sink.events_written == 40
+        segments = sorted(p.name for p in tmp_path.iterdir())
+        assert "t.jsonl" in segments and "t.jsonl.1" in segments
+        assert "t.jsonl.4" not in segments  # beyond backups: deleted
+
+    def test_no_record_straddles_segments(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _emit_events(
+            RotatingJsonlTraceSink(path, max_bytes=300, backups=8), 30
+        )
+        n = 1
+        while (tmp_path / f"t.jsonl.{n}").exists():
+            n += 1
+        for segment in [path] + [f"{path}.{k}" for k in range(1, n)]:
+            with open(segment, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    json.loads(line)  # every line parses: no torn records
+
+    def test_read_rotated_trace_restores_order(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = RotatingJsonlTraceSink(path, max_bytes=400, backups=30)
+        _emit_events(sink, 60)
+        assert sink.rotations <= 30  # nothing fell off the end
+        events = read_rotated_trace(path)
+        assert [e["i"] for e in events] == list(range(60))
+
+    def test_rotation_drops_oldest_beyond_backups(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = RotatingJsonlTraceSink(path, max_bytes=200, backups=2)
+        _emit_events(sink, 60)
+        assert sink.rotations > 2
+        events = read_rotated_trace(path)
+        # Only the newest (2 backups + active) survive, still in order
+        # and ending at the final record.
+        indices = [e["i"] for e in events]
+        assert indices == list(range(indices[0], 60))
+
+    def test_rotated_gz_segments_are_deterministic(self, tmp_path):
+        for run in ("a", "b"):
+            sink = RotatingJsonlTraceSink(
+                str(tmp_path / f"{run}.jsonl.gz"), max_bytes=500, backups=5
+            )
+            _emit_events(sink, 40)
+        for suffix in ("", ".1", ".2"):
+            first = tmp_path / f"a.jsonl.gz{suffix}"
+            second = tmp_path / f"b.jsonl.gz{suffix}"
+            assert first.exists() == second.exists()
+            if first.exists():
+                assert first.read_bytes() == second.read_bytes()
+        assert read_rotated_trace(
+            str(tmp_path / "a.jsonl.gz")
+        ) == read_rotated_trace(str(tmp_path / "b.jsonl.gz"))
+
+    def test_rejects_nonsense_limits(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            RotatingJsonlTraceSink(str(tmp_path / "t"), max_bytes=0)
+        with pytest.raises(ValueError, match="backups"):
+            RotatingJsonlTraceSink(str(tmp_path / "t"), backups=0)
+
+
+# ----------------------------------------------------------------------
+# Factory wiring
+# ----------------------------------------------------------------------
+class TestCreateTelemetryWiring:
+    def test_rotate_bytes_selects_the_rotating_sink(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with create_telemetry(
+            trace_path=path, trace_rotate_bytes=256, trace_backups=3
+        ) as tele:
+            assert isinstance(tele.trace, RotatingJsonlTraceSink)
+            for i in range(30):
+                tele.trace.emit("tick", float(i), {"i": i})
+        assert read_rotated_trace(path)[-1]["i"] == 29
+
+    def test_default_remains_the_plain_sink(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with create_telemetry(trace_path=path) as tele:
+            assert isinstance(tele.trace, JsonlTraceSink)
+            assert not isinstance(tele.trace, RotatingJsonlTraceSink)
